@@ -1,0 +1,43 @@
+// Ablation A2 — eager scheduling depth: cap the local iterations a gmap may
+// run before the global synchronization. Depth 1 is a single local sweep
+// (no eager scheduling — every local iteration would need its own global
+// round); "unbounded" is the paper's run-to-local-convergence. Shows the
+// serial-ops vs global-syncs tradeoff directly.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/partitioner.hpp"
+
+using namespace asyncmr;
+
+int main() {
+  const auto opts = BenchOptions::FromEnv();
+  bench::PrintBanner("Ablation A2 — eager scheduling depth (local iteration cap)",
+                     opts);
+
+  auto config = bench::GraphConfig(bench::PaperGraph::kA, opts);
+  config.num_vertices = static_cast<graph::VertexId>(
+      std::min<uint64_t>(config.num_vertices, opts.Scaled(70'000, 5000)));
+  config.locality_window = std::max<graph::VertexId>(8, config.num_vertices / 1000);
+  config.max_edge_age = 4 * config.locality_window;
+  const auto g = graph::PreferentialAttachment(config);
+  const uint32_t k = static_cast<uint32_t>(std::max<uint64_t>(4, opts.Scaled(100)));
+  const auto part = graph::MultilevelPartition(g, k, opts.seed);
+  std::printf("graph: %s, k=%u partitions\n\n", g.Describe().c_str(), k);
+
+  std::printf("%-12s %-14s %-12s %-14s %-16s\n", "local-cap", "global-iters",
+              "time(s)", "local-iters", "serial-ops");
+  for (uint32_t cap : {1u, 2u, 4u, 8u, 128u}) {
+    apps::PageRankConfig pr;
+    pr.max_local_iterations = cap;
+    cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
+    const auto result = apps::EagerPageRank(sim, g, part, pr);
+    std::printf("%-12u %-14u %-12.0f %-14llu %-16llu\n", cap,
+                result.trace.global_iterations(), result.trace.total_seconds(),
+                static_cast<unsigned long long>(result.trace.total_local_iterations()),
+                static_cast<unsigned long long>(result.trace.total_ops()));
+  }
+  std::printf("\nexpected shape: deeper local iteration => more serial ops but\n"
+              "fewer global synchronizations and less total time\n");
+  return 0;
+}

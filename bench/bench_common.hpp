@@ -1,0 +1,90 @@
+// Shared sweep runners for the figure benchmarks.
+//
+// Scaling: every figure bench honours AMR_SCALE (default 1.0 = the paper's
+// sizes). At scale s both the vertex/point counts AND the partition-count
+// axis scale by s, preserving the partition-size regimes (n/k) the paper
+// sweeps — so curve shapes are comparable at any scale. AMR_SEED seeds the
+// generators; AMR_CSV=1 adds machine-readable rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/kmeans.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "common/options.hpp"
+#include "graph/generator.hpp"
+#include "graph/partition.hpp"
+
+namespace asyncmr::bench {
+
+/// The paper's partition-count axis (Figures 2-7).
+inline const std::vector<uint32_t> kPaperPartitionCounts = {100,  200,  400, 800,
+                                                            1600, 3200, 6400};
+
+/// The paper's threshold axis (Figures 8-9).
+inline const std::vector<double> kPaperThresholds = {0.1, 0.01, 0.001, 0.0001};
+
+/// Partition counts scaled consistently with the workload scale.
+std::vector<uint32_t> ScaledPartitionCounts(const BenchOptions& opts);
+
+/// Which paper graph a bench runs on.
+enum class PaperGraph { kA, kB };
+graph::PrefAttachConfig GraphConfig(PaperGraph which, const BenchOptions& opts);
+
+struct GraphSweepRow {
+  uint32_t partitions = 0;
+  double cut_fraction = 0.0;
+  uint32_t general_iterations = 0;
+  double general_seconds = 0.0;
+  uint64_t general_ops = 0;
+  uint32_t eager_iterations = 0;
+  double eager_seconds = 0.0;
+  uint64_t eager_ops = 0;
+  uint64_t eager_local_iterations = 0;
+  double speedup() const {
+    return eager_seconds > 0 ? general_seconds / eager_seconds : 0.0;
+  }
+};
+
+/// Runs General + Eager PageRank across the partition sweep on a fresh
+/// Ec2Large8 cluster per run. Prints progress to stderr.
+std::vector<GraphSweepRow> RunPageRankSweep(PaperGraph which, const BenchOptions& opts);
+
+/// Same sweep for Single-Source Shortest Path (Graph A, random weights).
+std::vector<GraphSweepRow> RunSsspSweep(const BenchOptions& opts);
+
+struct KmeansSweepRow {
+  double threshold = 0.0;
+  uint32_t general_iterations = 0;
+  double general_seconds = 0.0;
+  uint32_t eager_iterations = 0;
+  double eager_seconds = 0.0;
+  uint64_t eager_local_iterations = 0;
+  double general_sse = 0.0;
+  double eager_sse = 0.0;
+  double speedup() const {
+    return eager_seconds > 0 ? general_seconds / eager_seconds : 0.0;
+  }
+};
+
+/// Runs General + Eager K-Means across the paper's threshold axis with the
+/// paper's fixed 52 partitions.
+std::vector<KmeansSweepRow> RunKmeansSweep(const BenchOptions& opts);
+
+/// Pretty-prints the graph sweep as the paper's figure series. `metric`
+/// selects the emphasized column ("iterations" or "time").
+void PrintGraphSweep(const std::string& figure_title, const std::string& metric,
+                     const std::vector<GraphSweepRow>& rows,
+                     const BenchOptions& opts);
+
+void PrintKmeansSweep(const std::string& figure_title, const std::string& metric,
+                      const std::vector<KmeansSweepRow>& rows,
+                      const BenchOptions& opts);
+
+/// Prints the standard bench banner (scale, seed, testbed).
+void PrintBanner(const std::string& title, const BenchOptions& opts);
+
+}  // namespace asyncmr::bench

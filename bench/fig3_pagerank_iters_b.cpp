@@ -1,0 +1,15 @@
+// Figure 3 reproduction: PageRank — number of iterations to converge vs number of partitions
+// (Graph B). Paper shape: General flat in partition count; Eager far lower
+// at coarse partitionings, degenerating toward General as partitions shrink.
+#include "bench_common.hpp"
+
+using namespace asyncmr;
+
+int main() {
+  const auto opts = BenchOptions::FromEnv();
+  bench::PrintBanner(
+      "Figure 3 — PageRank: number of iterations to converge vs #partitions (Graph B)", opts);
+  const auto rows = bench::RunPageRankSweep(bench::PaperGraph::kB, opts);
+  bench::PrintGraphSweep("Figure 3 series (iterations):", "iterations", rows, opts);
+  return 0;
+}

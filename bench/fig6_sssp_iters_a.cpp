@@ -1,0 +1,14 @@
+// Figure 6 reproduction: Single Source Shortest Path — number of iterations
+// to converge vs number of partitions (Graph A).
+#include "bench_common.hpp"
+
+using namespace asyncmr;
+
+int main() {
+  const auto opts = BenchOptions::FromEnv();
+  bench::PrintBanner(
+      "Figure 6 — SSSP: iterations to converge vs #partitions (Graph A)", opts);
+  const auto rows = bench::RunSsspSweep(opts);
+  bench::PrintGraphSweep("Figure 6 series (iterations):", "iterations", rows, opts);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 8 reproduction: K-Means — iterations to converge for varying
+// convergence thresholds (52 partitions, census-like data).
+#include "bench_common.hpp"
+
+using namespace asyncmr;
+
+int main() {
+  const auto opts = BenchOptions::FromEnv();
+  bench::PrintBanner("Figure 8 — K-Means: iterations-to-converge vs threshold",
+                     opts);
+  const auto rows = bench::RunKmeansSweep(opts);
+  bench::PrintKmeansSweep("Figure 8 series (iterations):", "iterations", rows, opts);
+  return 0;
+}

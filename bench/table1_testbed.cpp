@@ -1,0 +1,42 @@
+// Table I reproduction: the measurement testbed. Prints the paper's testbed
+// next to the simulated cluster's calibration so every figure bench's cost
+// basis is explicit.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "net/topology.hpp"
+
+using namespace asyncmr;
+
+int main() {
+  const auto opts = BenchOptions::FromEnv();
+  bench::PrintBanner("Table I — measurement testbed, software", opts);
+
+  std::printf("paper:\n");
+  std::printf("  Amazon EC2          8 64-bit EC2 Compute Units\n");
+  std::printf("  8 Large Instances   15 GB RAM, 4 x 420 GB storage\n");
+  std::printf("  Software            Hadoop 0.20.1, Java 1.6\n");
+  std::printf("  Heap space          4 GB per slave\n\n");
+
+  const auto spec = cluster::ClusterSpec::Ec2Large8();
+  const net::Topology topo(spec.topology);
+  std::printf("this reproduction (simulated):\n");
+  std::printf("  Cluster             %s\n", spec.Describe().c_str());
+  std::printf("  Topology            %s\n", topo.Describe().c_str());
+  std::printf("  Cost model          job submit %.1f s, task startup %.2f s,\n",
+              spec.job_submit_overhead_s, spec.task_startup_s);
+  std::printf("                      heartbeat %.2f s, %.0f Mops/s per slot,\n",
+              spec.heartbeat_interval_s, 1.0 / spec.per_op_seconds / 1e6);
+  std::printf("                      local disk %.0f MB/s\n", spec.local_disk_Bps / 1e6);
+  std::printf("  DFS                 %llu MB blocks, %ux replication, namenode %.0f ms,\n",
+              static_cast<unsigned long long>(spec.dfs.block_size_bytes >> 20),
+              spec.dfs.replication, spec.dfs.namenode_latency_s * 1e3);
+  std::printf("                      disk %.0f MB/s\n", spec.dfs.disk_bandwidth_Bps / 1e6);
+  std::printf("  Stochastics         straggler prob %.2f (x%.1f..%.1f), jitter %.2f\n",
+              spec.straggler_prob, spec.straggler_slowdown_min,
+              spec.straggler_slowdown_max, spec.speed_jitter);
+  std::printf("\nAll figure benches run real application code on this virtual\n");
+  std::printf("testbed; reported times are virtual (modeled EC2) seconds.\n");
+  return 0;
+}

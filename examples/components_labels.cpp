@@ -1,0 +1,63 @@
+// Example: Connected Components — one of the "broader applicability" classes
+// the paper claims for partial synchronization (Section VI: "minimum
+// spanning trees, transitive closure, and connected components"). Built
+// entirely on the SSSP engine via zero-weight min-label propagation.
+#include <cstdio>
+
+#include "apps/components.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "graph/generator.hpp"
+#include "graph/partitioner.hpp"
+
+using namespace asyncmr;
+
+int main() {
+  const auto opts = BenchOptions::FromEnv();
+
+  // A community graph with a known number of islands.
+  const uint32_t islands = 12;
+  const uint32_t island_size = static_cast<uint32_t>(opts.Scaled(2'000, 200));
+  std::vector<graph::Edge> edges;
+  Rng rng(opts.seed);
+  for (uint32_t i = 0; i < islands; ++i) {
+    const uint32_t base = i * island_size;
+    for (uint32_t v = 1; v < island_size; ++v) {
+      edges.push_back({base + static_cast<graph::VertexId>(rng.NextBounded(v)),
+                       base + v, 1.0});
+    }
+    for (uint32_t c = 0; c < island_size; ++c) {
+      const auto a = static_cast<graph::VertexId>(rng.NextBounded(island_size));
+      const auto b = static_cast<graph::VertexId>(rng.NextBounded(island_size));
+      if (a != b) edges.push_back({base + a, base + b, 1.0});
+    }
+  }
+  const auto g =
+      graph::Digraph::FromEdges(islands * island_size, std::move(edges));
+  std::printf("graph: %s in %u hidden communities\n", g.Describe().c_str(), islands);
+
+  const uint32_t k = 16;
+  const auto part = graph::MultilevelPartition(g, k, opts.seed);
+
+  apps::ComponentsConfig config;
+  std::printf("running General vs Eager label propagation (k=%u partitions)...\n\n", k);
+  cluster::SimCluster general_cluster(cluster::ClusterSpec::Ec2Large8());
+  const auto general = apps::GeneralComponents(general_cluster, g, part, config);
+  cluster::SimCluster eager_cluster(cluster::ClusterSpec::Ec2Large8());
+  const auto eager = apps::EagerComponents(eager_cluster, g, part, config);
+
+  std::printf("General: %u components in %u iterations (%s virtual)\n",
+              general.num_components, general.trace.global_iterations(),
+              HumanSeconds(general.trace.total_seconds()).c_str());
+  std::printf("Eager:   %u components in %u iterations (%s virtual)\n",
+              eager.num_components, eager.trace.global_iterations(),
+              HumanSeconds(eager.trace.total_seconds()).c_str());
+
+  const auto oracle = apps::SerialComponents(apps::Symmetrized(g));
+  const bool exact = eager.labels == oracle && general.labels == oracle;
+  std::printf("\ncorrectness vs union-find: %s\n", exact ? "exact match" : "MISMATCH");
+  std::printf("speedup: %.1fx\n",
+              general.trace.total_seconds() / eager.trace.total_seconds());
+  return exact ? 0 : 1;
+}

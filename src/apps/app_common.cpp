@@ -1,0 +1,39 @@
+#include "apps/app_common.hpp"
+
+#include <algorithm>
+
+namespace asyncmr::apps {
+
+PartitionView PartitionView::Build(const graph::Digraph& g,
+                                   const graph::Partitioning& p) {
+  PartitionView view;
+  view.members = p.Members();
+  view.internal_target_index.resize(p.num_parts);
+  for (uint32_t part = 0; part < p.num_parts; ++part) {
+    auto& per_member = view.internal_target_index[part];
+    per_member.resize(view.members[part].size());
+    for (size_t i = 0; i < view.members[part].size(); ++i) {
+      const graph::VertexId v = view.members[part][i];
+      const auto neighbors = g.OutNeighbors(v);
+      for (uint32_t j = 0; j < neighbors.size(); ++j) {
+        if (p.part_of[neighbors[j]] == part) per_member[i].push_back(j);
+      }
+    }
+  }
+  return view;
+}
+
+std::vector<std::pair<uint32_t, double>> DenseAccumulator::DrainSorted() {
+  std::sort(touched_.begin(), touched_.end());
+  std::vector<std::pair<uint32_t, double>> out;
+  out.reserve(touched_.size());
+  for (uint32_t idx : touched_) {
+    out.emplace_back(idx, values_[idx]);
+    touched_flags_[idx] = 0;
+    values_[idx] = 0.0;
+  }
+  touched_.clear();
+  return out;
+}
+
+}  // namespace asyncmr::apps

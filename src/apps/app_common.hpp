@@ -1,0 +1,68 @@
+// Helpers shared by the benchmark applications (PageRank, SSSP, K-Means,
+// and the extension apps): per-partition graph views and dense contribution
+// accumulators used to pre-combine map emissions efficiently.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/partition.hpp"
+
+namespace asyncmr::apps {
+
+/// Sentinel for "unreached" distances.
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Per-partition view of a digraph: members plus, for each member, its
+/// out-neighbors split into partition-internal targets and all targets.
+/// Built once per (graph, partitioning); iterations only read it.
+struct PartitionView {
+  // Flattened member list per partition.
+  std::vector<std::vector<graph::VertexId>> members;
+  // For each partition, for each member (parallel to members[p]):
+  // indices into the graph's CSR row of targets inside the same partition.
+  std::vector<std::vector<std::vector<uint32_t>>> internal_target_index;
+
+  static PartitionView Build(const graph::Digraph& g, const graph::Partitioning& p);
+};
+
+/// Dense accumulator for pre-combining (target, double) contributions inside
+/// one map task without hashing: O(edges + touched) per use, reusable across
+/// tasks. Touched entries are returned sorted for determinism.
+class DenseAccumulator {
+ public:
+  explicit DenseAccumulator(uint32_t size)
+      : values_(size, 0.0), touched_flags_(size, 0) {}
+
+  void Add(uint32_t index, double value) {
+    if (!touched_flags_[index]) {
+      touched_flags_[index] = 1;
+      touched_.push_back(index);
+    }
+    values_[index] += value;
+  }
+
+  /// Minimum-combine variant (SSSP).
+  void Min(uint32_t index, double value) {
+    if (!touched_flags_[index]) {
+      touched_flags_[index] = 1;
+      touched_.push_back(index);
+      values_[index] = value;
+    } else if (value < values_[index]) {
+      values_[index] = value;
+    }
+  }
+
+  /// Sorted (index, value) pairs; clears the accumulator for reuse.
+  std::vector<std::pair<uint32_t, double>> DrainSorted();
+
+  size_t touched_count() const { return touched_.size(); }
+
+ private:
+  std::vector<double> values_;
+  std::vector<uint8_t> touched_flags_;
+  std::vector<uint32_t> touched_;
+};
+
+}  // namespace asyncmr::apps

@@ -1,0 +1,105 @@
+#include "apps/components.hpp"
+
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace asyncmr::apps {
+
+namespace {
+
+/// Zero-weight edges turn SSSP's min-plus relaxation into min-label flooding.
+graph::Digraph ZeroWeighted(const graph::Digraph& g) {
+  std::vector<graph::Edge> edges = g.ToEdges();
+  for (auto& e : edges) e.weight = 0.0;
+  return graph::Digraph::FromEdges(g.num_vertices(), std::move(edges),
+                                   /*weighted=*/true);
+}
+
+std::vector<double> IdentityLabels(uint32_t n) {
+  std::vector<double> init(n);
+  std::iota(init.begin(), init.end(), 0.0);
+  return init;
+}
+
+ComponentsResult FromSssp(SsspResult&& sssp, uint32_t n) {
+  ComponentsResult result;
+  result.trace = std::move(sssp.trace);
+  result.converged = sssp.converged;
+  result.labels.resize(n);
+  std::unordered_set<graph::VertexId> distinct;
+  for (uint32_t v = 0; v < n; ++v) {
+    result.labels[v] = static_cast<graph::VertexId>(sssp.distances[v]);
+    distinct.insert(result.labels[v]);
+  }
+  result.num_components = static_cast<uint32_t>(distinct.size());
+  return result;
+}
+
+SsspConfig ToSsspConfig(const ComponentsConfig& config, uint32_t n) {
+  SsspConfig sssp;
+  sssp.max_global_iterations = config.max_global_iterations;
+  sssp.max_local_iterations = config.max_local_iterations;
+  sssp.num_reducers = config.num_reducers;
+  sssp.job_prefix = config.job_prefix;
+  sssp.initial_distances = IdentityLabels(n);
+  return sssp;
+}
+
+}  // namespace
+
+graph::Digraph Symmetrized(const graph::Digraph& g) {
+  std::vector<graph::Edge> edges = g.ToEdges();
+  const size_t forward = edges.size();
+  edges.reserve(forward * 2);
+  for (size_t i = 0; i < forward; ++i) {
+    edges.push_back({edges[i].dst, edges[i].src, edges[i].weight});
+  }
+  return graph::Digraph::FromEdges(g.num_vertices(), std::move(edges), g.weighted());
+}
+
+std::vector<graph::VertexId> SerialComponents(const graph::Digraph& g) {
+  const uint32_t n = g.num_vertices();
+  std::vector<graph::VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<graph::VertexId(graph::VertexId)> find =
+      [&](graph::VertexId v) -> graph::VertexId {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];  // path halving
+      v = parent[v];
+    }
+    return v;
+  };
+  for (graph::VertexId u = 0; u < n; ++u) {
+    for (graph::VertexId t : g.OutNeighbors(u)) {
+      const graph::VertexId ru = find(u), rt = find(t);
+      if (ru != rt) parent[std::max(ru, rt)] = std::min(ru, rt);
+    }
+  }
+  std::vector<graph::VertexId> labels(n);
+  for (graph::VertexId v = 0; v < n; ++v) labels[v] = find(v);
+  return labels;
+}
+
+ComponentsResult GeneralComponents(cluster::SimCluster& cluster,
+                                   const graph::Digraph& g,
+                                   const graph::Partitioning& partitioning,
+                                   const ComponentsConfig& config) {
+  const graph::Digraph undirected = ZeroWeighted(Symmetrized(g));
+  auto sssp = GeneralSssp(cluster, undirected, partitioning,
+                          ToSsspConfig(config, g.num_vertices()));
+  return FromSssp(std::move(sssp), g.num_vertices());
+}
+
+ComponentsResult EagerComponents(cluster::SimCluster& cluster,
+                                 const graph::Digraph& g,
+                                 const graph::Partitioning& partitioning,
+                                 const ComponentsConfig& config) {
+  const graph::Digraph undirected = ZeroWeighted(Symmetrized(g));
+  auto sssp = EagerSssp(cluster, undirected, partitioning,
+                        ToSsspConfig(config, g.num_vertices()));
+  return FromSssp(std::move(sssp), g.num_vertices());
+}
+
+}  // namespace asyncmr::apps

@@ -1,0 +1,50 @@
+// Connected Components via min-label propagation — one of the application
+// classes the paper claims partial synchronization extends to ("Shortest Path
+// represents a class of applications over sparse graphs that includes
+// minimum spanning trees, transitive closure, and connected components",
+// Section VI). Implemented on the SSSP engine: zero-weight edges over the
+// symmetrized graph with initial label = vertex id; the min-reduction
+// propagates each component's smallest id to all members. The Eager variant
+// collapses whole within-partition components per global iteration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/sssp.hpp"
+
+namespace asyncmr::apps {
+
+struct ComponentsConfig {
+  uint32_t max_global_iterations = 2000;
+  uint32_t max_local_iterations = 4096;
+  uint32_t num_reducers = 16;
+  std::string job_prefix = "cc";
+};
+
+struct ComponentsResult {
+  /// label[v] = smallest vertex id in v's (weakly) connected component.
+  std::vector<graph::VertexId> labels;
+  core::RunTrace trace;
+  bool converged = false;
+  uint32_t num_components = 0;
+};
+
+/// Union-find reference over the same (symmetrized) edge set.
+std::vector<graph::VertexId> SerialComponents(const graph::Digraph& g);
+
+/// Symmetrizes g (adds every reverse edge; weights dropped), the edge set on
+/// which weak components are defined.
+graph::Digraph Symmetrized(const graph::Digraph& g);
+
+ComponentsResult GeneralComponents(cluster::SimCluster& cluster,
+                                   const graph::Digraph& g,
+                                   const graph::Partitioning& partitioning,
+                                   const ComponentsConfig& config);
+
+ComponentsResult EagerComponents(cluster::SimCluster& cluster,
+                                 const graph::Digraph& g,
+                                 const graph::Partitioning& partitioning,
+                                 const ComponentsConfig& config);
+
+}  // namespace asyncmr::apps

@@ -1,0 +1,64 @@
+#include "apps/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace asyncmr::apps {
+
+Dataset GenerateCensusLike(const CensusLikeConfig& config) {
+  AMR_CHECK(config.planted_clusters >= 1 && config.num_points >= config.planted_clusters);
+  Rng rng(config.seed);
+  Dataset data(config.num_points, config.dims);
+
+  // Cluster centers: integer-coded attributes, as census categoricals are.
+  std::vector<double> centers(static_cast<size_t>(config.planted_clusters) * config.dims);
+  for (double& c : centers) c = static_cast<double>(rng.NextBounded(10));
+
+  // Cluster prevalence is skewed (a few demographic profiles dominate).
+  std::vector<double> cum_weight(config.planted_clusters);
+  double total = 0.0;
+  for (uint32_t c = 0; c < config.planted_clusters; ++c) {
+    total += 1.0 / (1.0 + c);
+    cum_weight[c] = total;
+  }
+
+  for (uint32_t i = 0; i < config.num_points; ++i) {
+    const double r = rng.NextDouble() * total;
+    const auto cluster = static_cast<uint32_t>(
+        std::lower_bound(cum_weight.begin(), cum_weight.end(), r) - cum_weight.begin());
+    auto point = data.MutablePoint(i);
+    const double* center = centers.data() + static_cast<size_t>(cluster) * config.dims;
+    for (uint32_t d = 0; d < config.dims; ++d) {
+      const double raw = center[d] + config.noise_sigma * rng.NextGaussian();
+      point[d] = static_cast<float>(std::clamp(std::round(raw), 0.0, 9.0));
+    }
+  }
+  return data;
+}
+
+double SumSquaredError(const Dataset& data, const std::vector<double>& centroids,
+                       uint32_t k) {
+  AMR_CHECK_EQ(centroids.size(), static_cast<size_t>(k) * data.dims());
+  double sse = 0.0;
+  for (uint32_t i = 0; i < data.num_points(); ++i) {
+    const auto point = data.Point(i);
+    double best = std::numeric_limits<double>::infinity();
+    for (uint32_t c = 0; c < k; ++c) {
+      const double* centroid = centroids.data() + static_cast<size_t>(c) * data.dims();
+      double dist = 0.0;
+      for (uint32_t d = 0; d < data.dims(); ++d) {
+        const double diff = point[d] - centroid[d];
+        dist += diff * diff;
+      }
+      best = std::min(best, dist);
+    }
+    sse += best;
+  }
+  return sse;
+}
+
+}  // namespace asyncmr::apps

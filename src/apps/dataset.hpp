@@ -1,0 +1,54 @@
+// Point datasets for clustering. GenerateCensusLike is the stand-in for the
+// paper's K-Means input (a ~200K-row, 68-attribute sample of the 1990 US
+// Census from the UCI repository, unavailable offline): a mixture of planted
+// clusters over integer-coded attributes in [0, 9], which exercises the same
+// distance kernel, data volume, and convergence behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace asyncmr::apps {
+
+class Dataset {
+ public:
+  Dataset(uint32_t num_points, uint32_t dims)
+      : num_points_(num_points), dims_(dims),
+        values_(static_cast<size_t>(num_points) * dims, 0.0f) {}
+
+  uint32_t num_points() const { return num_points_; }
+  uint32_t dims() const { return dims_; }
+
+  std::span<const float> Point(uint32_t i) const {
+    return {values_.data() + static_cast<size_t>(i) * dims_, dims_};
+  }
+  std::span<float> MutablePoint(uint32_t i) {
+    return {values_.data() + static_cast<size_t>(i) * dims_, dims_};
+  }
+
+  /// Total payload bytes (what the DFS stores / map tasks read).
+  uint64_t byte_size() const { return values_.size() * sizeof(float); }
+
+ private:
+  uint32_t num_points_;
+  uint32_t dims_;
+  std::vector<float> values_;
+};
+
+struct CensusLikeConfig {
+  uint32_t num_points = 200'000;  // the paper's sample size
+  uint32_t dims = 68;             // the paper's attribute count
+  uint32_t planted_clusters = 24;
+  double noise_sigma = 1.1;       // attribute noise before quantization
+  uint64_t seed = 42;
+};
+
+Dataset GenerateCensusLike(const CensusLikeConfig& config);
+
+/// Sum of squared distances of each point to its nearest centroid — the
+/// K-Means objective, used to compare clustering quality across algorithms.
+double SumSquaredError(const Dataset& data, const std::vector<double>& centroids,
+                       uint32_t k);
+
+}  // namespace asyncmr::apps

@@ -1,0 +1,322 @@
+#include "apps/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/app_common.hpp"
+#include "core/partial_sync_job.hpp"
+#include "core/partition_io.hpp"
+#include "graph/graph_io.hpp"
+#include "mr/job.hpp"
+
+namespace asyncmr::apps {
+
+namespace {
+
+constexpr uint64_t kValueRecordBytes = 12;
+
+std::string UniquePrefix(cluster::SimCluster& cluster, const std::string& base) {
+  return "/" + base + "-" + std::to_string(cluster.dfs().stats().files_written);
+}
+
+double ApplyNewValues(const std::vector<std::pair<uint32_t, double>>& records,
+                      std::vector<double>& x) {
+  double residual = 0.0;
+  for (const auto& [v, value] : records) {
+    residual = std::max(residual, std::abs(value - x[v]));
+    x[v] = value;
+  }
+  return residual;
+}
+
+}  // namespace
+
+std::vector<double> SerialJacobi(const graph::Digraph& g_sym,
+                                 const std::vector<double>& b,
+                                 const JacobiConfig& config,
+                                 uint32_t* iterations_out) {
+  const uint32_t n = g_sym.num_vertices();
+  AMR_CHECK_EQ(b.size(), n);
+  std::vector<double> x(n, 0.0), sums(n, 0.0);
+  uint32_t iter = 0;
+  for (; iter < config.max_global_iterations * 10; ++iter) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (graph::VertexId u = 0; u < n; ++u) {
+      for (graph::VertexId t : g_sym.OutNeighbors(u)) sums[t] += x[u];
+    }
+    double residual = 0.0;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      const double next = (b[v] + sums[v]) / (g_sym.OutDegree(v) + 1.0);
+      residual = std::max(residual, std::abs(next - x[v]));
+      x[v] = next;
+    }
+    if (residual < config.tolerance) {
+      ++iter;
+      break;
+    }
+  }
+  if (iterations_out != nullptr) *iterations_out = iter;
+  return x;
+}
+
+double JacobiResidual(const graph::Digraph& g_sym, const std::vector<double>& b,
+                      const std::vector<double>& x) {
+  const uint32_t n = g_sym.num_vertices();
+  std::vector<double> ax(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    ax[v] = (g_sym.OutDegree(v) + 1.0) * x[v];
+  }
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (graph::VertexId t : g_sym.OutNeighbors(v)) ax[t] -= x[v];
+  }
+  double r = 0.0;
+  for (graph::VertexId v = 0; v < n; ++v) r = std::max(r, std::abs(ax[v] - b[v]));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// General Jacobi: one sweep per MapReduce job.
+// ---------------------------------------------------------------------------
+
+JacobiResult GeneralJacobi(cluster::SimCluster& cluster, const graph::Digraph& g_sym,
+                           const std::vector<double>& b,
+                           const graph::Partitioning& partitioning,
+                           const JacobiConfig& config) {
+  const uint32_t n = g_sym.num_vertices();
+  AMR_CHECK_EQ(b.size(), n);
+  const auto members = partitioning.Members();
+  const auto part_sizes = partitioning.Sizes();
+  const std::string prefix = UniquePrefix(cluster, config.job_prefix + "-gen");
+  const auto images = graph::EncodeAllPartitionImages(g_sym, partitioning);
+  std::vector<uint64_t> image_bytes;
+  for (const auto& img : images) image_bytes.push_back(img.size());
+  auto base_splits = core::StagePartitionFiles(cluster, prefix + "/in", images);
+
+  JacobiResult result;
+  result.x.assign(n, 0.0);
+  result.trace = core::RunTrace("general-jacobi");
+  DenseAccumulator scratch(n);
+
+  for (uint32_t round = 0; round < config.max_global_iterations; ++round) {
+    mr::JobConfig job_config;
+    job_config.name = config.job_prefix + "-g" + std::to_string(round);
+    job_config.num_reducers = config.num_reducers;
+    job_config.output_path = prefix + "/it" + std::to_string(round);
+
+    std::vector<mr::SplitDesc> splits = base_splits;
+    for (size_t p = 0; p < splits.size(); ++p) {
+      splits[p].input_bytes = image_bytes[p] + kValueRecordBytes * part_sizes[p];
+    }
+
+    mr::Job<uint32_t, double, uint32_t, double> job(cluster, job_config);
+    job.set_mapper([&](uint32_t p, mr::MapContext<uint32_t, double>& ctx) {
+      uint64_t ops = 0;
+      for (graph::VertexId u : members[p]) {
+        const double xu = result.x[u];
+        for (graph::VertexId t : g_sym.OutNeighbors(u)) scratch.Add(t, xu);
+        scratch.Add(u, 0.0);  // keepalive
+        ops += g_sym.OutDegree(u) + 1;
+      }
+      ctx.AddOps(ops);
+      for (const auto& [t, val] : scratch.DrainSorted()) ctx.Emit(t, val);
+    });
+    job.set_reducer([&](const uint32_t& v, const std::vector<double>& sums,
+                        mr::ReduceContext<uint32_t, double>& ctx) {
+      double sum = 0.0;
+      for (double s : sums) sum += s;
+      ctx.AddOps(sums.size());
+      ctx.Emit(v, (b[v] + sum) / (g_sym.OutDegree(v) + 1.0));
+    });
+
+    auto out = job.RunBlocking(std::move(splits));
+    const double residual = ApplyNewValues(out.records, result.x);
+
+    core::RoundTrace trace;
+    trace.round = round;
+    trace.start_seconds = out.raw.stats.submit_time;
+    trace.end_seconds = out.raw.stats.finish_time;
+    trace.ops = out.raw.stats.total_ops;
+    trace.shuffle_bytes = out.raw.stats.shuffle_bytes;
+    trace.map_output_bytes = out.raw.stats.map_output_bytes;
+    trace.residual = residual;
+    result.trace.AddRound(trace);
+    if (residual < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.residual_inf = JacobiResidual(g_sym, b, result.x);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Eager Jacobi: block-Jacobi inner iterations per gmap.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JacVertex {
+  graph::VertexId v = 0;
+  double inv_diag = 0.0;  // 1 / (deg + 1)
+  double ext = 0.0;       // frozen external neighbor sum, refreshed per round
+  const graph::VertexId* internal_targets = nullptr;
+  uint32_t internal_count = 0;
+};
+
+}  // namespace
+
+JacobiResult EagerJacobi(cluster::SimCluster& cluster, const graph::Digraph& g_sym,
+                         const std::vector<double>& b,
+                         const graph::Partitioning& partitioning,
+                         const JacobiConfig& config) {
+  const uint32_t n = g_sym.num_vertices();
+  AMR_CHECK_EQ(b.size(), n);
+  const uint32_t num_parts = partitioning.num_parts;
+  const auto members = partitioning.Members();
+  const auto part_sizes = partitioning.Sizes();
+  const std::string prefix = UniquePrefix(cluster, config.job_prefix + "-eag");
+  const auto images = graph::EncodeAllPartitionImages(g_sym, partitioning);
+  std::vector<uint64_t> image_bytes;
+  for (const auto& img : images) image_bytes.push_back(img.size());
+  auto base_splits = core::StagePartitionFiles(cluster, prefix + "/in", images);
+
+  std::vector<std::vector<graph::VertexId>> internal_flat(num_parts);
+  std::vector<std::vector<JacVertex>> records(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    uint64_t internal_edges = 0;
+    for (graph::VertexId u : members[p]) {
+      for (graph::VertexId t : g_sym.OutNeighbors(u)) {
+        if (partitioning.part_of[t] == p) ++internal_edges;
+      }
+    }
+    internal_flat[p].reserve(internal_edges);
+    records[p].reserve(members[p].size());
+    for (graph::VertexId u : members[p]) {
+      JacVertex rec;
+      rec.v = u;
+      rec.inv_diag = 1.0 / (g_sym.OutDegree(u) + 1.0);
+      const size_t start = internal_flat[p].size();
+      for (graph::VertexId t : g_sym.OutNeighbors(u)) {
+        if (partitioning.part_of[t] == p) internal_flat[p].push_back(t);
+      }
+      rec.internal_targets = internal_flat[p].data() + start;
+      rec.internal_count = static_cast<uint32_t>(internal_flat[p].size() - start);
+      records[p].push_back(rec);
+    }
+  }
+
+  JacobiResult result;
+  result.x.assign(n, 0.0);
+  result.trace = core::RunTrace("eager-jacobi");
+  DenseAccumulator scratch(n);
+  std::vector<double> ext_buf(n, 0.0);
+
+  using Psj = core::PartialSyncJob<JacVertex, uint32_t, double>;
+  typename Psj::Config psj_config;
+  psj_config.job.num_reducers = config.num_reducers;
+  psj_config.local.max_local_iterations = config.max_local_iterations;
+  psj_config.local.lcombine = [](const double& a, const double& c) { return a + c; };
+  psj_config.gmap_time_scale = config.gmap_time_scale;
+  Psj psj(cluster, psj_config);
+
+  psj.set_partition_data(
+      [&](uint32_t p) { return std::span<const JacVertex>(records[p]); });
+  psj.set_init_state([&](uint32_t p) {
+    core::LocalState<uint32_t, double> state;
+    state.reserve(members[p].size() * 2);
+    for (graph::VertexId u : members[p]) state.emplace(u, result.x[u]);
+    return state;
+  });
+  psj.set_lmap([](const JacVertex& rec, const core::LocalState<uint32_t, double>& state,
+                  core::LocalIntermediate<uint32_t, double>& out) {
+    const double xu = state.at(rec.v);
+    out.AddOps(1 + rec.internal_count);
+    for (uint32_t i = 0; i < rec.internal_count; ++i) {
+      out.EmitLocalIntermediate(rec.internal_targets[i], xu);
+    }
+    out.EmitLocalIntermediate(rec.v, rec.ext);  // frozen external sum
+  });
+  std::vector<double> inv_diag(n);
+  for (graph::VertexId v = 0; v < n; ++v) inv_diag[v] = 1.0 / (g_sym.OutDegree(v) + 1.0);
+  psj.set_lreduce([&b, &inv_diag](const uint32_t& v, const std::vector<double>& values,
+                                  const core::LocalState<uint32_t, double>&,
+                                  core::LocalReduceContext<uint32_t, double>& ctx) {
+    double sum = 0.0;
+    for (double s : values) sum += s;
+    ctx.AddOps(values.size() + 2);
+    ctx.EmitLocal(v, (b[v] + sum) * inv_diag[v]);
+  });
+  psj.set_local_convergence([&config](const core::LocalState<uint32_t, double>& prev,
+                                      const core::LocalState<uint32_t, double>& next,
+                                      uint32_t) {
+    for (const auto& [k, v] : next) {
+      auto it = prev.find(k);
+      if (it == prev.end() || std::abs(v - it->second) >= config.local_tolerance) {
+        return false;
+      }
+    }
+    return true;
+  });
+  psj.set_gemit([&](uint32_t p, const core::LocalState<uint32_t, double>& state,
+                    mr::MapContext<uint32_t, double>& ctx) {
+    uint64_t ops = 0;
+    for (const JacVertex& rec : records[p]) {
+      const double xu = state.at(rec.v);
+      for (graph::VertexId t : g_sym.OutNeighbors(rec.v)) scratch.Add(t, xu);
+      scratch.Add(rec.v, 0.0);
+      ops += g_sym.OutDegree(rec.v) + 1;
+    }
+    ctx.AddOps(ops);
+    for (const auto& [t, val] : scratch.DrainSorted()) ctx.Emit(t, val);
+  });
+  psj.set_greduce([&b, &inv_diag](const uint32_t& v, const std::vector<double>& sums,
+                                  mr::ReduceContext<uint32_t, double>& ctx) {
+    double sum = 0.0;
+    for (double s : sums) sum += s;
+    ctx.AddOps(sums.size());
+    ctx.Emit(v, (b[v] + sum) * inv_diag[v]);
+  });
+
+  for (uint32_t round = 0; round < config.max_global_iterations; ++round) {
+    std::fill(ext_buf.begin(), ext_buf.end(), 0.0);
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      for (const JacVertex& rec : records[p]) {
+        const double xu = result.x[rec.v];
+        for (graph::VertexId t : g_sym.OutNeighbors(rec.v)) {
+          if (partitioning.part_of[t] != p) ext_buf[t] += xu;
+        }
+      }
+    }
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      for (JacVertex& rec : records[p]) rec.ext = ext_buf[rec.v];
+    }
+
+    psj.mutable_config().job.name = config.job_prefix + "-e" + std::to_string(round);
+    psj.mutable_config().job.output_path = prefix + "/it" + std::to_string(round);
+    std::vector<mr::SplitDesc> splits = base_splits;
+    for (size_t p = 0; p < splits.size(); ++p) {
+      splits[p].input_bytes = image_bytes[p] + kValueRecordBytes * part_sizes[p];
+    }
+    auto out = psj.RunGlobalIteration(std::move(splits));
+    const double residual = ApplyNewValues(out.records, result.x);
+
+    core::RoundTrace trace;
+    trace.round = round;
+    trace.start_seconds = out.raw.stats.submit_time;
+    trace.end_seconds = out.raw.stats.finish_time;
+    trace.ops = out.raw.stats.total_ops;
+    trace.shuffle_bytes = out.raw.stats.shuffle_bytes;
+    trace.map_output_bytes = out.raw.stats.map_output_bytes;
+    trace.local_iterations = psj.last_local_iterations();
+    trace.residual = residual;
+    result.trace.AddRound(trace);
+    if (residual < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.residual_inf = JacobiResidual(g_sym, b, result.x);
+  return result;
+}
+
+}  // namespace asyncmr::apps

@@ -1,0 +1,457 @@
+#include "apps/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "core/partial_sync_job.hpp"
+#include "core/partition_io.hpp"
+#include "mr/job.hpp"
+
+namespace asyncmr::apps {
+
+namespace {
+
+/// Wire value for K-Means MapReduce: a coordinate sum (or mean) plus the
+/// number of points it aggregates.
+struct KmUpdate {
+  std::vector<double> sum;
+  uint64_t count = 0;
+  AMR_SERDE_FIELDS(sum, count)
+};
+
+/// Ops per point-to-centroid assignment (sub, mul, add per dim per centroid).
+uint64_t AssignOps(uint32_t k, uint32_t dims) {
+  return static_cast<uint64_t>(3) * k * dims;
+}
+
+uint32_t NearestCentroid(std::span<const float> point,
+                         const std::vector<double>& centroids, uint32_t k,
+                         uint32_t dims) {
+  uint32_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (uint32_t c = 0; c < k; ++c) {
+    const double* centroid = centroids.data() + static_cast<size_t>(c) * dims;
+    double dist = 0.0;
+    for (uint32_t d = 0; d < dims; ++d) {
+      const double diff = point[d] - centroid[d];
+      dist += diff * diff;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<double> InitialCentroids(const Dataset& data, uint32_t k, uint64_t seed) {
+  // Random distinct points, "chosen at random for the sake of generality"
+  // (paper Section V.D; canopy clustering is left as an optimization).
+  Rng rng(MixSeed(seed, 0xCE27));
+  std::vector<double> centroids(static_cast<size_t>(k) * data.dims());
+  std::vector<uint32_t> chosen;
+  while (chosen.size() < k) {
+    const auto i = static_cast<uint32_t>(rng.NextBounded(data.num_points()));
+    if (std::find(chosen.begin(), chosen.end(), i) == chosen.end()) chosen.push_back(i);
+  }
+  for (uint32_t c = 0; c < k; ++c) {
+    const auto point = data.Point(chosen[c]);
+    for (uint32_t d = 0; d < data.dims(); ++d) {
+      centroids[static_cast<size_t>(c) * data.dims() + d] = point[d];
+    }
+  }
+  return centroids;
+}
+
+/// Max Euclidean centroid movement (the paper's convergence metric).
+double Movement(const std::vector<double>& before, const std::vector<double>& after,
+                uint32_t k, uint32_t dims) {
+  double worst = 0.0;
+  for (uint32_t c = 0; c < k; ++c) {
+    double dist = 0.0;
+    for (uint32_t d = 0; d < dims; ++d) {
+      const double diff = after[static_cast<size_t>(c) * dims + d] -
+                          before[static_cast<size_t>(c) * dims + d];
+      dist += diff * diff;
+    }
+    worst = std::max(worst, std::sqrt(dist));
+  }
+  return worst;
+}
+
+/// Contiguous point-range partitioning; reshuffling permutes point order.
+std::vector<std::vector<uint32_t>> SplitPoints(const std::vector<uint32_t>& order,
+                                               uint32_t num_partitions) {
+  std::vector<std::vector<uint32_t>> parts(num_partitions);
+  const size_t n = order.size();
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    const size_t lo = n * p / num_partitions;
+    const size_t hi = n * (p + 1) / num_partitions;
+    parts[p].assign(order.begin() + lo, order.begin() + hi);
+  }
+  return parts;
+}
+
+std::string UniquePrefix(cluster::SimCluster& cluster, const std::string& base) {
+  return "/" + base + "-" + std::to_string(cluster.dfs().stats().files_written);
+}
+
+/// Encodes each partition's point payload (real bytes) for DFS staging.
+std::vector<serde::Buffer> PointImages(const Dataset& data,
+                                       const std::vector<std::vector<uint32_t>>& parts) {
+  std::vector<serde::Buffer> images;
+  images.reserve(parts.size());
+  for (const auto& part : parts) {
+    serde::Buffer buf;
+    buf.reserve(part.size() * data.dims() * sizeof(float));
+    for (uint32_t i : part) {
+      const auto point = data.Point(i);
+      buf.Append(point.data(), point.size_bytes());
+    }
+    images.push_back(std::move(buf));
+  }
+  return images;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Serial Lloyd reference.
+// ---------------------------------------------------------------------------
+
+KMeansResult SerialLloyd(const Dataset& data, const KMeansConfig& config) {
+  const uint32_t k = config.k, dims = data.dims();
+  KMeansResult result;
+  result.centroids = InitialCentroids(data, k, config.seed);
+  result.trace = core::RunTrace("serial-lloyd");
+
+  std::vector<double> sums(static_cast<size_t>(k) * dims);
+  std::vector<uint64_t> counts(k);
+  for (uint32_t round = 0; round < config.max_global_iterations; ++round) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (uint32_t i = 0; i < data.num_points(); ++i) {
+      const auto point = data.Point(i);
+      const uint32_t c = NearestCentroid(point, result.centroids, k, dims);
+      double* row = sums.data() + static_cast<size_t>(c) * dims;
+      for (uint32_t d = 0; d < dims; ++d) row[d] += point[d];
+      counts[c]++;
+    }
+    std::vector<double> next = result.centroids;
+    for (uint32_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its position
+      for (uint32_t d = 0; d < dims; ++d) {
+        next[static_cast<size_t>(c) * dims + d] =
+            sums[static_cast<size_t>(c) * dims + d] / static_cast<double>(counts[c]);
+      }
+    }
+    const double movement = Movement(result.centroids, next, k, dims);
+    result.centroids = std::move(next);
+    core::RoundTrace trace;
+    trace.round = round;
+    trace.residual = movement;
+    result.trace.AddRound(trace);
+    if (movement < config.threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.sse = SumSquaredError(data, result.centroids, k);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// General K-Means: assign/update, one MapReduce job per iteration.
+// ---------------------------------------------------------------------------
+
+KMeansResult GeneralKMeans(cluster::SimCluster& cluster, const Dataset& data,
+                           const KMeansConfig& config) {
+  const uint32_t k = config.k, dims = data.dims();
+  std::vector<uint32_t> order(data.num_points());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto parts = SplitPoints(order, config.num_partitions);
+
+  const std::string prefix = UniquePrefix(cluster, config.job_prefix + "-gen");
+  const auto images = PointImages(data, parts);
+  std::vector<uint64_t> image_bytes;
+  for (const auto& img : images) image_bytes.push_back(img.size());
+  auto base_splits = core::StagePartitionFiles(cluster, prefix + "/in", images);
+
+  KMeansResult result;
+  result.centroids = InitialCentroids(data, k, config.seed);
+  result.trace = core::RunTrace("general-kmeans");
+  const uint64_t centroid_bytes = static_cast<uint64_t>(k) * dims * sizeof(double);
+
+  for (uint32_t round = 0; round < config.max_global_iterations; ++round) {
+    mr::JobConfig job_config;
+    job_config.name = config.job_prefix + "-g" + std::to_string(round);
+    job_config.num_reducers = config.num_reducers;
+    job_config.output_path = prefix + "/it" + std::to_string(round);
+
+    std::vector<mr::SplitDesc> splits = base_splits;
+    for (size_t p = 0; p < splits.size(); ++p) {
+      splits[p].input_bytes = image_bytes[p] + centroid_bytes;  // data + broadcast
+    }
+
+    mr::Job<uint32_t, KmUpdate, uint32_t, KmUpdate> job(cluster, job_config);
+    job.set_mapper([&](uint32_t p, mr::MapContext<uint32_t, KmUpdate>& ctx) {
+      std::vector<double> sums(static_cast<size_t>(k) * dims, 0.0);
+      std::vector<uint64_t> counts(k, 0);
+      for (uint32_t i : parts[p]) {
+        const auto point = data.Point(i);
+        const uint32_t c = NearestCentroid(point, result.centroids, k, dims);
+        double* row = sums.data() + static_cast<size_t>(c) * dims;
+        for (uint32_t d = 0; d < dims; ++d) row[d] += point[d];
+        counts[c]++;
+      }
+      ctx.AddOps(parts[p].size() * (AssignOps(k, dims) + dims));
+      for (uint32_t c = 0; c < k; ++c) {
+        if (counts[c] == 0) continue;
+        KmUpdate update;
+        update.sum.assign(sums.begin() + static_cast<size_t>(c) * dims,
+                          sums.begin() + static_cast<size_t>(c + 1) * dims);
+        update.count = counts[c];
+        ctx.Emit(c, update);
+      }
+    });
+    job.set_reducer([&](const uint32_t& c, const std::vector<KmUpdate>& updates,
+                        mr::ReduceContext<uint32_t, KmUpdate>& ctx) {
+      KmUpdate total;
+      total.sum.assign(dims, 0.0);
+      for (const KmUpdate& u : updates) {
+        for (uint32_t d = 0; d < dims; ++d) total.sum[d] += u.sum[d];
+        total.count += u.count;
+      }
+      ctx.AddOps(updates.size() * dims);
+      if (total.count > 0) {
+        for (uint32_t d = 0; d < dims; ++d) {
+          total.sum[d] /= static_cast<double>(total.count);
+        }
+        ctx.Emit(c, total);
+      }
+    });
+
+    auto out = job.RunBlocking(std::move(splits));
+    std::vector<double> next = result.centroids;
+    for (const auto& [c, update] : out.records) {
+      for (uint32_t d = 0; d < dims; ++d) {
+        next[static_cast<size_t>(c) * dims + d] = update.sum[d];
+      }
+    }
+    const double movement = Movement(result.centroids, next, k, dims);
+    result.centroids = std::move(next);
+
+    core::RoundTrace trace;
+    trace.round = round;
+    trace.start_seconds = out.raw.stats.submit_time;
+    trace.end_seconds = out.raw.stats.finish_time;
+    trace.ops = out.raw.stats.total_ops;
+    trace.shuffle_bytes = out.raw.stats.shuffle_bytes;
+    trace.map_output_bytes = out.raw.stats.map_output_bytes;
+    trace.residual = movement;
+    result.trace.AddRound(trace);
+
+    if (movement < config.threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.sse = SumSquaredError(data, result.centroids, k);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Eager K-Means: local Lloyd iterations inside each gmap.
+// ---------------------------------------------------------------------------
+
+KMeansResult EagerKMeans(cluster::SimCluster& cluster, const Dataset& data,
+                         const KMeansConfig& config) {
+  const uint32_t k = config.k, dims = data.dims();
+  Rng shuffle_rng(MixSeed(config.seed, 0x5F1E));
+
+  std::vector<uint32_t> order(data.num_points());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto parts = SplitPoints(order, config.num_partitions);
+
+  const std::string prefix = UniquePrefix(cluster, config.job_prefix + "-eag");
+  const auto images = PointImages(data, parts);
+  std::vector<uint64_t> image_bytes;
+  for (const auto& img : images) image_bytes.push_back(img.size());
+  auto base_splits = core::StagePartitionFiles(cluster, prefix + "/in", images);
+  const uint64_t centroid_bytes = static_cast<uint64_t>(k) * dims * sizeof(double);
+
+  KMeansResult result;
+  result.centroids = InitialCentroids(data, k, config.seed);
+  result.trace = core::RunTrace("eager-kmeans");
+
+  // Dense cache of the gmap hashtable, refreshed per local iteration.
+  std::vector<double> centroid_cache(static_cast<size_t>(k) * dims);
+
+  using Psj = core::PartialSyncJob<uint32_t, uint32_t, KmUpdate>;
+  typename Psj::Config psj_config;
+  psj_config.job.num_reducers = config.num_reducers;
+  psj_config.local.max_local_iterations = config.max_local_iterations;
+  psj_config.local.lcombine = [dims](const KmUpdate& a, const KmUpdate& b) {
+    KmUpdate merged = a;
+    for (uint32_t d = 0; d < dims; ++d) merged.sum[d] += b.sum[d];
+    merged.count += b.count;
+    return merged;
+  };
+  psj_config.local.on_iteration_start =
+      [&](const core::LocalState<uint32_t, KmUpdate>& state) {
+        for (uint32_t c = 0; c < k; ++c) {
+          auto it = state.find(c);
+          if (it == state.end()) continue;
+          std::copy(it->second.sum.begin(), it->second.sum.end(),
+                    centroid_cache.begin() + static_cast<size_t>(c) * dims);
+        }
+      };
+  psj_config.gmap_time_scale = config.gmap_time_scale;
+  Psj psj(cluster, psj_config);
+
+  psj.set_partition_data(
+      [&](uint32_t p) { return std::span<const uint32_t>(parts[p]); });
+  psj.set_init_state([&](uint32_t) {
+    core::LocalState<uint32_t, KmUpdate> state;
+    state.reserve(k * 2);
+    for (uint32_t c = 0; c < k; ++c) {
+      KmUpdate entry;
+      entry.sum.assign(result.centroids.begin() + static_cast<size_t>(c) * dims,
+                       result.centroids.begin() + static_cast<size_t>(c + 1) * dims);
+      entry.count = 0;
+      state.emplace(c, std::move(entry));
+    }
+    return state;
+  });
+  psj.set_lmap([&](const uint32_t& point_index,
+                   const core::LocalState<uint32_t, KmUpdate>&,
+                   core::LocalIntermediate<uint32_t, KmUpdate>& out) {
+    const auto point = data.Point(point_index);
+    const uint32_t c = NearestCentroid(point, centroid_cache, k, dims);
+    KmUpdate update;
+    update.sum.assign(point.begin(), point.end());
+    update.count = 1;
+    out.AddOps(AssignOps(k, dims) + dims);
+    out.EmitLocalIntermediate(c, std::move(update));
+  });
+  psj.set_lreduce([dims](const uint32_t& c, const std::vector<KmUpdate>& values,
+                         const core::LocalState<uint32_t, KmUpdate>&,
+                         core::LocalReduceContext<uint32_t, KmUpdate>& ctx) {
+    KmUpdate total;
+    total.sum.assign(dims, 0.0);
+    for (const KmUpdate& u : values) {
+      for (uint32_t d = 0; d < dims; ++d) total.sum[d] += u.sum[d];
+      total.count += u.count;
+    }
+    ctx.AddOps(values.size() * dims);
+    if (total.count > 0) {
+      for (uint32_t d = 0; d < dims; ++d) {
+        total.sum[d] /= static_cast<double>(total.count);
+      }
+      ctx.EmitLocal(c, std::move(total));
+    }
+  });
+  psj.set_local_convergence(
+      [&](const core::LocalState<uint32_t, KmUpdate>& prev,
+          const core::LocalState<uint32_t, KmUpdate>& next, uint32_t) {
+        double movement = 0.0;
+        for (const auto& [c, entry] : next) {
+          auto it = prev.find(c);
+          if (it == prev.end()) return false;
+          double dist = 0.0;
+          for (uint32_t d = 0; d < dims; ++d) {
+            const double diff = entry.sum[d] - it->second.sum[d];
+            dist += diff * diff;
+          }
+          movement = std::max(movement, std::sqrt(dist));
+        }
+        return movement < config.threshold;
+      });
+  // gmap's final emission: the hashtable contents — (input-centroid id,
+  // locally updated centroid + count), the paper's default (no set_gemit).
+  psj.set_greduce([dims](const uint32_t& c, const std::vector<KmUpdate>& updates,
+                         mr::ReduceContext<uint32_t, KmUpdate>& ctx) {
+    KmUpdate total;
+    total.sum.assign(dims, 0.0);
+    uint64_t weight = 0;
+    for (const KmUpdate& u : updates) {
+      for (uint32_t d = 0; d < dims; ++d) {
+        total.sum[d] += u.sum[d] * static_cast<double>(u.count);
+      }
+      weight += u.count;
+    }
+    ctx.AddOps(updates.size() * dims);
+    if (weight > 0) {
+      for (uint32_t d = 0; d < dims; ++d) {
+        total.sum[d] /= static_cast<double>(weight);
+      }
+      total.count = weight;
+      ctx.Emit(c, total);
+    }
+  });
+
+  double best_movement = std::numeric_limits<double>::infinity();
+  uint32_t rounds_since_improvement = 0;
+
+  for (uint32_t round = 0; round < config.max_global_iterations; ++round) {
+    // Repartition the points every few iterations (paper: "the input points
+    // need to be partitioned differently across global maps so as to avoid
+    // the algorithm's move towards local optima").
+    if (config.reshuffle_every > 0 && round > 0 &&
+        round % config.reshuffle_every == 0) {
+      shuffle_rng.Shuffle(order);
+      parts = SplitPoints(order, config.num_partitions);
+    }
+
+    psj.mutable_config().job.name = config.job_prefix + "-e" + std::to_string(round);
+    psj.mutable_config().job.output_path = prefix + "/it" + std::to_string(round);
+
+    std::vector<mr::SplitDesc> splits = base_splits;
+    for (size_t p = 0; p < splits.size(); ++p) {
+      splits[p].input_bytes = image_bytes[p] + centroid_bytes;
+    }
+
+    auto out = psj.RunGlobalIteration(std::move(splits));
+    std::vector<double> next = result.centroids;
+    for (const auto& [c, update] : out.records) {
+      for (uint32_t d = 0; d < dims; ++d) {
+        next[static_cast<size_t>(c) * dims + d] = update.sum[d];
+      }
+    }
+    const double movement = Movement(result.centroids, next, k, dims);
+    result.centroids = std::move(next);
+
+    core::RoundTrace trace;
+    trace.round = round;
+    trace.start_seconds = out.raw.stats.submit_time;
+    trace.end_seconds = out.raw.stats.finish_time;
+    trace.ops = out.raw.stats.total_ops;
+    trace.shuffle_bytes = out.raw.stats.shuffle_bytes;
+    trace.map_output_bytes = out.raw.stats.map_output_bytes;
+    trace.local_iterations = psj.last_local_iterations();
+    trace.residual = movement;
+    result.trace.AddRound(trace);
+
+    if (movement < config.threshold) {
+      result.converged = true;
+      break;
+    }
+    // Oscillation detection (paper: "the convergence condition includes
+    // detection of oscillations along with the Euclidean metric").
+    if (movement < best_movement * 0.999) {
+      best_movement = movement;
+      rounds_since_improvement = 0;
+    } else if (++rounds_since_improvement >= config.oscillation_window) {
+      result.converged = true;
+      result.stopped_on_oscillation = true;
+      break;
+    }
+  }
+  result.sse = SumSquaredError(data, result.centroids, k);
+  return result;
+}
+
+}  // namespace asyncmr::apps

@@ -1,0 +1,63 @@
+// K-Means clustering on iterative MapReduce (paper Section V.D).
+//
+// General K-Means is the Mahout formulation the paper baselines against: map
+// assigns each point to its nearest centroid, reduce recomputes centroids as
+// the means of their assigned points; iterate until the maximum centroid
+// movement (Euclidean) drops below a threshold delta.
+//
+// Eager K-Means follows the paper (and Yom-Tov & Slonim's pairwise scheme it
+// cites): each gmap clusters its own subset of points with local Lloyd
+// iterations (local MapReduce to convergence), then emits
+// (input-centroid, updated-centroid + count); the global reduce combines the
+// per-partition updated centroids (count-weighted mean). Two refinements the
+// paper calls out are implemented: the point-to-partition assignment is
+// reshuffled every few global iterations to avoid local optima, and the
+// convergence test detects oscillations in addition to the movement
+// threshold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/dataset.hpp"
+#include "cluster/cluster.hpp"
+#include "core/metrics.hpp"
+
+namespace asyncmr::apps {
+
+struct KMeansConfig {
+  uint32_t k = 16;
+  /// Convergence threshold on the max centroid movement — the paper's
+  /// "Threshold (Delta)" axis in Figures 8-9 (0.1 .. 0.0001).
+  double threshold = 0.001;
+  uint32_t max_global_iterations = 100;
+  uint32_t num_partitions = 52;        // the paper's fixed partition count
+  uint32_t max_local_iterations = 64;  // eager: per-gmap Lloyd cap
+  uint32_t reshuffle_every = 5;        // eager: repartition period (0 = never)
+  uint32_t oscillation_window = 4;     // eager: rounds without improvement
+  uint32_t num_reducers = 8;
+  double gmap_time_scale = 1.0;
+  uint64_t seed = 1234;                // initial centroids + reshuffles
+  std::string job_prefix = "km";
+};
+
+struct KMeansResult {
+  /// Row-major k x dims final centroids.
+  std::vector<double> centroids;
+  core::RunTrace trace;
+  bool converged = false;
+  bool stopped_on_oscillation = false;
+  double sse = 0.0;  // final clustering objective
+};
+
+/// Serial Lloyd iterations with the same convergence rule; quality oracle.
+KMeansResult SerialLloyd(const Dataset& data, const KMeansConfig& config);
+
+KMeansResult GeneralKMeans(cluster::SimCluster& cluster, const Dataset& data,
+                           const KMeansConfig& config);
+
+KMeansResult EagerKMeans(cluster::SimCluster& cluster, const Dataset& data,
+                         const KMeansConfig& config);
+
+}  // namespace asyncmr::apps

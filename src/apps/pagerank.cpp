@@ -1,0 +1,341 @@
+#include "apps/pagerank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/app_common.hpp"
+#include "core/partial_sync_job.hpp"
+#include "core/partition_io.hpp"
+#include "graph/graph_io.hpp"
+#include "mr/job.hpp"
+
+namespace asyncmr::apps {
+
+namespace {
+
+/// Approximate on-disk bytes per (vertex, rank) record in iteration outputs.
+constexpr uint64_t kRankRecordBytes = 12;
+
+/// Applies reduce output to the rank vector; returns the inf-norm change.
+double ApplyNewRanks(const std::vector<std::pair<uint32_t, double>>& records,
+                     std::vector<double>& ranks) {
+  double residual = 0.0;
+  for (const auto& [v, r] : records) {
+    residual = std::max(residual, std::abs(r - ranks[v]));
+    ranks[v] = r;
+  }
+  return residual;
+}
+
+/// Unique DFS namespace per run so repeated runs share a cluster.
+std::string UniquePrefix(cluster::SimCluster& cluster, const std::string& base) {
+  return "/" + base + "-" + std::to_string(cluster.dfs().stats().files_written);
+}
+
+struct StagedInput {
+  std::vector<mr::SplitDesc> splits;
+  std::vector<uint64_t> image_bytes;
+  std::string prefix;
+};
+
+StagedInput StageGraph(cluster::SimCluster& cluster, const graph::Digraph& g,
+                       const graph::Partitioning& partitioning,
+                       const std::string& job_prefix) {
+  StagedInput staged;
+  staged.prefix = UniquePrefix(cluster, job_prefix);
+  const auto images = graph::EncodeAllPartitionImages(g, partitioning);
+  staged.image_bytes.reserve(images.size());
+  for (const auto& img : images) staged.image_bytes.push_back(img.size());
+  staged.splits = core::StagePartitionFiles(cluster, staged.prefix + "/in", images);
+  return staged;
+}
+
+/// Per-round split refresh: adjacency image + current rank payload.
+std::vector<mr::SplitDesc> RoundSplits(const StagedInput& staged,
+                                       const std::vector<uint64_t>& part_sizes) {
+  std::vector<mr::SplitDesc> splits = staged.splits;
+  for (size_t p = 0; p < splits.size(); ++p) {
+    splits[p].input_bytes = staged.image_bytes[p] + kRankRecordBytes * part_sizes[p];
+  }
+  return splits;
+}
+
+}  // namespace
+
+std::vector<double> SerialPageRank(const graph::Digraph& g,
+                                   const PageRankConfig& config,
+                                   uint32_t* iterations_out) {
+  const uint32_t n = g.num_vertices();
+  std::vector<double> ranks(n, 1.0);
+  std::vector<double> sums(n, 0.0);
+  const double chi = config.damping;
+  uint32_t iter = 0;
+  const uint32_t cap = config.max_global_iterations * 10;
+  for (; iter < cap; ++iter) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (graph::VertexId u = 0; u < n; ++u) {
+      const uint32_t deg = g.OutDegree(u);
+      if (deg == 0) continue;
+      const double c = ranks[u] / deg;
+      for (graph::VertexId t : g.OutNeighbors(u)) sums[t] += c;
+    }
+    double residual = 0.0;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      const double next = (1.0 - chi) + chi * sums[v];
+      residual = std::max(residual, std::abs(next - ranks[v]));
+      ranks[v] = next;
+    }
+    if (residual < config.tolerance) {
+      ++iter;
+      break;
+    }
+  }
+  if (iterations_out != nullptr) *iterations_out = iter;
+  return ranks;
+}
+
+// ---------------------------------------------------------------------------
+// General PageRank: one contribution sweep per MapReduce job.
+// ---------------------------------------------------------------------------
+
+PageRankResult GeneralPageRank(cluster::SimCluster& cluster, const graph::Digraph& g,
+                               const graph::Partitioning& partitioning,
+                               const PageRankConfig& config) {
+  const uint32_t n = g.num_vertices();
+  const double chi = config.damping;
+  const auto members = partitioning.Members();
+  const auto part_sizes = partitioning.Sizes();
+  StagedInput staged = StageGraph(cluster, g, partitioning, config.job_prefix + "-gen");
+
+  PageRankResult result;
+  result.ranks.assign(n, 1.0);
+  result.trace = core::RunTrace("general-pagerank");
+  DenseAccumulator scratch(n);
+
+  for (uint32_t round = 0; round < config.max_global_iterations; ++round) {
+    mr::JobConfig job_config;
+    job_config.name = config.job_prefix + "-g" + std::to_string(round);
+    job_config.num_reducers = config.num_reducers;
+    job_config.output_path = staged.prefix + "/it" + std::to_string(round);
+
+    mr::Job<uint32_t, double, uint32_t, double> job(cluster, job_config);
+    job.set_mapper([&](uint32_t p, mr::MapContext<uint32_t, double>& ctx) {
+      uint64_t edge_ops = 0;
+      for (graph::VertexId u : members[p]) {
+        const uint32_t deg = g.OutDegree(u);
+        if (deg > 0) {
+          const double c = result.ranks[u] / deg;
+          for (graph::VertexId t : g.OutNeighbors(u)) scratch.Add(t, c);
+          edge_ops += deg;
+        }
+        scratch.Add(u, 0.0);  // keepalive: every vertex must reach greduce
+      }
+      ctx.AddOps(edge_ops + members[p].size());
+      for (const auto& [t, val] : scratch.DrainSorted()) ctx.Emit(t, val);
+    });
+    job.set_reducer([&](const uint32_t& v, const std::vector<double>& contribs,
+                        mr::ReduceContext<uint32_t, double>& ctx) {
+      double sum = 0.0;
+      for (double c : contribs) sum += c;
+      ctx.AddOps(contribs.size());
+      ctx.Emit(v, (1.0 - chi) + chi * sum);
+    });
+
+    auto out = job.RunBlocking(RoundSplits(staged, part_sizes));
+    const double residual = ApplyNewRanks(out.records, result.ranks);
+
+    core::RoundTrace trace;
+    trace.round = round;
+    trace.start_seconds = out.raw.stats.submit_time;
+    trace.end_seconds = out.raw.stats.finish_time;
+    trace.ops = out.raw.stats.total_ops;
+    trace.shuffle_bytes = out.raw.stats.shuffle_bytes;
+    trace.map_output_bytes = out.raw.stats.map_output_bytes;
+    trace.local_iterations = 0;
+    trace.residual = residual;
+    result.trace.AddRound(trace);
+
+    if (residual < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Eager PageRank: gmap = local MapReduce to convergence (PartialSyncJob).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One partition element: a vertex with its frozen external contribution and
+/// the partition-internal slice of its adjacency.
+struct EagerVertex {
+  graph::VertexId v = 0;
+  double inv_outdeg = 0.0;
+  double ext = 0.0;  // refreshed every global round
+  const graph::VertexId* internal_targets = nullptr;
+  uint32_t internal_count = 0;
+};
+
+}  // namespace
+
+PageRankResult EagerPageRank(cluster::SimCluster& cluster, const graph::Digraph& g,
+                             const graph::Partitioning& partitioning,
+                             const PageRankConfig& config) {
+  const uint32_t n = g.num_vertices();
+  const uint32_t num_parts = partitioning.num_parts;
+  const double chi = config.damping;
+  const auto members = partitioning.Members();
+  const auto part_sizes = partitioning.Sizes();
+  StagedInput staged = StageGraph(cluster, g, partitioning, config.job_prefix + "-eag");
+
+  // Build per-partition vertex records with internal adjacency slices.
+  std::vector<std::vector<graph::VertexId>> internal_flat(num_parts);
+  std::vector<std::vector<EagerVertex>> records(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    // First pass sizes the flat array so pointers below stay stable.
+    uint64_t internal_edges = 0;
+    for (graph::VertexId u : members[p]) {
+      for (graph::VertexId t : g.OutNeighbors(u)) {
+        if (partitioning.part_of[t] == p) ++internal_edges;
+      }
+    }
+    internal_flat[p].reserve(internal_edges);
+    records[p].reserve(members[p].size());
+    for (graph::VertexId u : members[p]) {
+      EagerVertex rec;
+      rec.v = u;
+      const uint32_t deg = g.OutDegree(u);
+      rec.inv_outdeg = deg > 0 ? 1.0 / deg : 0.0;
+      const size_t start = internal_flat[p].size();
+      for (graph::VertexId t : g.OutNeighbors(u)) {
+        if (partitioning.part_of[t] == p) internal_flat[p].push_back(t);
+      }
+      rec.internal_targets = internal_flat[p].data() + start;
+      rec.internal_count = static_cast<uint32_t>(internal_flat[p].size() - start);
+      records[p].push_back(rec);
+    }
+  }
+
+  PageRankResult result;
+  result.ranks.assign(n, 1.0);
+  result.trace = core::RunTrace("eager-pagerank");
+  DenseAccumulator scratch(n);
+  std::vector<double> ext_buf(n, 0.0);
+
+  // --- the paper's four-function API ----------------------------------------
+  using Psj = core::PartialSyncJob<EagerVertex, uint32_t, double>;
+  typename Psj::Config psj_config;
+  psj_config.job.num_reducers = config.num_reducers;
+  psj_config.local.max_local_iterations = config.max_local_iterations;
+  psj_config.local.lcombine = [](const double& a, const double& b) { return a + b; };
+  psj_config.gmap_time_scale = config.gmap_time_scale;
+  Psj psj(cluster, psj_config);
+
+  psj.set_partition_data([&](uint32_t p) {
+    return std::span<const EagerVertex>(records[p]);
+  });
+  psj.set_init_state([&](uint32_t p) {
+    core::LocalState<uint32_t, double> state;
+    state.reserve(members[p].size() * 2);
+    for (graph::VertexId u : members[p]) state.emplace(u, result.ranks[u]);
+    return state;
+  });
+  psj.set_lmap([](const EagerVertex& x, const core::LocalState<uint32_t, double>& state,
+                  core::LocalIntermediate<uint32_t, double>& out) {
+    const double c = state.at(x.v) * x.inv_outdeg;
+    out.AddOps(2 + x.internal_count);
+    for (uint32_t i = 0; i < x.internal_count; ++i) {
+      out.EmitLocalIntermediate(x.internal_targets[i], c);
+    }
+    // External contributions are frozen for the round; emitting them keeps
+    // every member key live in lreduce.
+    out.EmitLocalIntermediate(x.v, x.ext);
+  });
+  psj.set_lreduce([chi](const uint32_t& v, const std::vector<double>& values,
+                        const core::LocalState<uint32_t, double>&,
+                        core::LocalReduceContext<uint32_t, double>& ctx) {
+    double sum = 0.0;
+    for (double c : values) sum += c;
+    ctx.AddOps(values.size());
+    ctx.EmitLocal(v, (1.0 - chi) + chi * sum);
+  });
+  psj.set_local_convergence([&config](const core::LocalState<uint32_t, double>& prev,
+                                      const core::LocalState<uint32_t, double>& next,
+                                      uint32_t) {
+    for (const auto& [k, v] : next) {
+      auto it = prev.find(k);
+      if (it == prev.end() || std::abs(v - it->second) >= config.local_tolerance) {
+        return false;
+      }
+    }
+    return true;
+  });
+  psj.set_gemit([&](uint32_t p, const core::LocalState<uint32_t, double>& state,
+                    mr::MapContext<uint32_t, double>& ctx) {
+    uint64_t edge_ops = 0;
+    for (const EagerVertex& x : records[p]) {
+      const double c = state.at(x.v) * x.inv_outdeg;
+      if (x.inv_outdeg > 0.0) {
+        for (graph::VertexId t : g.OutNeighbors(x.v)) scratch.Add(t, c);
+        edge_ops += g.OutDegree(x.v);
+      }
+      scratch.Add(x.v, 0.0);  // keepalive
+    }
+    ctx.AddOps(edge_ops + records[p].size());
+    for (const auto& [t, val] : scratch.DrainSorted()) ctx.Emit(t, val);
+  });
+  psj.set_greduce([chi](const uint32_t& v, const std::vector<double>& contribs,
+                        mr::ReduceContext<uint32_t, double>& ctx) {
+    double sum = 0.0;
+    for (double c : contribs) sum += c;
+    ctx.AddOps(contribs.size());
+    ctx.Emit(v, (1.0 - chi) + chi * sum);
+  });
+
+  for (uint32_t round = 0; round < config.max_global_iterations; ++round) {
+    // Refresh frozen external contributions from the current global ranks.
+    // (In Hadoop this data arrives as part of the gmap's input file; its
+    // computation cost is already charged by gemit/greduce of the previous
+    // round, so no extra virtual ops here.)
+    std::fill(ext_buf.begin(), ext_buf.end(), 0.0);
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      for (const EagerVertex& x : records[p]) {
+        if (x.inv_outdeg == 0.0) continue;
+        const double c = result.ranks[x.v] * x.inv_outdeg;
+        for (graph::VertexId t : g.OutNeighbors(x.v)) {
+          if (partitioning.part_of[t] != p) ext_buf[t] += c;
+        }
+      }
+    }
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      for (EagerVertex& x : records[p]) x.ext = ext_buf[x.v];
+    }
+
+    psj.mutable_config().job.name = config.job_prefix + "-e" + std::to_string(round);
+    psj.mutable_config().job.output_path = staged.prefix + "/it" + std::to_string(round);
+    auto out = psj.RunGlobalIteration(RoundSplits(staged, part_sizes));
+    const double residual = ApplyNewRanks(out.records, result.ranks);
+
+    core::RoundTrace trace;
+    trace.round = round;
+    trace.start_seconds = out.raw.stats.submit_time;
+    trace.end_seconds = out.raw.stats.finish_time;
+    trace.ops = out.raw.stats.total_ops;
+    trace.shuffle_bytes = out.raw.stats.shuffle_bytes;
+    trace.map_output_bytes = out.raw.stats.map_output_bytes;
+    trace.local_iterations = psj.last_local_iterations();
+    trace.residual = residual;
+    result.trace.AddRound(trace);
+
+    if (residual < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace asyncmr::apps

@@ -1,0 +1,344 @@
+#include "apps/sssp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "apps/app_common.hpp"
+#include "core/partial_sync_job.hpp"
+#include "core/partition_io.hpp"
+#include "graph/graph_io.hpp"
+#include "mr/job.hpp"
+
+namespace asyncmr::apps {
+
+namespace {
+
+constexpr uint64_t kDistRecordBytes = 12;
+constexpr double kEps = 1e-12;
+
+double EdgeWeight(std::span<const double> weights, size_t i) {
+  return weights.empty() ? 1.0 : weights[i];
+}
+
+std::string UniquePrefix(cluster::SimCluster& cluster, const std::string& base) {
+  return "/" + base + "-" + std::to_string(cluster.dfs().stats().files_written);
+}
+
+/// Applies min-reduced candidates; returns how many distances improved.
+uint64_t ApplyDistances(const std::vector<std::pair<uint32_t, double>>& records,
+                        std::vector<double>& dist) {
+  uint64_t changed = 0;
+  for (const auto& [v, d] : records) {
+    if (d < dist[v] - kEps) {
+      dist[v] = d;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+std::vector<double> SerialDijkstra(const graph::Digraph& g, graph::VertexId source) {
+  AMR_CHECK(source < g.num_vertices());
+  std::vector<double> dist(g.num_vertices(), kInfDistance);
+  using Item = std::pair<double, graph::VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u] + kEps) continue;  // stale entry
+    const auto neighbors = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const double nd = d + EdgeWeight(weights, i);
+      if (nd < dist[neighbors[i]] - kEps) {
+        dist[neighbors[i]] = nd;
+        heap.push({nd, neighbors[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+// ---------------------------------------------------------------------------
+// General SSSP: one Bellman-Ford relaxation sweep per MapReduce job.
+// ---------------------------------------------------------------------------
+
+SsspResult GeneralSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
+                       const graph::Partitioning& partitioning,
+                       const SsspConfig& config) {
+  const uint32_t n = g.num_vertices();
+  const auto members = partitioning.Members();
+  const auto part_sizes = partitioning.Sizes();
+  const std::string prefix = UniquePrefix(cluster, config.job_prefix + "-gen");
+  const auto images = graph::EncodeAllPartitionImages(g, partitioning);
+  std::vector<uint64_t> image_bytes;
+  for (const auto& img : images) image_bytes.push_back(img.size());
+  auto base_splits = core::StagePartitionFiles(cluster, prefix + "/in", images);
+
+  SsspResult result;
+  if (config.initial_distances.empty()) {
+    result.distances.assign(n, kInfDistance);
+    result.distances[config.source] = 0.0;
+  } else {
+    AMR_CHECK_EQ(config.initial_distances.size(), n);
+    result.distances = config.initial_distances;
+  }
+  result.trace = core::RunTrace("general-sssp");
+  DenseAccumulator scratch(n);
+
+  for (uint32_t round = 0; round < config.max_global_iterations; ++round) {
+    mr::JobConfig job_config;
+    job_config.name = config.job_prefix + "-g" + std::to_string(round);
+    job_config.num_reducers = config.num_reducers;
+    job_config.output_path = prefix + "/it" + std::to_string(round);
+
+    std::vector<mr::SplitDesc> splits = base_splits;
+    for (size_t p = 0; p < splits.size(); ++p) {
+      splits[p].input_bytes = image_bytes[p] + kDistRecordBytes * part_sizes[p];
+    }
+
+    mr::Job<uint32_t, double, uint32_t, double> job(cluster, job_config);
+    job.set_mapper([&](uint32_t p, mr::MapContext<uint32_t, double>& ctx) {
+      uint64_t ops = 0;
+      for (graph::VertexId u : members[p]) {
+        const double d = result.distances[u];
+        if (d == kInfDistance) continue;
+        const auto neighbors = g.OutNeighbors(u);
+        const auto weights = g.OutWeights(u);
+        for (size_t i = 0; i < neighbors.size(); ++i) {
+          scratch.Min(neighbors[i], d + EdgeWeight(weights, i));
+        }
+        scratch.Min(u, d);  // keep the current distance in play
+        ops += neighbors.size() + 1;
+      }
+      ctx.AddOps(ops);
+      for (const auto& [t, val] : scratch.DrainSorted()) ctx.Emit(t, val);
+    });
+    job.set_reducer([](const uint32_t& v, const std::vector<double>& candidates,
+                       mr::ReduceContext<uint32_t, double>& ctx) {
+      double best = kInfDistance;
+      for (double c : candidates) best = std::min(best, c);
+      ctx.AddOps(candidates.size());
+      ctx.Emit(v, best);
+    });
+
+    auto out = job.RunBlocking(std::move(splits));
+    const uint64_t changed = ApplyDistances(out.records, result.distances);
+
+    core::RoundTrace trace;
+    trace.round = round;
+    trace.start_seconds = out.raw.stats.submit_time;
+    trace.end_seconds = out.raw.stats.finish_time;
+    trace.ops = out.raw.stats.total_ops;
+    trace.shuffle_bytes = out.raw.stats.shuffle_bytes;
+    trace.map_output_bytes = out.raw.stats.map_output_bytes;
+    trace.residual = static_cast<double>(changed);
+    result.trace.AddRound(trace);
+
+    if (changed == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Eager SSSP: gmap relaxes within its partition to local convergence.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SsspVertex {
+  graph::VertexId v = 0;
+  double ext = kInfDistance;  // best external candidate, frozen per round
+  const std::pair<graph::VertexId, double>* internal_edges = nullptr;
+  uint32_t internal_count = 0;
+};
+
+}  // namespace
+
+SsspResult EagerSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
+                     const graph::Partitioning& partitioning,
+                     const SsspConfig& config) {
+  const uint32_t n = g.num_vertices();
+  const uint32_t num_parts = partitioning.num_parts;
+  const auto members = partitioning.Members();
+  const auto part_sizes = partitioning.Sizes();
+  const std::string prefix = UniquePrefix(cluster, config.job_prefix + "-eag");
+  const auto images = graph::EncodeAllPartitionImages(g, partitioning);
+  std::vector<uint64_t> image_bytes;
+  for (const auto& img : images) image_bytes.push_back(img.size());
+  auto base_splits = core::StagePartitionFiles(cluster, prefix + "/in", images);
+
+  // Per-partition vertex records with internal weighted adjacency slices.
+  std::vector<std::vector<std::pair<graph::VertexId, double>>> internal_flat(num_parts);
+  std::vector<std::vector<SsspVertex>> records(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    uint64_t internal_edges = 0;
+    for (graph::VertexId u : members[p]) {
+      for (graph::VertexId t : g.OutNeighbors(u)) {
+        if (partitioning.part_of[t] == p) ++internal_edges;
+      }
+    }
+    internal_flat[p].reserve(internal_edges);
+    records[p].reserve(members[p].size());
+    for (graph::VertexId u : members[p]) {
+      SsspVertex rec;
+      rec.v = u;
+      const auto neighbors = g.OutNeighbors(u);
+      const auto weights = g.OutWeights(u);
+      const size_t start = internal_flat[p].size();
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        if (partitioning.part_of[neighbors[i]] == p) {
+          internal_flat[p].emplace_back(neighbors[i], EdgeWeight(weights, i));
+        }
+      }
+      rec.internal_edges = internal_flat[p].data() + start;
+      rec.internal_count = static_cast<uint32_t>(internal_flat[p].size() - start);
+      records[p].push_back(rec);
+    }
+  }
+
+  SsspResult result;
+  if (config.initial_distances.empty()) {
+    result.distances.assign(n, kInfDistance);
+    result.distances[config.source] = 0.0;
+  } else {
+    AMR_CHECK_EQ(config.initial_distances.size(), n);
+    result.distances = config.initial_distances;
+  }
+  result.trace = core::RunTrace("eager-sssp");
+  DenseAccumulator scratch(n);
+  std::vector<double> ext_buf(n, kInfDistance);
+
+  using Psj = core::PartialSyncJob<SsspVertex, uint32_t, double>;
+  typename Psj::Config psj_config;
+  psj_config.job.num_reducers = config.num_reducers;
+  psj_config.local.max_local_iterations = config.max_local_iterations;
+  psj_config.local.lcombine = [](const double& a, const double& b) {
+    return std::min(a, b);
+  };
+  psj_config.gmap_time_scale = config.gmap_time_scale;
+  Psj psj(cluster, psj_config);
+
+  psj.set_partition_data(
+      [&](uint32_t p) { return std::span<const SsspVertex>(records[p]); });
+  psj.set_init_state([&](uint32_t p) {
+    core::LocalState<uint32_t, double> state;
+    state.reserve(members[p].size() * 2);
+    for (graph::VertexId u : members[p]) state.emplace(u, result.distances[u]);
+    return state;
+  });
+  psj.set_lmap([](const SsspVertex& x, const core::LocalState<uint32_t, double>& state,
+                  core::LocalIntermediate<uint32_t, double>& out) {
+    const double d = state.at(x.v);
+    out.AddOps(1 + x.internal_count);
+    if (d != kInfDistance) {
+      for (uint32_t i = 0; i < x.internal_count; ++i) {
+        out.EmitLocalIntermediate(x.internal_edges[i].first,
+                                  d + x.internal_edges[i].second);
+      }
+      out.EmitLocalIntermediate(x.v, d);
+    }
+    if (x.ext != kInfDistance) out.EmitLocalIntermediate(x.v, x.ext);
+  });
+  psj.set_lreduce([](const uint32_t& v, const std::vector<double>& values,
+                     const core::LocalState<uint32_t, double>&,
+                     core::LocalReduceContext<uint32_t, double>& ctx) {
+    double best = kInfDistance;
+    for (double c : values) best = std::min(best, c);
+    ctx.AddOps(values.size());
+    ctx.EmitLocal(v, best);
+  });
+  psj.set_local_convergence([](const core::LocalState<uint32_t, double>& prev,
+                               const core::LocalState<uint32_t, double>& next,
+                               uint32_t) {
+    for (const auto& [k, v] : next) {
+      auto it = prev.find(k);
+      if (it == prev.end() || std::abs(v - it->second) > kEps) return false;
+    }
+    return true;
+  });
+  psj.set_gemit([&](uint32_t p, const core::LocalState<uint32_t, double>& state,
+                    mr::MapContext<uint32_t, double>& ctx) {
+    uint64_t ops = 0;
+    for (const SsspVertex& x : records[p]) {
+      const double d = state.at(x.v);
+      if (d == kInfDistance) continue;
+      const auto neighbors = g.OutNeighbors(x.v);
+      const auto weights = g.OutWeights(x.v);
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        scratch.Min(neighbors[i], d + EdgeWeight(weights, i));
+      }
+      scratch.Min(x.v, d);
+      ops += neighbors.size() + 1;
+    }
+    ctx.AddOps(ops);
+    for (const auto& [t, val] : scratch.DrainSorted()) ctx.Emit(t, val);
+  });
+  psj.set_greduce([](const uint32_t& v, const std::vector<double>& candidates,
+                     mr::ReduceContext<uint32_t, double>& ctx) {
+    double best = kInfDistance;
+    for (double c : candidates) best = std::min(best, c);
+    ctx.AddOps(candidates.size());
+    ctx.Emit(v, best);
+  });
+
+  for (uint32_t round = 0; round < config.max_global_iterations; ++round) {
+    // Freeze external candidates from current global distances.
+    std::fill(ext_buf.begin(), ext_buf.end(), kInfDistance);
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      for (const SsspVertex& x : records[p]) {
+        const double d = result.distances[x.v];
+        if (d == kInfDistance) continue;
+        const auto neighbors = g.OutNeighbors(x.v);
+        const auto weights = g.OutWeights(x.v);
+        for (size_t i = 0; i < neighbors.size(); ++i) {
+          const graph::VertexId t = neighbors[i];
+          if (partitioning.part_of[t] != p) {
+            ext_buf[t] = std::min(ext_buf[t], d + EdgeWeight(weights, i));
+          }
+        }
+      }
+    }
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      for (SsspVertex& x : records[p]) x.ext = ext_buf[x.v];
+    }
+
+    psj.mutable_config().job.name = config.job_prefix + "-e" + std::to_string(round);
+    psj.mutable_config().job.output_path = prefix + "/it" + std::to_string(round);
+
+    std::vector<mr::SplitDesc> splits = base_splits;
+    for (size_t p = 0; p < splits.size(); ++p) {
+      splits[p].input_bytes = image_bytes[p] + kDistRecordBytes * part_sizes[p];
+    }
+
+    auto out = psj.RunGlobalIteration(std::move(splits));
+    const uint64_t changed = ApplyDistances(out.records, result.distances);
+
+    core::RoundTrace trace;
+    trace.round = round;
+    trace.start_seconds = out.raw.stats.submit_time;
+    trace.end_seconds = out.raw.stats.finish_time;
+    trace.ops = out.raw.stats.total_ops;
+    trace.shuffle_bytes = out.raw.stats.shuffle_bytes;
+    trace.map_output_bytes = out.raw.stats.map_output_bytes;
+    trace.local_iterations = psj.last_local_iterations();
+    trace.residual = static_cast<double>(changed);
+    result.trace.AddRound(trace);
+
+    if (changed == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace asyncmr::apps

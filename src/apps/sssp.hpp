@@ -1,0 +1,53 @@
+// Single-Source Shortest Path on iterative MapReduce (paper Section V.C).
+//
+// Distances start at 0 for the source and infinity elsewhere; each iteration
+// relaxes edges (Bellman-Ford in MapReduce form). The General implementation
+// performs one relaxation sweep per MapReduce job; the Eager implementation's
+// gmap relaxes *within* its partition to local convergence (all paths through
+// the sub-graph considered, exactly the paper's description of asynchronous
+// Dijkstra) before the global synchronization accounts for cross-partition
+// edges. Both converge to Dijkstra's distances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/metrics.hpp"
+#include "graph/partition.hpp"
+
+namespace asyncmr::apps {
+
+struct SsspConfig {
+  graph::VertexId source = 0;
+  uint32_t max_global_iterations = 2000;
+  uint32_t max_local_iterations = 4096;  // eager: per-gmap cap
+  uint32_t num_reducers = 16;
+  double gmap_time_scale = 1.0;
+  std::string job_prefix = "sssp";
+  /// Optional custom initialization (size n). Overrides `source` when
+  /// non-empty. Connected Components reuses the SSSP engine this way:
+  /// zero-weight edges + initial_distances[v] = v computes min-label
+  /// propagation (the paper's Section V.E application class).
+  std::vector<double> initial_distances;
+};
+
+struct SsspResult {
+  std::vector<double> distances;  // kInfDistance when unreachable
+  core::RunTrace trace;
+  bool converged = false;
+};
+
+/// Dijkstra with a binary heap; the correctness oracle.
+std::vector<double> SerialDijkstra(const graph::Digraph& g, graph::VertexId source);
+
+SsspResult GeneralSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
+                       const graph::Partitioning& partitioning,
+                       const SsspConfig& config);
+
+SsspResult EagerSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
+                     const graph::Partitioning& partitioning,
+                     const SsspConfig& config);
+
+}  // namespace asyncmr::apps

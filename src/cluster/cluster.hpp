@@ -1,0 +1,79 @@
+// SimCluster: a simulated Hadoop-style cluster executing waves of tasks.
+//
+// Execution model: real user code runs exactly once per task on the host
+// (results are genuine); *virtual* time is accounted by the DES from the
+// cost model — task startup, input locality (local disk vs network fetch),
+// compute ops at the node's speed with straggler noise, output spill — plus
+// slot contention at heartbeat granularity, transient task failures with
+// deterministic-replay retries, and optional speculative execution.
+//
+// Map input fetches use a closed-form estimate (locality scheduling makes
+// them rare and small); shuffle and DFS traffic — the global-synchronization
+// costs the paper targets — go through the fluid-flow Network and the
+// replicated Dfs as real byte-counted flows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/scheduler.hpp"
+#include "cluster/spec.hpp"
+#include "cluster/task.hpp"
+#include "common/rng.hpp"
+#include "dfs/dfs.hpp"
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "sim/event_queue.hpp"
+
+namespace asyncmr::cluster {
+
+class SimCluster {
+ public:
+  explicit SimCluster(ClusterSpec spec);
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  const ClusterSpec& spec() const { return spec_; }
+  sim::EventQueue& queue() { return queue_; }
+  net::Network& network() { return network_; }
+  net::RpcSystem& rpc() { return rpc_; }
+  dfs::Dfs& dfs() { return dfs_; }
+  Rng& rng() { return rng_; }
+  double now() const { return queue_.now(); }
+
+  using WaveCallback = std::function<void(WaveResult)>;
+
+  /// Schedules a wave of tasks on map or reduce slots. on_done fires in
+  /// virtual time once every task has completed successfully.
+  void RunWave(std::vector<TaskSpec> tasks, SlotType type, WaveCallback on_done);
+
+  /// Synchronous convenience: runs the wave and drains the event queue.
+  WaveResult RunWaveBlocking(std::vector<TaskSpec> tasks, SlotType type);
+
+  /// Drains all pending virtual-time events.
+  void RunUntilIdle() { queue_.RunUntilEmpty(); }
+
+  /// Free slots of a type on a node right now (visible for tests).
+  uint32_t free_slots(net::NodeId node, SlotType type) const;
+
+ private:
+  class WaveRunner;
+
+  uint32_t& slot_count(net::NodeId node, SlotType type);
+
+  ClusterSpec spec_;
+  sim::EventQueue queue_;
+  net::Network network_;
+  net::RpcSystem rpc_;
+  dfs::Dfs dfs_;
+  Rng rng_;
+  std::vector<uint32_t> free_map_slots_;     // per node
+  std::vector<uint32_t> free_reduce_slots_;  // per node
+  std::vector<std::shared_ptr<WaveRunner>> active_waves_;
+  friend class WaveRunner;
+};
+
+}  // namespace asyncmr::cluster

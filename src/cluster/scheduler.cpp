@@ -1,0 +1,46 @@
+#include "cluster/scheduler.hpp"
+
+#include <algorithm>
+
+namespace asyncmr::cluster {
+
+std::optional<uint32_t> LocalityScheduler::PickForNode(
+    net::NodeId node, const std::vector<TaskSpec>& specs) {
+  if (queue_.empty()) return std::nullopt;
+
+  auto has_replica_on = [&](uint32_t task, net::NodeId n) {
+    const auto& nodes = specs[task].data_nodes;
+    return std::find(nodes.begin(), nodes.end(), n) != nodes.end();
+  };
+  auto has_replica_in_rack = [&](uint32_t task) {
+    const auto& nodes = specs[task].data_nodes;
+    return std::any_of(nodes.begin(), nodes.end(),
+                       [&](net::NodeId n) { return topology_.SameRack(n, node); });
+  };
+
+  // Pass 1: node-local.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (has_replica_on(*it, node)) {
+      const uint32_t task = *it;
+      queue_.erase(it);
+      ++node_local_;
+      return task;
+    }
+  }
+  // Pass 2: rack-local.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (has_replica_in_rack(*it)) {
+      const uint32_t task = *it;
+      queue_.erase(it);
+      ++rack_local_;
+      return task;
+    }
+  }
+  // Pass 3: FIFO head (off-rack read).
+  const uint32_t task = queue_.front();
+  queue_.pop_front();
+  ++remote_;
+  return task;
+}
+
+}  // namespace asyncmr::cluster

@@ -1,0 +1,48 @@
+// Locality-aware FIFO task selection, mirroring Hadoop's default scheduler:
+// when a slot on node N frees up, prefer a queued task with a replica on N,
+// then one with a replica in N's rack, then the head of the queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cluster/task.hpp"
+#include "net/topology.hpp"
+
+namespace asyncmr::cluster {
+
+class LocalityScheduler {
+ public:
+  explicit LocalityScheduler(const net::Topology& topology) : topology_(topology) {}
+
+  /// Enqueues task indices in order.
+  void Enqueue(const std::vector<uint32_t>& task_indices) {
+    for (uint32_t t : task_indices) queue_.push_back(t);
+  }
+
+  void EnqueueFront(uint32_t task_index) { queue_.push_front(task_index); }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+  /// Picks the best task for a slot on `node`; removes it from the queue.
+  /// `specs` indexes the wave's TaskSpecs. Returns nullopt when empty.
+  std::optional<uint32_t> PickForNode(net::NodeId node,
+                                      const std::vector<TaskSpec>& specs);
+
+  /// Locality counters (for bench reporting / tests).
+  uint64_t node_local_picks() const { return node_local_; }
+  uint64_t rack_local_picks() const { return rack_local_; }
+  uint64_t remote_picks() const { return remote_; }
+
+ private:
+  const net::Topology& topology_;
+  std::deque<uint32_t> queue_;
+  uint64_t node_local_ = 0;
+  uint64_t rack_local_ = 0;
+  uint64_t remote_ = 0;
+};
+
+}  // namespace asyncmr::cluster

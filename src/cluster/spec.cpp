@@ -1,0 +1,52 @@
+#include "cluster/spec.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace asyncmr::cluster {
+
+ClusterSpec ClusterSpec::Ec2Large8() {
+  ClusterSpec spec;
+  spec.topology.num_nodes = 8;
+  spec.topology.nodes_per_rack = 4;  // EC2 placement: two racks of four
+  spec.nodes.assign(8, NodeSpec{});  // extra-large: 2 map + 2 reduce slots
+  return spec;
+}
+
+ClusterSpec ClusterSpec::Cloud(uint32_t num_nodes) {
+  ClusterSpec spec;
+  spec.topology.num_nodes = num_nodes;
+  spec.topology.nodes_per_rack = 20;
+  spec.nodes.assign(num_nodes, NodeSpec{});
+  // Shared multi-tenant cluster: heavier network contention and stragglers
+  // (the paper's Discussion notes "heavy network delays during copying and
+  // merging" at this scale).
+  spec.topology.inter_rack_bandwidth_factor = 0.25;
+  spec.straggler_prob = 0.12;
+  return spec;
+}
+
+uint32_t ClusterSpec::total_map_slots() const {
+  uint32_t total = 0;
+  for (const auto& n : nodes) total += n.map_slots;
+  return total;
+}
+
+uint32_t ClusterSpec::total_reduce_slots() const {
+  uint32_t total = 0;
+  for (const auto& n : nodes) total += n.reduce_slots;
+  return total;
+}
+
+std::string ClusterSpec::Describe() const {
+  AMR_CHECK_EQ(nodes.size(), topology.num_nodes);
+  std::ostringstream os;
+  os << topology.num_nodes << " nodes, " << total_map_slots() << " map + "
+     << total_reduce_slots() << " reduce slots, job overhead "
+     << job_submit_overhead_s << " s, task startup " << task_startup_s
+     << " s, heartbeat " << heartbeat_interval_s << " s";
+  return os.str();
+}
+
+}  // namespace asyncmr::cluster

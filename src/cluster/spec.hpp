@@ -1,0 +1,75 @@
+// ClusterSpec: the full description of a simulated MapReduce testbed — node
+// inventory, topology, DFS parameters, and the Hadoop-era cost-model
+// calibration. `Ec2Large8()` reproduces the paper's Table I configuration
+// (8 Amazon EC2 extra-large instances running Hadoop 0.20.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfs/dfs.hpp"
+#include "net/topology.hpp"
+
+namespace asyncmr::cluster {
+
+struct NodeSpec {
+  /// Relative compute speed (1.0 = baseline EC2 compute unit rate).
+  double speed_factor = 1.0;
+  uint32_t map_slots = 2;
+  uint32_t reduce_slots = 2;
+};
+
+struct ClusterSpec {
+  net::TopologyConfig topology;
+  dfs::DfsConfig dfs;
+  std::vector<NodeSpec> nodes;  // size must equal topology.num_nodes
+
+  // --- Hadoop-on-EC2 (2010) cost calibration -------------------------------
+  /// Fixed overhead per MapReduce job: submission, setup/cleanup tasks,
+  /// output commit. Dominates short iterations — the effect the paper fights.
+  double job_submit_overhead_s = 6.0;
+  /// Per task attempt: JVM spawn + localization.
+  double task_startup_s = 1.5;
+  /// Slots learn about work at heartbeat granularity.
+  double heartbeat_interval_s = 1.0;
+  /// Seconds per abstract compute operation at speed 1.0 (Java-era rate:
+  /// ~20 M graph-edge-ish ops/second per slot).
+  double per_op_seconds = 5.0e-8;
+  /// Local disk bandwidth for split reads and spills.
+  double local_disk_Bps = 80e6;
+
+  // --- stochastic behaviour -------------------------------------------------
+  /// Probability a task attempt is a straggler, and its slowdown range.
+  double straggler_prob = 0.05;
+  double straggler_slowdown_min = 1.5;
+  double straggler_slowdown_max = 3.0;
+  /// Ordinary run-to-run noise on compute speed (+/- fraction).
+  double speed_jitter = 0.1;
+
+  // --- fault injection -------------------------------------------------------
+  /// Probability an attempt fails partway (transient; Hadoop re-executes).
+  double task_failure_prob = 0.0;
+  uint32_t max_task_attempts = 4;
+
+  // --- speculative execution -------------------------------------------------
+  /// Re-launch a running task elsewhere once its elapsed time exceeds this
+  /// multiple of the median completed duration in the wave (0 = disabled).
+  double speculative_factor = 0.0;
+
+  uint64_t seed = 42;
+
+  /// The paper's testbed (Table I): 8 EC2 extra-large instances.
+  static ClusterSpec Ec2Large8();
+
+  /// A larger cloud deployment in the spirit of the CluE 460-node cluster the
+  /// paper's Discussion section scales to.
+  static ClusterSpec Cloud(uint32_t num_nodes);
+
+  uint32_t num_nodes() const { return topology.num_nodes; }
+  uint32_t total_map_slots() const;
+  uint32_t total_reduce_slots() const;
+  std::string Describe() const;
+};
+
+}  // namespace asyncmr::cluster

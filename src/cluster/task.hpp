@@ -1,0 +1,74 @@
+// Task descriptions and outcomes for wave execution on the simulated cluster.
+//
+// A TaskSpec carries the *real* work closure (executed exactly once on the
+// host; Hadoop's deterministic-replay re-execution is charged in virtual time
+// on retry without re-running the pure closure) plus the information the cost
+// model needs: input size and replica locations (locality), and output size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace asyncmr::cluster {
+
+enum class SlotType { kMap, kReduce };
+
+/// What a work closure reports back to the cost model.
+struct WorkReport {
+  /// Abstract compute operations consumed (drives compute time). This is the
+  /// *serial* operation count — the quantity the paper trades off against
+  /// synchronization cost.
+  uint64_t ops = 0;
+  /// Bytes the task materializes locally (map spill / reduce merge output).
+  uint64_t output_bytes = 0;
+  /// Compute-time multiplier. ops stays the true serial count; time_scale < 1
+  /// models intra-task parallelism (the paper's thread pool for lmap/lreduce
+  /// inside a gmap).
+  double time_scale = 1.0;
+};
+
+struct TaskSpec {
+  std::string name;
+  /// Nodes holding this task's input (DFS replica locations). Empty = input
+  /// is wherever the task runs (e.g. synthetic/in-memory).
+  std::vector<net::NodeId> data_nodes;
+  /// Bytes of input read before compute starts.
+  uint64_t input_bytes = 0;
+  /// Network fetch phase before compute: (source node, bytes) pairs pulled to
+  /// wherever the task runs, as real contending flows. This is how reduce
+  /// tasks model the Hadoop shuffle copy phase.
+  std::vector<std::pair<net::NodeId, uint64_t>> fetches;
+  /// The actual computation. Must be pure w.r.t. the simulation: re-running
+  /// it would produce identical results (MapReduce's fault-tolerance
+  /// contract).
+  std::function<WorkReport()> work;
+};
+
+struct TaskOutcome {
+  uint32_t task_index = 0;
+  net::NodeId node = 0;       // node of the winning attempt
+  uint32_t attempts = 0;      // total attempts (failures + speculative + winner)
+  double start_time = 0.0;    // first attempt start (virtual s)
+  double finish_time = 0.0;   // winning attempt completion (virtual s)
+  uint64_t ops = 0;
+  bool data_local = false;    // winning attempt read its input locally
+  bool speculative_won = false;
+};
+
+struct WaveResult {
+  double start_time = 0.0;
+  double finish_time = 0.0;
+  std::vector<TaskOutcome> tasks;
+  uint64_t total_ops = 0;
+  uint32_t failed_attempts = 0;
+  uint32_t speculative_attempts = 0;
+  uint32_t data_local_tasks = 0;
+
+  double makespan() const { return finish_time - start_time; }
+};
+
+}  // namespace asyncmr::cluster

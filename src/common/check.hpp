@@ -1,0 +1,64 @@
+// Lightweight invariant-checking macros used across asyncmr.
+//
+// AMR_CHECK is active in all build types: runtime invariants whose violation
+// indicates a programming error abort with a diagnostic. AMR_DCHECK compiles
+// away in NDEBUG builds and is meant for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace asyncmr::detail {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "[asyncmr FATAL] %s:%d: check failed: %s%s%s\n", file,
+               line, expr, msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Collects an optional streamed message for AMR_CHECK(cond) << "context".
+class CheckMessageSink {
+ public:
+  CheckMessageSink(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageSink() { CheckFailed(file_, line_, expr_, os_.str()); }
+
+  template <typename T>
+  CheckMessageSink& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream os_;
+};
+
+}  // namespace asyncmr::detail
+
+#define AMR_CHECK(cond)                                                  \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::asyncmr::detail::CheckMessageSink(__FILE__, __LINE__, #cond)
+
+#define AMR_CHECK_EQ(a, b) AMR_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define AMR_CHECK_NE(a, b) AMR_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define AMR_CHECK_LT(a, b) AMR_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define AMR_CHECK_LE(a, b) AMR_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define AMR_CHECK_GT(a, b) AMR_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define AMR_CHECK_GE(a, b) AMR_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b)
+
+#ifdef NDEBUG
+#define AMR_DCHECK(cond) \
+  if (true) {            \
+  } else                 \
+    ::asyncmr::detail::CheckMessageSink(__FILE__, __LINE__, #cond)
+#else
+#define AMR_DCHECK(cond) AMR_CHECK(cond)
+#endif

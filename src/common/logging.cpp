@@ -1,0 +1,57 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace asyncmr {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+void Logger::set_capture(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capture_ = on;
+  if (!on) captured_.clear();
+}
+
+std::vector<std::string> Logger::TakeCaptured() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.swap(captured_);
+  return out;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::string line = std::string("[") + LogLevelName(level) + "] " + message;
+  if (capture_) {
+    captured_.push_back(std::move(line));
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace asyncmr

@@ -1,0 +1,67 @@
+// Thread-safe leveled logger. Single global sink (stderr by default, or an
+// in-memory capture buffer for tests). Deliberately small: the simulator is
+// the product, the logger is plumbing.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace asyncmr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* LogLevelName(LogLevel level);
+
+class Logger {
+ public:
+  /// Process-wide singleton.
+  static Logger& Get();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// When capture is enabled, messages are stored instead of written to
+  /// stderr; tests use this to assert on log output.
+  void set_capture(bool on);
+  std::vector<std::string> TakeCaptured();
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+  bool capture_ = false;
+  std::vector<std::string> captured_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Get().Write(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace asyncmr
+
+#define AMR_LOG(lvl)                                                     \
+  if (static_cast<int>(lvl) < static_cast<int>(::asyncmr::Logger::Get().level())) { \
+  } else                                                                 \
+    ::asyncmr::detail::LogLine(lvl)
+
+#define AMR_LOG_DEBUG AMR_LOG(::asyncmr::LogLevel::kDebug)
+#define AMR_LOG_INFO AMR_LOG(::asyncmr::LogLevel::kInfo)
+#define AMR_LOG_WARN AMR_LOG(::asyncmr::LogLevel::kWarn)
+#define AMR_LOG_ERROR AMR_LOG(::asyncmr::LogLevel::kError)

@@ -1,0 +1,60 @@
+#include "common/options.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.hpp"
+
+namespace asyncmr {
+
+std::optional<std::string> GetEnv(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  auto v = GetEnv(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t fallback) {
+  auto v = GetEnv(name);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool GetEnvBool(const std::string& name, bool fallback) {
+  auto v = GetEnv(name);
+  if (!v) return fallback;
+  const std::string lower = ToLower(*v);
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") return false;
+  return fallback;
+}
+
+BenchOptions BenchOptions::FromEnv() {
+  BenchOptions opts;
+  opts.scale = GetEnvDouble("AMR_SCALE", 1.0);
+  if (opts.scale <= 0) opts.scale = 1.0;
+  opts.seed = static_cast<uint64_t>(GetEnvInt("AMR_SEED", 42));
+  opts.threads = static_cast<int>(GetEnvInt("AMR_THREADS", 0));
+  opts.csv = GetEnvBool("AMR_CSV", false);
+  return opts;
+}
+
+uint64_t BenchOptions::Scaled(uint64_t paper_value, uint64_t min_value) const {
+  const auto scaled = static_cast<uint64_t>(static_cast<double>(paper_value) * scale);
+  return std::max(min_value, scaled);
+}
+
+}  // namespace asyncmr

@@ -1,0 +1,37 @@
+// Environment-variable driven options for benches and examples.
+//
+// Every figure bench honours:
+//   AMR_SCALE      — multiplies workload sizes (default 1.0 = paper scale)
+//   AMR_SEED       — master RNG seed (default 42)
+//   AMR_THREADS    — host execution threads (default: hardware)
+//   AMR_CSV        — when set, benches also emit machine-readable CSV rows
+// so the full paper-scale run and quick smoke runs use the same binaries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace asyncmr {
+
+/// Reads an environment variable; nullopt when unset or empty.
+std::optional<std::string> GetEnv(const std::string& name);
+
+double GetEnvDouble(const std::string& name, double fallback);
+int64_t GetEnvInt(const std::string& name, int64_t fallback);
+bool GetEnvBool(const std::string& name, bool fallback);
+
+/// Bench-wide knobs, resolved once from the environment.
+struct BenchOptions {
+  double scale = 1.0;       // workload scale factor vs the paper
+  uint64_t seed = 42;       // master seed
+  int threads = 0;          // 0 = hardware concurrency
+  bool csv = false;         // also print CSV rows
+
+  static BenchOptions FromEnv();
+
+  /// Scales a paper-sized count, keeping at least min_value.
+  uint64_t Scaled(uint64_t paper_value, uint64_t min_value = 1) const;
+};
+
+}  // namespace asyncmr

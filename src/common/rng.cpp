@@ -1,0 +1,33 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace asyncmr {
+
+double Rng::NextGaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = NextDouble(-1.0, 1.0);
+    v = NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  have_spare_gaussian_ = true;
+  return u * mul;
+}
+
+double Rng::NextExponential(double mean) {
+  AMR_DCHECK(mean > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+}  // namespace asyncmr

@@ -1,0 +1,118 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in asyncmr (graph generators, fault injector,
+// K-Means init, stragglers) takes an explicit Rng so whole simulations are
+// reproducible from a single seed. Xoshiro256** is the workhorse; SplitMix64
+// seeds it and derives independent substreams.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace asyncmr {
+
+/// SplitMix64 step: maps any 64-bit state to a well-mixed output. Used for
+/// seeding and for cheap stateless hashing of ids into streams.
+constexpr uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes two 64-bit values into one (for deriving per-entity substreams).
+constexpr uint64_t MixSeed(uint64_t a, uint64_t b) {
+  uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return SplitMix64(s);
+}
+
+/// Xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Bitmask rejection sampling: unbiased, and the
+  /// expected number of draws is < 2.
+  uint64_t NextBounded(uint64_t bound) {
+    AMR_DCHECK(bound > 0);
+    if ((bound & (bound - 1)) == 0) return Next() & (bound - 1);  // power of two
+    const int shift = std::countl_zero(bound - 1);
+    const uint64_t mask = ~uint64_t{0} >> shift;
+    uint64_t v;
+    do {
+      v = Next() & mask;
+    } while (v >= bound);
+    return v;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    AMR_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Standard normal via Marsaglia polar method.
+  double NextGaussian();
+
+  /// Exponential with given mean (>0).
+  double NextExponential(double mean);
+
+  /// Bernoulli trial.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  /// Derives an independent child stream; deterministic in (state, label).
+  Rng Split(uint64_t label) { return Rng(MixSeed(Next(), label)); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace asyncmr

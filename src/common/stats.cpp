@@ -1,0 +1,145 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace asyncmr {
+
+void OnlineStats::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_), m = static_cast<double>(other.n_);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  mean_ += delta * m / (n + m);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+std::string OnlineStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " mean=" << mean() << " sd=" << stddev() << " min=" << min()
+     << " max=" << max();
+  return os.str();
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  AMR_CHECK(!bounds_.empty());
+  AMR_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+}
+
+Histogram Histogram::Exponential(double first_bound, double factor, int count) {
+  AMR_CHECK(first_bound > 0 && factor > 1.0 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double b = first_bound;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::Add(double x) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<size_t>(it - bounds_.begin())]++;
+  ++total_;
+}
+
+double Histogram::Percentile(double p) const {
+  AMR_CHECK(p >= 0.0 && p <= 100.0);
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(total_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+  }
+  return bounds_.back();
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  double lo = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      if (i < bounds_.size()) lo = bounds_[i];
+      continue;
+    }
+    if (i < bounds_.size()) {
+      os << "[" << lo << "," << bounds_[i] << "): " << counts_[i] << "  ";
+      lo = bounds_[i];
+    } else {
+      os << "[" << lo << ",inf): " << counts_[i];
+    }
+  }
+  return os.str();
+}
+
+LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {
+  AMR_CHECK_EQ(xs.size(), ys.size());
+  AMR_CHECK_GE(xs.size(), 2u);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  LineFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    ss_res += e * e;
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double FitPowerLawExponent(const std::vector<uint64_t>& samples, uint64_t k_min) {
+  AMR_CHECK_GE(k_min, 1u);
+  double log_sum = 0.0;
+  uint64_t n = 0;
+  for (uint64_t k : samples) {
+    if (k < k_min) continue;
+    log_sum += std::log(static_cast<double>(k) / (static_cast<double>(k_min) - 0.5));
+    ++n;
+  }
+  if (n == 0 || log_sum == 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+}  // namespace asyncmr

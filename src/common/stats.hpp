@@ -1,0 +1,70 @@
+// Streaming statistics used for benchmark reporting and cost accounting:
+// Welford online mean/variance, fixed-boundary histograms, and a simple
+// least-squares fit on log-log data (power-law exponent for Table II).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace asyncmr {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void Add(double x);
+  void Merge(const OnlineStats& other);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over explicit bucket upper bounds (last bucket is overflow).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Exponential buckets: first_bound, first_bound*factor, ... (count bounds).
+  static Histogram Exponential(double first_bound, double factor, int count);
+
+  void Add(double x);
+  uint64_t total() const { return total_; }
+  uint64_t bucket_count(size_t i) const { return counts_.at(i); }
+  size_t num_buckets() const { return counts_.size(); }
+  double Percentile(double p) const;  // p in [0,100]
+  std::string ToString() const;
+
+ private:
+  std::vector<double> bounds_;  // ascending
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1 (overflow)
+  uint64_t total_ = 0;
+};
+
+/// Least-squares line fit y = a + b*x; returns {a, b, r2}.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fits exponent alpha of a discrete power law p(k) ~ k^-alpha from samples
+/// k >= k_min via the standard MLE (Clauset et al. continuous approximation).
+double FitPowerLawExponent(const std::vector<uint64_t>& samples, uint64_t k_min = 1);
+
+}  // namespace asyncmr

@@ -1,0 +1,134 @@
+// Status / Result<T>: exception-free error propagation for recoverable
+// failures (I/O errors on the simulated DFS, malformed records, task
+// failures). Programming errors use AMR_CHECK instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.hpp"
+
+namespace asyncmr {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnavailable,   // transient: retry may succeed (e.g. injected task failure)
+  kDataLoss,      // checksum mismatch, truncated block
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode ("OK", "NOT_FOUND", ...).
+constexpr const char* StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A cheap value type carrying success or an error code plus message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status DataLoss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a T or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {           // NOLINT(google-explicit-constructor)
+    AMR_CHECK(!std::get<Status>(v_).ok()) << "Result<T> built from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    AMR_CHECK(ok()) << status().ToString();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    AMR_CHECK(ok()) << status().ToString();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    AMR_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(v_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(v_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(v_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define AMR_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::asyncmr::Status _amr_st = (expr);        \
+    if (!_amr_st.ok()) return _amr_st;         \
+  } while (false)
+
+#define AMR_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto _amr_res_##__LINE__ = (expr);           \
+  if (!_amr_res_##__LINE__.ok()) return _amr_res_##__LINE__.status(); \
+  lhs = std::move(_amr_res_##__LINE__).value()
+
+}  // namespace asyncmr

@@ -1,0 +1,54 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace asyncmr {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  AMR_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.Close();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = queue_.Pop()) {
+    (*task)();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  ParallelForChunked(begin, end, [&fn](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForChunked(size_t begin, size_t end,
+                                    const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  // 4 chunks per worker amortizes imbalance without oversubscribing the queue.
+  const size_t num_chunks = std::min(n, num_threads() * 4);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(num_chunks);
+  for (size_t lo = begin; lo < end; lo += chunk) {
+    const size_t hi = std::min(lo + chunk, end);
+    futs.push_back(Submit([&fn, lo, hi] { fn(lo, hi); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace asyncmr

@@ -1,0 +1,60 @@
+// Fixed-size thread pool with task futures and a ParallelFor helper.
+//
+// Used in two places: (i) the SimCluster executes the *real* work of
+// simulated tasks on host threads, and (ii) the paper's local MapReduce
+// runtime runs lmap invocations on "a thread pool on a single host"
+// (Section V.B.2 of the paper).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/mpmc_queue.hpp"
+
+namespace asyncmr {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues fn; returns a future for its result.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    const bool pushed = queue_.Push([task] { (*task)(); });
+    AMR_CHECK(pushed) << "Submit() on a stopped ThreadPool";
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [begin, end) across the pool; blocks until done.
+  /// Work is dealt in contiguous chunks for locality.
+  void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn);
+
+  /// Chunked variant: fn(chunk_begin, chunk_end).
+  void ParallelForChunked(size_t begin, size_t end,
+                          const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  MpmcQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+/// Returns a lazily-created process-wide pool sized to the hardware.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace asyncmr

@@ -1,0 +1,77 @@
+// Run traces for iterative (general and eager) MapReduce executions: one row
+// per global iteration, aggregated into the series the paper's figures plot
+// (#iterations to converge, time to converge) plus the quantities the paper
+// reasons about (serial op counts, partial vs global synchronizations,
+// shuffle traffic).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asyncmr::core {
+
+struct RoundTrace {
+  uint32_t round = 0;             // global iteration index (0-based)
+  double start_seconds = 0.0;     // virtual time at job submit
+  double end_seconds = 0.0;       // virtual time at job completion
+  uint64_t ops = 0;               // serial operation count this round
+  uint64_t shuffle_bytes = 0;     // bytes through the network (global sync)
+  uint64_t map_output_bytes = 0;
+  uint32_t local_iterations = 0;  // partial syncs across all gmaps (0 = general)
+  double residual = 0.0;          // convergence measure after this round
+
+  double seconds() const { return end_seconds - start_seconds; }
+};
+
+class RunTrace {
+ public:
+  explicit RunTrace(std::string label = "") : label_(std::move(label)) {}
+
+  void AddRound(RoundTrace round) { rounds_.push_back(round); }
+
+  const std::string& label() const { return label_; }
+  const std::vector<RoundTrace>& rounds() const { return rounds_; }
+
+  /// Global iterations = global synchronizations (the paper's y-axis in
+  /// Figures 2, 3, 6, 8).
+  uint32_t global_iterations() const { return static_cast<uint32_t>(rounds_.size()); }
+
+  /// Virtual time to converge (Figures 4, 5, 7, 9).
+  double total_seconds() const {
+    return rounds_.empty() ? 0.0
+                           : rounds_.back().end_seconds - rounds_.front().start_seconds;
+  }
+
+  uint64_t total_ops() const {
+    uint64_t sum = 0;
+    for (const auto& r : rounds_) sum += r.ops;
+    return sum;
+  }
+
+  uint64_t total_local_iterations() const {
+    uint64_t sum = 0;
+    for (const auto& r : rounds_) sum += r.local_iterations;
+    return sum;
+  }
+
+  /// Partial + global synchronizations — the paper notes the two-level scheme
+  /// *increases* total synchronizations while shrinking the global count.
+  uint64_t total_synchronizations() const {
+    return total_local_iterations() + global_iterations();
+  }
+
+  uint64_t total_shuffle_bytes() const {
+    uint64_t sum = 0;
+    for (const auto& r : rounds_) sum += r.shuffle_bytes;
+    return sum;
+  }
+
+  double final_residual() const { return rounds_.empty() ? 0.0 : rounds_.back().residual; }
+
+ private:
+  std::string label_;
+  std::vector<RoundTrace> rounds_;
+};
+
+}  // namespace asyncmr::core

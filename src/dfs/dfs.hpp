@@ -1,0 +1,103 @@
+// Simulated distributed file system.
+//
+// Every General-MapReduce iteration writes its reduce output here and the
+// next iteration's maps read it back — the "significant overhead" the paper's
+// Section VIII calls out. Costs modeled per block: a namenode metadata
+// round-trip, a replication pipeline of network flows (writer -> r1 -> r2,
+// concurrent, HDFS-style), and disk time at each endpoint. File payloads are
+// real bytes with per-block CRC32s; corrupt replicas fail verification and
+// reads fall over to the next replica, as in HDFS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfs/namenode.hpp"
+#include "net/network.hpp"
+#include "serde/buffer.hpp"
+#include "serde/checksum.hpp"
+#include "sim/event_queue.hpp"
+
+namespace asyncmr::dfs {
+
+struct DfsConfig {
+  uint64_t block_size_bytes = 64ull << 20;  // HDFS default, 64 MB
+  uint32_t replication = 3;
+  double namenode_latency_s = 2e-3;    // metadata round trip
+  double disk_bandwidth_Bps = 80e6;    // 2010-era spinning disk
+  double block_setup_latency_s = 1e-3; // pipeline setup per block
+};
+
+struct DfsStats {
+  uint64_t files_written = 0;
+  uint64_t files_read = 0;
+  uint64_t bytes_written = 0;   // payload bytes x replication
+  uint64_t bytes_read = 0;
+  uint64_t read_retries = 0;    // replica failovers due to corruption
+};
+
+class Dfs {
+ public:
+  Dfs(sim::EventQueue& queue, net::Network& network, DfsConfig config,
+      uint64_t seed = 7);
+
+  Dfs(const Dfs&) = delete;
+  Dfs& operator=(const Dfs&) = delete;
+
+  using WriteCallback = std::function<void(Status)>;
+  using ReadCallback = std::function<void(Result<serde::Buffer>)>;
+
+  /// Writes `data` as `path` from node `writer`. Fails if the path exists.
+  void WriteFile(net::NodeId writer, const std::string& path, serde::Buffer data,
+                 WriteCallback on_done);
+
+  /// Reads `path` into a buffer delivered at node `reader`.
+  void ReadFile(net::NodeId reader, const std::string& path, ReadCallback on_done);
+
+  Status Delete(const std::string& path);
+  bool Exists(const std::string& path) const { return namenode_.Exists(path); }
+  Result<const FileMeta*> Stat(const std::string& path) const {
+    return namenode_.Stat(path);
+  }
+
+  /// Nodes holding replicas of `path` (locality hint for the scheduler).
+  std::vector<net::NodeId> Locations(const std::string& path) const {
+    return namenode_.Locations(path);
+  }
+
+  /// Fault injection: marks replica `replica_index` of every block corrupt.
+  Status CorruptReplica(const std::string& path, uint32_t replica_index) {
+    return namenode_.CorruptReplica(path, replica_index);
+  }
+
+  const DfsConfig& config() const { return config_; }
+  const DfsStats& stats() const { return stats_; }
+
+ private:
+  struct StoredFile {
+    serde::Buffer data;
+  };
+
+  double DiskSeconds(uint64_t bytes) const {
+    return static_cast<double>(bytes) / config_.disk_bandwidth_Bps;
+  }
+
+  /// Picks the cheapest healthy replica for a reader; nullopt if all corrupt.
+  static std::optional<uint32_t> PickReplica(const BlockMeta& block,
+                                             net::NodeId reader,
+                                             const net::Topology& topology,
+                                             uint32_t start_index);
+
+  sim::EventQueue& queue_;
+  net::Network& network_;
+  DfsConfig config_;
+  NameNode namenode_;
+  std::unordered_map<std::string, StoredFile> storage_;
+  DfsStats stats_;
+};
+
+}  // namespace asyncmr::dfs

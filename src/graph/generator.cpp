@@ -1,0 +1,159 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace asyncmr::graph {
+
+Digraph PreferentialAttachment(const PrefAttachConfig& config) {
+  AMR_CHECK_GE(config.num_vertices, config.num_conn + 1);
+  Rng rng(config.seed);
+
+  // Adjacency under construction (out-links); in-links tracked to allow the
+  // "copy inlinks" step without a transpose.
+  std::vector<std::vector<VertexId>> out(config.num_vertices);
+  std::vector<std::vector<VertexId>> in(config.num_vertices);
+
+  auto add_edge = [&](VertexId s, VertexId d) {
+    if (s == d) return;
+    out[s].push_back(d);
+    in[d].push_back(s);
+  };
+
+  // Seed clique over the first numConn+1 vertices.
+  const VertexId seed_n = config.num_conn + 1;
+  for (VertexId u = 0; u < seed_n; ++u) {
+    for (VertexId v = 0; v < seed_n; ++v) {
+      if (u != v) add_edge(u, v);
+    }
+  }
+
+  std::unordered_set<VertexId> picked;
+  for (VertexId j = seed_n; j < config.num_vertices; ++j) {
+    picked.clear();
+    // Connect to numConn existing vertices; with a locality window, anchors
+    // come from the crawl frontier (most recent vertices).
+    const VertexId window =
+        config.locality_window > 0 ? std::min(config.locality_window, j) : j;
+    const VertexId window_start = j - window;
+    while (picked.size() < config.num_conn) {
+      picked.insert(window_start + static_cast<VertexId>(rng.NextBounded(window)));
+    }
+    // Copies whose age from j exceeds max_edge_age are redrawn inside the
+    // window, keeping hubs community-local (see header).
+    auto clamp_age = [&](VertexId x) -> VertexId {
+      if (config.max_edge_age == 0 || j - x <= config.max_edge_age) return x;
+      return window_start + static_cast<VertexId>(rng.NextBounded(window));
+    };
+    for (VertexId c : picked) {
+      add_edge(j, c);
+      // Copy up to numIn of c's inlink sources: s -> j.
+      const auto& cin = in[c];
+      for (uint32_t k = 0; k < config.num_in && !cin.empty(); ++k) {
+        const VertexId s = clamp_age(cin[rng.NextBounded(cin.size())]);
+        if (s != j) add_edge(s, j);
+      }
+      // Copy up to numOut of c's outlink targets: j -> t.
+      const auto& cout = out[c];
+      for (uint32_t k = 0; k < config.num_out && !cout.empty(); ++k) {
+        const VertexId t = clamp_age(cout[rng.NextBounded(cout.size())]);
+        if (t != j) add_edge(j, t);
+      }
+    }
+  }
+
+  // Flatten, collapsing parallel edges.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < config.num_vertices; ++v) {
+    std::sort(out[v].begin(), out[v].end());
+    out[v].erase(std::unique(out[v].begin(), out[v].end()), out[v].end());
+    for (VertexId t : out[v]) edges.push_back({v, t, 1.0});
+    out[v].clear();
+    out[v].shrink_to_fit();
+  }
+  return Digraph::FromEdges(config.num_vertices, std::move(edges));
+}
+
+Digraph ErdosRenyi(VertexId num_vertices, uint64_t num_edges, uint64_t seed) {
+  AMR_CHECK_GE(num_vertices, 2u);
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1);
+  AMR_CHECK_LE(num_edges, max_edges);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    const auto s = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    const auto d = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (s == d) continue;
+    const uint64_t key = (static_cast<uint64_t>(s) << 32) | d;
+    if (!seen.insert(key).second) continue;
+    edges.push_back({s, d, 1.0});
+  }
+  return Digraph::FromEdges(num_vertices, std::move(edges));
+}
+
+Digraph Rmat(const RmatConfig& config) {
+  AMR_CHECK(config.a + config.b + config.c < 1.0);
+  const VertexId n = VertexId{1} << config.scale;
+  Rng rng(config.seed);
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(config.num_edges);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = config.num_edges * 50;
+  while (edges.size() < config.num_edges && attempts++ < max_attempts) {
+    VertexId s = 0, d = 0;
+    for (uint32_t bit = 0; bit < config.scale; ++bit) {
+      const double r = rng.NextDouble();
+      s <<= 1;
+      d <<= 1;
+      if (r < config.a) {
+        // top-left: no bits set
+      } else if (r < config.a + config.b) {
+        d |= 1;
+      } else if (r < config.a + config.b + config.c) {
+        s |= 1;
+      } else {
+        s |= 1;
+        d |= 1;
+      }
+    }
+    if (s == d) continue;
+    const uint64_t key = (static_cast<uint64_t>(s) << 32) | d;
+    if (!seen.insert(key).second) continue;
+    edges.push_back({s, d, 1.0});
+  }
+  return Digraph::FromEdges(n, std::move(edges));
+}
+
+Digraph Grid2d(uint32_t width, uint32_t height) {
+  AMR_CHECK(width >= 1 && height >= 1);
+  const VertexId n = width * height;
+  std::vector<Edge> edges;
+  auto id = [width](uint32_t x, uint32_t y) { return y * width + x; };
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        edges.push_back({id(x, y), id(x + 1, y), 1.0});
+        edges.push_back({id(x + 1, y), id(x, y), 1.0});
+      }
+      if (y + 1 < height) {
+        edges.push_back({id(x, y), id(x, y + 1), 1.0});
+        edges.push_back({id(x, y + 1), id(x, y), 1.0});
+      }
+    }
+  }
+  return Digraph::FromEdges(n, std::move(edges));
+}
+
+Digraph WithRandomWeights(const Digraph& g, double lo, double hi, uint64_t seed) {
+  AMR_CHECK(lo <= hi && lo >= 0.0);
+  Rng rng(seed);
+  std::vector<Edge> edges = g.ToEdges();
+  for (Edge& e : edges) e.weight = rng.NextDouble(lo, hi);
+  return Digraph::FromEdges(g.num_vertices(), std::move(edges), /*weighted=*/true);
+}
+
+}  // namespace asyncmr::graph

@@ -1,0 +1,66 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace asyncmr::graph {
+
+std::vector<std::vector<VertexId>> Partitioning::Members() const {
+  std::vector<std::vector<VertexId>> members(num_parts);
+  for (VertexId v = 0; v < part_of.size(); ++v) {
+    AMR_DCHECK(part_of[v] < num_parts);
+    members[part_of[v]].push_back(v);
+  }
+  return members;
+}
+
+std::vector<uint64_t> Partitioning::Sizes() const {
+  std::vector<uint64_t> sizes(num_parts, 0);
+  for (uint32_t p : part_of) sizes[p]++;
+  return sizes;
+}
+
+PartitionQuality EvaluatePartition(const Digraph& g, const Partitioning& p) {
+  AMR_CHECK_EQ(p.part_of.size(), g.num_vertices());
+  PartitionQuality q;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId t : g.OutNeighbors(v)) {
+      if (p.part_of[v] == p.part_of[t]) {
+        ++q.internal_edges;
+      } else {
+        ++q.cut_edges;
+      }
+    }
+  }
+  const uint64_t total = q.cut_edges + q.internal_edges;
+  q.cut_fraction = total ? static_cast<double>(q.cut_edges) / static_cast<double>(total) : 0.0;
+  const auto sizes = p.Sizes();
+  q.max_part = *std::max_element(sizes.begin(), sizes.end());
+  q.min_part = *std::min_element(sizes.begin(), sizes.end());
+  const double ideal =
+      static_cast<double>(g.num_vertices()) / static_cast<double>(p.num_parts);
+  q.imbalance = ideal > 0 ? static_cast<double>(q.max_part) / ideal - 1.0 : 0.0;
+  return q;
+}
+
+std::vector<bool> BoundaryVertices(const Digraph& g, const Partitioning& p) {
+  std::vector<bool> boundary(g.num_vertices(), false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId t : g.OutNeighbors(v)) {
+      if (p.part_of[v] != p.part_of[t]) {
+        boundary[v] = true;
+        boundary[t] = true;
+      }
+    }
+  }
+  return boundary;
+}
+
+std::string PartitionQuality::ToString() const {
+  std::ostringstream os;
+  os << "cut=" << cut_edges << " (" << cut_fraction * 100.0 << "%), parts ["
+     << min_part << ", " << max_part << "], imbalance " << imbalance * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace asyncmr::graph

@@ -1,0 +1,442 @@
+#include "graph/partitioner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace asyncmr::graph {
+
+Partitioning HashPartition(const Digraph& g, uint32_t num_parts, uint64_t seed) {
+  AMR_CHECK_GE(num_parts, 1u);
+  Partitioning p;
+  p.num_parts = num_parts;
+  p.part_of.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint64_t h = MixSeed(seed, v);
+    p.part_of[v] = static_cast<uint32_t>(h % num_parts);
+  }
+  return p;
+}
+
+Partitioning RangePartition(const Digraph& g, uint32_t num_parts) {
+  AMR_CHECK_GE(num_parts, 1u);
+  Partitioning p;
+  p.num_parts = num_parts;
+  p.part_of.resize(g.num_vertices());
+  const uint64_t n = g.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    p.part_of[v] = static_cast<uint32_t>(
+        std::min<uint64_t>(num_parts - 1, v * num_parts / n));
+  }
+  return p;
+}
+
+Partitioning BfsPartition(const Digraph& g, uint32_t num_parts, uint64_t seed) {
+  AMR_CHECK_GE(num_parts, 1u);
+  const VertexId n = g.num_vertices();
+  Partitioning p;
+  p.num_parts = num_parts;
+  p.part_of.assign(n, num_parts);  // sentinel: unassigned
+  const uint64_t target = (n + num_parts - 1) / num_parts;
+
+  Rng rng(seed);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  uint32_t current_part = 0;
+  uint64_t current_size = 0;
+  std::deque<VertexId> frontier;
+  size_t seed_cursor = 0;
+
+  auto next_seed = [&]() -> VertexId {
+    while (seed_cursor < order.size() && p.part_of[order[seed_cursor]] != num_parts) {
+      ++seed_cursor;
+    }
+    return seed_cursor < order.size() ? order[seed_cursor] : n;
+  };
+
+  VertexId assigned = 0;
+  while (assigned < n) {
+    if (frontier.empty()) {
+      const VertexId s = next_seed();
+      if (s == n) break;
+      frontier.push_back(s);
+    }
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    if (p.part_of[v] != num_parts) continue;
+    if (current_size >= target && current_part + 1 < num_parts) {
+      ++current_part;
+      current_size = 0;
+    }
+    p.part_of[v] = current_part;
+    ++current_size;
+    ++assigned;
+    for (VertexId t : g.OutNeighbors(v)) {
+      if (p.part_of[t] == num_parts) frontier.push_back(t);
+    }
+  }
+  // Any unreached vertices (isolated) round-robin into the lightest parts.
+  for (VertexId v = 0; v < n; ++v) {
+    if (p.part_of[v] == num_parts) p.part_of[v] = v % num_parts;
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Multilevel k-way partitioner.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Undirected weighted working graph used during coarsening/refinement.
+struct WorkGraph {
+  // CSR over symmetrized adjacency, parallel edges merged with summed weight.
+  std::vector<uint64_t> offsets;
+  std::vector<VertexId> targets;
+  std::vector<uint64_t> edge_weights;
+  std::vector<uint64_t> vertex_weights;
+  // Minimum original vertex id contracted into each coarse vertex; preserves
+  // generation/crawl order through the multilevel hierarchy.
+  std::vector<VertexId> min_orig;
+
+  VertexId size() const { return static_cast<VertexId>(vertex_weights.size()); }
+  uint64_t total_vertex_weight() const {
+    return std::accumulate(vertex_weights.begin(), vertex_weights.end(), uint64_t{0});
+  }
+};
+
+/// Weighted cut of a k-way assignment on a WorkGraph (each undirected edge
+/// counted twice; fine for comparisons).
+uint64_t CutOf(const WorkGraph& g, const std::vector<uint32_t>& part) {
+  uint64_t cut = 0;
+  for (VertexId v = 0; v < g.size(); ++v) {
+    for (uint64_t i = g.offsets[v]; i < g.offsets[v + 1]; ++i) {
+      if (part[v] != part[g.targets[i]]) cut += g.edge_weights[i];
+    }
+  }
+  return cut;
+}
+
+WorkGraph Symmetrize(const Digraph& g) {
+  const VertexId n = g.num_vertices();
+  // Count both directions per vertex.
+  std::vector<uint32_t> degree(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId t : g.OutNeighbors(v)) {
+      if (t == v) continue;
+      degree[v]++;
+      degree[t]++;
+    }
+  }
+  WorkGraph w;
+  w.offsets.assign(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) w.offsets[v + 1] = w.offsets[v] + degree[v];
+  w.targets.resize(w.offsets.back());
+  std::vector<uint64_t> cursor(w.offsets.begin(), w.offsets.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId t : g.OutNeighbors(v)) {
+      if (t == v) continue;
+      w.targets[cursor[v]++] = t;
+      w.targets[cursor[t]++] = v;
+    }
+  }
+  // Merge duplicates per row, weight = multiplicity.
+  std::vector<uint64_t> new_offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<VertexId> new_targets;
+  std::vector<uint64_t> new_weights;
+  new_targets.reserve(w.targets.size());
+  new_weights.reserve(w.targets.size());
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t lo = w.offsets[v], hi = w.offsets[v + 1];
+    std::sort(w.targets.begin() + lo, w.targets.begin() + hi);
+    uint64_t i = lo;
+    while (i < hi) {
+      const VertexId t = w.targets[i];
+      uint64_t count = 0;
+      while (i < hi && w.targets[i] == t) {
+        ++count;
+        ++i;
+      }
+      new_targets.push_back(t);
+      new_weights.push_back(count);
+    }
+    new_offsets[v + 1] = new_targets.size();
+  }
+  w.offsets = std::move(new_offsets);
+  w.targets = std::move(new_targets);
+  w.edge_weights = std::move(new_weights);
+  w.vertex_weights.assign(n, 1);
+  w.min_orig.resize(n);
+  std::iota(w.min_orig.begin(), w.min_orig.end(), 0);
+  return w;
+}
+
+/// One level of heavy-edge-matching coarsening. Returns the coarse graph and
+/// fills `coarse_of` (fine vertex -> coarse vertex).
+WorkGraph Coarsen(const WorkGraph& fine, Rng& rng, std::vector<VertexId>& coarse_of) {
+  const VertexId n = fine.size();
+  std::vector<VertexId> match(n, n);  // n = unmatched sentinel
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  for (VertexId v : order) {
+    if (match[v] != n) continue;
+    VertexId best = n;
+    uint64_t best_weight = 0;
+    for (uint64_t i = fine.offsets[v]; i < fine.offsets[v + 1]; ++i) {
+      const VertexId t = fine.targets[i];
+      if (match[t] != n || t == v) continue;
+      if (fine.edge_weights[i] > best_weight) {
+        best_weight = fine.edge_weights[i];
+        best = t;
+      }
+    }
+    if (best != n) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // stays alone
+    }
+  }
+
+  // Number coarse vertices.
+  coarse_of.assign(n, 0);
+  VertexId next_coarse = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (match[v] == v || match[v] > v) {
+      coarse_of[v] = next_coarse;
+      if (match[v] != v && match[v] < n) coarse_of[match[v]] = next_coarse;
+      ++next_coarse;
+    }
+  }
+  // Re-check: vertices matched to a smaller id already got a number above.
+  for (VertexId v = 0; v < n; ++v) {
+    if (match[v] < v) coarse_of[v] = coarse_of[match[v]];
+  }
+
+  // Build coarse adjacency by aggregation.
+  WorkGraph coarse;
+  coarse.vertex_weights.assign(next_coarse, 0);
+  coarse.min_orig.assign(next_coarse, ~VertexId{0});
+  for (VertexId v = 0; v < n; ++v) {
+    coarse.vertex_weights[coarse_of[v]] += fine.vertex_weights[v];
+    coarse.min_orig[coarse_of[v]] =
+        std::min(coarse.min_orig[coarse_of[v]], fine.min_orig[v]);
+  }
+  // Accumulate edges into per-coarse-vertex hash-free merge via sort.
+  std::vector<std::vector<std::pair<VertexId, uint64_t>>> rows(next_coarse);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId cv = coarse_of[v];
+    for (uint64_t i = fine.offsets[v]; i < fine.offsets[v + 1]; ++i) {
+      const VertexId ct = coarse_of[fine.targets[i]];
+      if (ct == cv) continue;
+      rows[cv].emplace_back(ct, fine.edge_weights[i]);
+    }
+  }
+  coarse.offsets.assign(static_cast<size_t>(next_coarse) + 1, 0);
+  for (VertexId cv = 0; cv < next_coarse; ++cv) {
+    auto& row = rows[cv];
+    std::sort(row.begin(), row.end());
+    size_t unique_count = 0;
+    size_t i = 0;
+    while (i < row.size()) {
+      const VertexId t = row[i].first;
+      uint64_t weight = 0;
+      while (i < row.size() && row[i].first == t) {
+        weight += row[i].second;
+        ++i;
+      }
+      row[unique_count++] = {t, weight};
+    }
+    row.resize(unique_count);
+    coarse.offsets[cv + 1] = coarse.offsets[cv] + unique_count;
+  }
+  coarse.targets.resize(coarse.offsets.back());
+  coarse.edge_weights.resize(coarse.offsets.back());
+  for (VertexId cv = 0; cv < next_coarse; ++cv) {
+    uint64_t pos = coarse.offsets[cv];
+    for (const auto& [t, weight] : rows[cv]) {
+      coarse.targets[pos] = t;
+      coarse.edge_weights[pos] = weight;
+      ++pos;
+    }
+  }
+  return coarse;
+}
+
+/// Greedy region-growing initial k-way partition of the coarsest graph.
+std::vector<uint32_t> InitialPartition(const WorkGraph& g, uint32_t k,
+                                       uint64_t max_part_weight, Rng& rng) {
+  const VertexId n = g.size();
+  std::vector<uint32_t> part(n, k);  // k = unassigned
+  std::vector<uint64_t> weight(k, 0);
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  size_t cursor = 0;
+
+  for (uint32_t p = 0; p < k; ++p) {
+    // Seed from the first unassigned vertex.
+    while (cursor < order.size() && part[order[cursor]] != k) ++cursor;
+    if (cursor >= order.size()) break;
+    std::deque<VertexId> frontier{order[cursor]};
+    while (!frontier.empty() && weight[p] < max_part_weight) {
+      const VertexId v = frontier.front();
+      frontier.pop_front();
+      if (part[v] != k) continue;
+      part[v] = p;
+      weight[p] += g.vertex_weights[v];
+      for (uint64_t i = g.offsets[v]; i < g.offsets[v + 1]; ++i) {
+        if (part[g.targets[i]] == k) frontier.push_back(g.targets[i]);
+      }
+    }
+  }
+  // Leftovers go to the lightest part.
+  for (VertexId v = 0; v < n; ++v) {
+    if (part[v] == k) {
+      const auto lightest = static_cast<uint32_t>(
+          std::min_element(weight.begin(), weight.end()) - weight.begin());
+      part[v] = lightest;
+      weight[lightest] += g.vertex_weights[v];
+    }
+  }
+  return part;
+}
+
+/// Alternative initial partition: balanced buckets over the coarse vertices
+/// sorted by the minimum original id they contain. Exploits the
+/// generation/crawl order that web-like graphs carry (the same structure
+/// RangePartition uses on the fine graph), then FM refinement polishes it.
+std::vector<uint32_t> OrderInitialPartition(const WorkGraph& g, uint32_t k) {
+  const VertexId n = g.size();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](VertexId a, VertexId b) { return g.min_orig[a] < g.min_orig[b]; });
+  const uint64_t total = g.total_vertex_weight();
+  std::vector<uint32_t> part(n, 0);
+  uint64_t running = 0;
+  for (VertexId v : order) {
+    const auto bucket = static_cast<uint32_t>(
+        std::min<uint64_t>(k - 1, running * k / std::max<uint64_t>(1, total)));
+    part[v] = bucket;
+    running += g.vertex_weights[v];
+  }
+  return part;
+}
+
+/// Boundary FM refinement: greedily move boundary vertices to the adjacent
+/// part with the largest cut gain, respecting the balance cap.
+void Refine(const WorkGraph& g, std::vector<uint32_t>& part, uint32_t k,
+            uint64_t max_part_weight, uint32_t passes) {
+  const VertexId n = g.size();
+  std::vector<uint64_t> weight(k, 0);
+  for (VertexId v = 0; v < n; ++v) weight[part[v]] += g.vertex_weights[v];
+
+  std::vector<uint64_t> gain_to(k, 0);
+  std::vector<uint32_t> touched;
+  for (uint32_t pass = 0; pass < passes; ++pass) {
+    uint64_t moves = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      const uint32_t from = part[v];
+      touched.clear();
+      bool is_boundary = false;
+      for (uint64_t i = g.offsets[v]; i < g.offsets[v + 1]; ++i) {
+        const uint32_t p = part[g.targets[i]];
+        if (p != from) is_boundary = true;
+        if (gain_to[p] == 0) touched.push_back(p);
+        gain_to[p] += g.edge_weights[i];
+      }
+      if (is_boundary) {
+        const uint64_t internal = gain_to[from];
+        uint32_t best_part = from;
+        int64_t best_gain = 0;
+        for (uint32_t p : touched) {
+          if (p == from) continue;
+          const int64_t gain =
+              static_cast<int64_t>(gain_to[p]) - static_cast<int64_t>(internal);
+          if (gain > best_gain &&
+              weight[p] + g.vertex_weights[v] <= max_part_weight) {
+            best_gain = gain;
+            best_part = p;
+          }
+        }
+        if (best_part != from) {
+          part[v] = best_part;
+          weight[from] -= g.vertex_weights[v];
+          weight[best_part] += g.vertex_weights[v];
+          ++moves;
+        }
+      }
+      for (uint32_t p : touched) gain_to[p] = 0;
+    }
+    if (moves == 0) break;
+  }
+}
+
+}  // namespace
+
+Partitioning MultilevelPartition(const Digraph& g, const MultilevelConfig& config) {
+  AMR_CHECK_GE(config.num_parts, 1u);
+  const uint32_t k = config.num_parts;
+  Partitioning result;
+  result.num_parts = k;
+  if (k == 1) {
+    result.part_of.assign(g.num_vertices(), 0);
+    return result;
+  }
+
+  Rng rng(config.seed);
+  const VertexId coarsen_target = static_cast<VertexId>(
+      std::max<double>(256.0, config.coarsen_target_factor * k));
+
+  // --- Phase 1: coarsen ------------------------------------------------------
+  std::vector<WorkGraph> levels;
+  std::vector<std::vector<VertexId>> mappings;  // fine -> coarse per level
+  levels.push_back(Symmetrize(g));
+  while (levels.back().size() > coarsen_target) {
+    std::vector<VertexId> coarse_of;
+    WorkGraph coarse = Coarsen(levels.back(), rng, coarse_of);
+    // Matching stalls on star graphs; stop when reduction is marginal.
+    if (coarse.size() > levels.back().size() * 0.95) break;
+    mappings.push_back(std::move(coarse_of));
+    levels.push_back(std::move(coarse));
+  }
+
+  // --- Phase 2: initial partition on the coarsest graph ----------------------
+  // Multi-start (as METIS does): greedy region growing and order-based
+  // bucketing, each refined; the better cut wins.
+  const uint64_t total_weight = levels.back().total_vertex_weight();
+  const uint64_t max_part_weight = static_cast<uint64_t>(
+      (1.0 + config.balance_slack) * static_cast<double>(total_weight) / k) + 1;
+  std::vector<uint32_t> grown =
+      InitialPartition(levels.back(), k, max_part_weight, rng);
+  Refine(levels.back(), grown, k, max_part_weight, config.refine_passes_per_level);
+  std::vector<uint32_t> ordered = OrderInitialPartition(levels.back(), k);
+  Refine(levels.back(), ordered, k, max_part_weight, config.refine_passes_per_level);
+  std::vector<uint32_t> part = CutOf(levels.back(), ordered) < CutOf(levels.back(), grown)
+                                   ? std::move(ordered)
+                                   : std::move(grown);
+
+  // --- Phase 3: uncoarsen + refine -------------------------------------------
+  for (size_t level = mappings.size(); level-- > 0;) {
+    const std::vector<VertexId>& coarse_of = mappings[level];
+    std::vector<uint32_t> fine_part(coarse_of.size());
+    for (VertexId v = 0; v < coarse_of.size(); ++v) fine_part[v] = part[coarse_of[v]];
+    part = std::move(fine_part);
+    Refine(levels[level], part, k, max_part_weight,
+           config.refine_passes_per_level);
+  }
+
+  result.part_of = std::move(part);
+  return result;
+}
+
+}  // namespace asyncmr::graph

@@ -1,0 +1,47 @@
+// Partitioners, from the trivial baselines to the METIS-style multilevel
+// k-way partitioner the paper's evaluation relies on ("We partition graphs
+// using Metis ... performed off-line (only once)").
+#pragma once
+
+#include <cstdint>
+
+#include "graph/partition.hpp"
+
+namespace asyncmr::graph {
+
+/// part(v) = hash(v) mod k — destroys locality; the ablation baseline.
+Partitioning HashPartition(const Digraph& g, uint32_t num_parts, uint64_t seed = 0);
+
+/// Contiguous ranges of vertex ids. On generator output this inherits the
+/// join-order locality that crawlers induce in real web graphs.
+Partitioning RangePartition(const Digraph& g, uint32_t num_parts);
+
+/// Grows parts by BFS from unvisited seeds until each reaches n/k vertices —
+/// a cheap locality-enhancing partitioner.
+Partitioning BfsPartition(const Digraph& g, uint32_t num_parts, uint64_t seed = 0);
+
+/// Multilevel k-way min-cut partitioner (the METIS recipe):
+///   1. coarsen by heavy-edge matching until the graph is small,
+///   2. greedy region-growing initial partition on the coarsest graph,
+///   3. uncoarsen with boundary Kernighan-Lin/Fiduccia-Mattheyses refinement.
+struct MultilevelConfig {
+  uint32_t num_parts = 8;
+  /// Stop coarsening below max(coarsen_target_factor * num_parts, 256) nodes.
+  double coarsen_target_factor = 4.0;
+  /// Allowed part weight = (1 + balance_slack) * ideal.
+  double balance_slack = 0.10;
+  uint32_t refine_passes_per_level = 4;
+  uint64_t seed = 42;
+};
+Partitioning MultilevelPartition(const Digraph& g, const MultilevelConfig& config);
+
+/// Convenience overload with defaults.
+inline Partitioning MultilevelPartition(const Digraph& g, uint32_t num_parts,
+                                        uint64_t seed = 42) {
+  MultilevelConfig config;
+  config.num_parts = num_parts;
+  config.seed = seed;
+  return MultilevelPartition(g, config);
+}
+
+}  // namespace asyncmr::graph

@@ -1,0 +1,125 @@
+// Typed emit contexts for map and reduce user functions.
+//
+// MapContext partitions emissions by key hash across reducers and (optionally)
+// runs a task-level combiner: associative merging of values per key before
+// anything is encoded — Hadoop's in-mapper combining. Every emit charges a
+// small fixed op cost so the cost model sees serialization work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mr/types.hpp"
+#include "serde/kv.hpp"
+
+namespace asyncmr::mr {
+
+/// Ops charged per emitted/combined record (serialization + buffer work).
+inline constexpr uint64_t kOpsPerEmit = 4;
+
+/// Key -> reducer partitioner (Hadoop's default HashPartitioner).
+template <typename K>
+uint32_t PartitionOf(const K& key, uint32_t num_reducers) {
+  return static_cast<uint32_t>(std::hash<K>{}(key) % num_reducers);
+}
+
+template <typename K, typename V>
+class MapContext {
+ public:
+  /// `combiner` may be empty; when set, values emitted under the same key to
+  /// the same reducer are merged eagerly (associative, commutative).
+  MapContext(uint32_t num_reducers, std::function<V(const V&, const V&)> combiner)
+      : num_reducers_(num_reducers), combiner_(std::move(combiner)) {
+    if (combiner_) {
+      combined_.resize(num_reducers_);
+    } else {
+      writers_.reserve(num_reducers_);
+      for (uint32_t r = 0; r < num_reducers_; ++r) writers_.emplace_back();
+    }
+  }
+
+  void Emit(const K& key, const V& value) {
+    const uint32_t r = PartitionOf(key, num_reducers_);
+    ops_ += kOpsPerEmit;
+    ++records_;
+    if (combiner_) {
+      auto [it, inserted] = combined_[r].try_emplace(key, value);
+      if (!inserted) it->second = combiner_(it->second, value);
+    } else {
+      writers_[r].Add(key, value);
+    }
+  }
+
+  /// Charges algorithmic work (the app's own op count).
+  void AddOps(uint64_t n) { ops_ += n; }
+
+  /// Declares intra-task parallelism (see WorkReport::time_scale).
+  void set_time_scale(double scale) { time_scale_ = scale; }
+
+  Counters& counters() { return counters_; }
+
+  /// Encodes everything into per-reducer streams.
+  MapTaskOutput Finish() {
+    MapTaskOutput out;
+    out.time_scale = time_scale_;
+    out.per_reducer.reserve(num_reducers_);
+    if (combiner_) {
+      for (uint32_t r = 0; r < num_reducers_; ++r) {
+        serde::KvWriter<K, V> w;
+        for (const auto& [k, v] : combined_[r]) w.Add(k, v);
+        out.records += w.count();
+        out.per_reducer.push_back(std::move(w).Finish());
+      }
+    } else {
+      for (auto& w : writers_) {
+        out.records += w.count();
+        out.per_reducer.push_back(std::move(w).Finish());
+      }
+    }
+    out.ops = ops_;
+    out.counters = std::move(counters_);
+    return out;
+  }
+
+  uint64_t emitted_records() const { return records_; }
+
+ private:
+  uint32_t num_reducers_;
+  std::function<V(const V&, const V&)> combiner_;
+  std::vector<serde::KvWriter<K, V>> writers_;                    // no combiner
+  std::vector<std::unordered_map<K, V>> combined_;                // combiner
+  uint64_t ops_ = 0;
+  uint64_t records_ = 0;
+  double time_scale_ = 1.0;
+  Counters counters_;
+};
+
+template <typename K, typename V>
+class ReduceContext {
+ public:
+  void Emit(const K& key, const V& value) {
+    writer_.Add(key, value);
+    ops_ += kOpsPerEmit;
+  }
+
+  void AddOps(uint64_t n) { ops_ += n; }
+  Counters& counters() { return counters_; }
+
+  ReduceTaskOutput Finish() {
+    ReduceTaskOutput out;
+    out.records = writer_.count();
+    out.output = std::move(writer_).Finish();
+    out.ops = ops_;
+    out.counters = std::move(counters_);
+    return out;
+  }
+
+ private:
+  serde::KvWriter<K, V> writer_;
+  uint64_t ops_ = 0;
+  Counters counters_;
+};
+
+}  // namespace asyncmr::mr

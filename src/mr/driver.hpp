@@ -1,0 +1,58 @@
+// JobDriver: type-erased orchestration of one MapReduce job on a SimCluster.
+//
+//   submit overhead -> map wave -> (optional node-level combine)
+//   -> reduce wave with shuffle fetch flows -> output commit to DFS
+//
+// The typed Job<> wrapper (job.hpp) turns user mappers/reducers into the
+// closures consumed here. Splitting the engine this way keeps the
+// orchestration non-template (compiled once) while the API stays typed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "mr/types.hpp"
+
+namespace asyncmr::mr {
+
+/// Runs a map task for a split: returns encoded per-reducer streams.
+using MapWork = std::function<MapTaskOutput(uint32_t split_index)>;
+
+/// Runs a reduce task: consumes the encoded streams destined for `reducer`.
+using ReduceWork = std::function<ReduceTaskOutput(
+    uint32_t reducer, const std::vector<const serde::Buffer*>& inputs)>;
+
+/// Optional node-level combine: merges the streams produced on one node for
+/// one reducer into a smaller stream before it crosses the network (the
+/// combiner of the MapReduce paper, as discussed in the paper's Section VI).
+using NodeCombineWork = std::function<serde::Buffer(
+    uint32_t reducer, const std::vector<const serde::Buffer*>& inputs)>;
+
+class JobDriver {
+ public:
+  JobDriver(cluster::SimCluster& cluster, JobConfig config)
+      : cluster_(cluster), config_(std::move(config)) {}
+
+  /// Asynchronous run; on_done fires in virtual time at job completion.
+  void Run(std::vector<SplitDesc> splits, MapWork map_work, ReduceWork reduce_work,
+           NodeCombineWork node_combine,  // may be nullptr
+           std::function<void(JobResult)> on_done);
+
+  /// Synchronous convenience: runs and drains the event queue.
+  JobResult RunBlocking(std::vector<SplitDesc> splits, MapWork map_work,
+                        ReduceWork reduce_work, NodeCombineWork node_combine = nullptr);
+
+ private:
+  cluster::SimCluster& cluster_;
+  JobConfig config_;
+};
+
+/// Builds SplitDescs for files already committed to the cluster's DFS (used
+/// to chain iterative jobs: iteration i+1 maps over iteration i's output).
+std::vector<SplitDesc> SplitsFromDfs(cluster::SimCluster& cluster,
+                                     const std::vector<std::string>& paths);
+
+}  // namespace asyncmr::mr

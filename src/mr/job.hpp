@@ -1,0 +1,169 @@
+// Job<KMid, VMid, KOut, VOut>: the typed MapReduce front end.
+//
+//   Job<uint32_t, double, uint32_t, double> job(cluster, config);
+//   job.set_mapper([&](uint32_t split, MapContext<uint32_t,double>& ctx) {...});
+//   job.set_reducer([&](const uint32_t& k, const std::vector<double>& vs,
+//                       ReduceContext<uint32_t,double>& ctx) {...});
+//   auto out = job.RunBlocking(splits);
+//
+// KMid must be hashable (std::hash) and LessThan-comparable (the engine sorts
+// keys before reduction, as Hadoop's merge does). All four types must be
+// serde-serializable.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mr/context.hpp"
+#include "mr/driver.hpp"
+#include "mr/types.hpp"
+
+namespace asyncmr::mr {
+
+/// Where the combiner runs (paper Section VI discusses both).
+enum class CombineScope {
+  kNone,
+  kTask,        // inside each map task (Hadoop default)
+  kNode,        // across map tasks on one node, before shuffle
+  kTaskAndNode,
+};
+
+template <typename KOut, typename VOut>
+struct JobOutput {
+  JobResult raw;
+  /// All reduce outputs decoded, in reducer order then key order.
+  std::vector<std::pair<KOut, VOut>> records;
+};
+
+template <typename KMid, typename VMid, typename KOut, typename VOut>
+class Job {
+ public:
+  using MapCtx = MapContext<KMid, VMid>;
+  using ReduceCtx = ReduceContext<KOut, VOut>;
+  using Mapper = std::function<void(uint32_t split_index, MapCtx& ctx)>;
+  using Reducer = std::function<void(const KMid& key, const std::vector<VMid>& values,
+                                     ReduceCtx& ctx)>;
+  /// Associative + commutative merge of two values under one key.
+  using Combiner = std::function<VMid(const VMid&, const VMid&)>;
+
+  Job(cluster::SimCluster& cluster, JobConfig config)
+      : cluster_(cluster), config_(std::move(config)) {}
+
+  void set_mapper(Mapper m) { mapper_ = std::move(m); }
+  void set_reducer(Reducer r) { reducer_ = std::move(r); }
+  void set_combiner(Combiner c, CombineScope scope = CombineScope::kTask) {
+    combiner_ = std::move(c);
+    combine_scope_ = scope;
+  }
+
+  const JobConfig& config() const { return config_; }
+  JobConfig& mutable_config() { return config_; }
+
+  /// Runs the job to completion (drains virtual time) and decodes output.
+  JobOutput<KOut, VOut> RunBlocking(std::vector<SplitDesc> splits) {
+    AMR_CHECK(mapper_ && reducer_) << "job needs a mapper and a reducer";
+    JobDriver driver(cluster_, config_);
+
+    const bool task_combine = combiner_ && (combine_scope_ == CombineScope::kTask ||
+                                            combine_scope_ == CombineScope::kTaskAndNode);
+    const bool node_combine = combiner_ && (combine_scope_ == CombineScope::kNode ||
+                                            combine_scope_ == CombineScope::kTaskAndNode);
+
+    MapWork map_work = [this, task_combine](uint32_t split_index) {
+      MapCtx ctx(config_.num_reducers,
+                 task_combine ? combiner_ : Combiner{});
+      mapper_(split_index, ctx);
+      return ctx.Finish();
+    };
+
+    ReduceWork reduce_work = [this](uint32_t reducer_index,
+                                    const std::vector<const serde::Buffer*>& inputs) {
+      return RunReduce(reducer_index, inputs);
+    };
+
+    NodeCombineWork node_combine_work;
+    if (node_combine) {
+      node_combine_work = [this](uint32_t,
+                                 const std::vector<const serde::Buffer*>& inputs) {
+        return CombineStreams(inputs);
+      };
+    }
+
+    JobOutput<KOut, VOut> out;
+    out.raw = driver.RunBlocking(std::move(splits), std::move(map_work),
+                                 std::move(reduce_work), std::move(node_combine_work));
+    for (const serde::Buffer& buf : out.raw.reduce_outputs) {
+      serde::KvReader<KOut, VOut> reader(buf);
+      auto records = reader.ReadAll();
+      AMR_CHECK(records.ok()) << records.status().ToString();
+      auto& vec = records.value();
+      out.records.insert(out.records.end(), std::make_move_iterator(vec.begin()),
+                         std::make_move_iterator(vec.end()));
+    }
+    return out;
+  }
+
+ private:
+  ReduceTaskOutput RunReduce(uint32_t /*reducer_index*/,
+                             const std::vector<const serde::Buffer*>& inputs) {
+    // Decode + group by key.
+    std::unordered_map<KMid, std::vector<VMid>> groups;
+    uint64_t input_records = 0;
+    for (const serde::Buffer* buf : inputs) {
+      serde::KvReader<KMid, VMid> reader(*buf);
+      KMid k{};
+      VMid v{};
+      while (reader.Next(k, v)) {
+        groups[k].push_back(v);
+        ++input_records;
+      }
+      AMR_CHECK(reader.status().ok()) << reader.status().ToString();
+    }
+    // Deterministic key order; models Hadoop's merge sort.
+    std::vector<const KMid*> keys;
+    keys.reserve(groups.size());
+    for (const auto& [k, vs] : groups) keys.push_back(&k);
+    std::sort(keys.begin(), keys.end(),
+              [](const KMid* a, const KMid* b) { return *a < *b; });
+
+    ReduceCtx ctx;
+    if (config_.charge_sort && input_records > 1) {
+      ctx.AddOps(static_cast<uint64_t>(
+          static_cast<double>(input_records) *
+          std::log2(static_cast<double>(input_records))));
+    }
+    for (const KMid* k : keys) reducer_(*k, groups.at(*k), ctx);
+    return ctx.Finish();
+  }
+
+  /// Node-level combine: merges streams, one value per key, re-encodes.
+  serde::Buffer CombineStreams(const std::vector<const serde::Buffer*>& inputs) {
+    std::unordered_map<KMid, VMid> merged;
+    for (const serde::Buffer* buf : inputs) {
+      serde::KvReader<KMid, VMid> reader(*buf);
+      KMid k{};
+      VMid v{};
+      while (reader.Next(k, v)) {
+        auto [it, inserted] = merged.try_emplace(k, v);
+        if (!inserted) it->second = combiner_(it->second, v);
+      }
+      AMR_CHECK(reader.status().ok()) << reader.status().ToString();
+    }
+    serde::KvWriter<KMid, VMid> writer;
+    for (const auto& [k, v] : merged) writer.Add(k, v);
+    return std::move(writer).Finish();
+  }
+
+  cluster::SimCluster& cluster_;
+  JobConfig config_;
+  Mapper mapper_;
+  Reducer reducer_;
+  Combiner combiner_;
+  CombineScope combine_scope_ = CombineScope::kNone;
+};
+
+}  // namespace asyncmr::mr

@@ -1,0 +1,127 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace asyncmr::net {
+
+FlowId Network::Transfer(NodeId src, NodeId dst, uint64_t bytes,
+                         std::function<void()> on_complete) {
+  AMR_CHECK(src < topology_.num_nodes() && dst < topology_.num_nodes());
+  const FlowId id = next_flow_id_++;
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.remaining_bytes = static_cast<double>(bytes);
+  flow.total_bytes = bytes;
+  flow.on_complete = std::move(on_complete);
+
+  // The payload enters the pipe after one propagation latency.
+  const double latency = topology_.Latency(src, dst);
+  queue_.ScheduleAfter(latency, [this, id, flow = std::move(flow)]() mutable {
+    StartFlow(id, std::move(flow));
+  });
+  return id;
+}
+
+void Network::Send(NodeId src, NodeId dst, std::function<void()> on_delivered) {
+  AMR_CHECK(src < topology_.num_nodes() && dst < topology_.num_nodes());
+  queue_.ScheduleAfter(topology_.Latency(src, dst), std::move(on_delivered));
+}
+
+double Network::IdealTransferSeconds(NodeId src, NodeId dst, uint64_t bytes) const {
+  const auto& cfg = topology_.config();
+  double rate = cfg.node_bandwidth_Bps;
+  if (src == dst) {
+    rate = cfg.loopback_bandwidth_Bps;
+  } else if (!topology_.SameRack(src, dst)) {
+    rate *= cfg.inter_rack_bandwidth_factor;
+  }
+  return topology_.Latency(src, dst) + static_cast<double>(bytes) / rate;
+}
+
+void Network::StartFlow(FlowId id, Flow flow) {
+  flow.last_update = queue_.now();
+  flow.start_time = queue_.now();
+  ++stats_.flows_started;
+  if (flow.remaining_bytes <= 0.0) {
+    // Latency already paid; finish immediately.
+    ++stats_.flows_completed;
+    if (flow.on_complete) flow.on_complete();
+    return;
+  }
+  flows_.emplace(id, std::move(flow));
+  Rebalance();
+}
+
+void Network::CompleteFlow(FlowId id) {
+  auto it = flows_.find(id);
+  AMR_CHECK(it != flows_.end());
+  Flow flow = std::move(it->second);
+  flows_.erase(it);
+
+  ++stats_.flows_completed;
+  stats_.bytes_transferred += flow.total_bytes;
+  if (!topology_.SameRack(flow.src, flow.dst)) {
+    stats_.bytes_cross_rack += flow.total_bytes;
+  }
+  stats_.busy_seconds += queue_.now() - flow.start_time;
+
+  Rebalance();
+  if (flow.on_complete) flow.on_complete();
+}
+
+double Network::FlowRate(
+    const Flow& flow,
+    const std::unordered_map<NodeId, uint32_t>& flows_at_node) const {
+  const auto& cfg = topology_.config();
+  if (flow.src == flow.dst) {
+    // Loopback: shared among this node's loopback flows only, at memory rate.
+    return cfg.loopback_bandwidth_Bps /
+           std::max<uint32_t>(1, flows_at_node.at(flow.src));
+  }
+  const double src_share =
+      cfg.node_bandwidth_Bps / std::max<uint32_t>(1, flows_at_node.at(flow.src));
+  const double dst_share =
+      cfg.node_bandwidth_Bps / std::max<uint32_t>(1, flows_at_node.at(flow.dst));
+  double rate = std::min(src_share, dst_share);
+  if (!topology_.SameRack(flow.src, flow.dst)) {
+    rate *= cfg.inter_rack_bandwidth_factor;
+  }
+  return rate;
+}
+
+void Network::Rebalance() {
+  const double now = queue_.now();
+
+  // 1. Advance progress under the old rates.
+  for (auto& [id, flow] : flows_) {
+    const double elapsed = now - flow.last_update;
+    if (elapsed > 0 && flow.rate_Bps > 0) {
+      flow.remaining_bytes =
+          std::max(0.0, flow.remaining_bytes - elapsed * flow.rate_Bps);
+    }
+    flow.last_update = now;
+  }
+
+  // 2. Count active flows per node (a flow occupies both endpoints).
+  std::unordered_map<NodeId, uint32_t> flows_at_node;
+  for (const auto& [id, flow] : flows_) {
+    flows_at_node[flow.src]++;
+    if (flow.dst != flow.src) flows_at_node[flow.dst]++;
+  }
+
+  // 3. Recompute rates and reschedule completions.
+  for (auto& [id, flow] : flows_) {
+    flow.rate_Bps = FlowRate(flow, flows_at_node);
+    AMR_CHECK(flow.rate_Bps > 0);
+    if (flow.completion_event != 0) queue_.Cancel(flow.completion_event);
+    const double finish_in = flow.remaining_bytes / flow.rate_Bps;
+    const FlowId fid = id;
+    flow.completion_event =
+        queue_.ScheduleAfter(finish_in, [this, fid] { CompleteFlow(fid); });
+  }
+}
+
+}  // namespace asyncmr::net

@@ -1,0 +1,88 @@
+// Fluid-flow network model over the DES kernel.
+//
+// Each transfer is a flow with a byte count. Active flows share NIC capacity
+// max-min style at flow granularity: a flow's rate is the minimum of its
+// source and destination fair shares (NIC bandwidth / active flows at that
+// node), times an inter-rack oversubscription factor when it crosses racks.
+// Whenever the flow set changes, all remaining byte counts are advanced and
+// completion events rescheduled. This reproduces the behaviour the paper
+// leans on: shuffles and DFS writes contend for the network, so global
+// synchronizations cost far more than node-local work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+
+namespace asyncmr::net {
+
+using FlowId = uint64_t;
+
+/// Aggregate traffic accounting, for bench reporting.
+struct NetworkStats {
+  uint64_t flows_started = 0;
+  uint64_t flows_completed = 0;
+  uint64_t bytes_transferred = 0;
+  uint64_t bytes_cross_rack = 0;
+  double busy_seconds = 0.0;  // sum over flows of (finish - start)
+};
+
+class Network {
+ public:
+  Network(sim::EventQueue& queue, Topology topology)
+      : queue_(queue), topology_(std::move(topology)) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Starts a transfer of `bytes` from src to dst; on_complete fires (in
+  /// virtual time) once the last byte lands. Zero-byte transfers cost one
+  /// latency. Returns an id usable for diagnostics.
+  FlowId Transfer(NodeId src, NodeId dst, uint64_t bytes,
+                  std::function<void()> on_complete);
+
+  /// Latency-only one-way message (control-plane traffic).
+  void Send(NodeId src, NodeId dst, std::function<void()> on_delivered);
+
+  const Topology& topology() const { return topology_; }
+  const NetworkStats& stats() const { return stats_; }
+  size_t active_flows() const { return flows_.size(); }
+
+  /// Estimated time to move `bytes` on an otherwise idle network (used by
+  /// planners/tests, not by the simulation itself).
+  double IdealTransferSeconds(NodeId src, NodeId dst, uint64_t bytes) const;
+
+ private:
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    double remaining_bytes;
+    double rate_Bps = 0.0;
+    double last_update = 0.0;
+    double start_time = 0.0;
+    uint64_t total_bytes;
+    sim::EventId completion_event = 0;
+    std::function<void()> on_complete;
+  };
+
+  /// Advances progress of all flows to `now`, recomputes fair-share rates and
+  /// reschedules completion events.
+  void Rebalance();
+
+  void StartFlow(FlowId id, Flow flow);
+  void CompleteFlow(FlowId id);
+
+  double FlowRate(const Flow& flow,
+                  const std::unordered_map<NodeId, uint32_t>& flows_at_node) const;
+
+  sim::EventQueue& queue_;
+  Topology topology_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace asyncmr::net

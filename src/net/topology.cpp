@@ -1,0 +1,34 @@
+#include "net/topology.hpp"
+
+#include <sstream>
+
+namespace asyncmr::net {
+
+Topology::Topology(TopologyConfig config) : config_(config) {
+  AMR_CHECK_GE(config_.num_nodes, 1u);
+  AMR_CHECK_GE(config_.nodes_per_rack, 1u);
+  AMR_CHECK(config_.node_bandwidth_Bps > 0);
+  num_racks_ = (config_.num_nodes + config_.nodes_per_rack - 1) / config_.nodes_per_rack;
+}
+
+std::vector<NodeId> Topology::RackMembers(NodeId node) const {
+  const uint32_t rack = RackOf(node);
+  std::vector<NodeId> members;
+  const uint32_t first = rack * config_.nodes_per_rack;
+  for (uint32_t n = first; n < first + config_.nodes_per_rack && n < config_.num_nodes; ++n) {
+    members.push_back(n);
+  }
+  return members;
+}
+
+std::string Topology::Describe() const {
+  std::ostringstream os;
+  os << config_.num_nodes << " nodes / " << num_racks_ << " racks ("
+     << config_.nodes_per_rack << " per rack), NIC "
+     << config_.node_bandwidth_Bps / 125.0e6 << " Gb/s, latency intra/inter "
+     << config_.intra_rack_latency_s * 1e3 << "/" << config_.inter_rack_latency_s * 1e3
+     << " ms";
+  return os.str();
+}
+
+}  // namespace asyncmr::net

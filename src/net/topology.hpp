@@ -1,0 +1,69 @@
+// Cluster topology: nodes grouped into racks, with per-link latency and
+// per-NIC bandwidth. Defaults approximate the paper's testbed (Table I):
+// 8 EC2 extra-large instances behind a shared cloud network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace asyncmr::net {
+
+/// Index of a machine in the simulated cluster.
+using NodeId = uint32_t;
+
+struct TopologyConfig {
+  uint32_t num_nodes = 8;
+  uint32_t nodes_per_rack = 4;
+
+  /// One-way message latency in seconds.
+  double intra_rack_latency_s = 0.5e-3;
+  double inter_rack_latency_s = 1.5e-3;
+  double loopback_latency_s = 0.05e-3;
+
+  /// NIC bandwidth per node, bytes/second (1 Gb/s ~ EC2 2010).
+  double node_bandwidth_Bps = 125.0e6;
+
+  /// Inter-rack links are oversubscribed: flows crossing racks see this
+  /// fraction of their fair-share rate.
+  double inter_rack_bandwidth_factor = 0.5;
+
+  /// Loopback "transfers" (same node) run at memory-ish speed.
+  double loopback_bandwidth_Bps = 2.0e9;
+};
+
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config);
+
+  const TopologyConfig& config() const { return config_; }
+  uint32_t num_nodes() const { return config_.num_nodes; }
+  uint32_t num_racks() const { return num_racks_; }
+
+  uint32_t RackOf(NodeId node) const {
+    AMR_DCHECK(node < config_.num_nodes);
+    return node / config_.nodes_per_rack;
+  }
+
+  bool SameRack(NodeId a, NodeId b) const { return RackOf(a) == RackOf(b); }
+
+  /// One-way latency between two nodes in seconds.
+  double Latency(NodeId src, NodeId dst) const {
+    if (src == dst) return config_.loopback_latency_s;
+    return SameRack(src, dst) ? config_.intra_rack_latency_s
+                              : config_.inter_rack_latency_s;
+  }
+
+  /// Nodes in the same rack as `node` (including itself).
+  std::vector<NodeId> RackMembers(NodeId node) const;
+
+  std::string Describe() const;
+
+ private:
+  TopologyConfig config_;
+  uint32_t num_racks_;
+};
+
+}  // namespace asyncmr::net

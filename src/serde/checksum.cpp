@@ -1,0 +1,33 @@
+#include "serde/checksum.hpp"
+
+#include <array>
+
+namespace asyncmr::serde {
+
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = MakeCrcTable();
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> bytes, uint32_t seed) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (uint8_t b : bytes) {
+    c = kCrcTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace asyncmr::serde

@@ -1,0 +1,103 @@
+// Typed key-value record streams: the on-the-wire representation of map
+// outputs. A KvWriter appends encoded (K,V) records to a buffer; a KvReader
+// iterates them back. Shuffle segments, DFS iteration outputs, and RPC
+// payloads are all KvStreams, so "bytes moved" in the cost model equals the
+// real encoded size of the data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "serde/serde.hpp"
+
+namespace asyncmr::serde {
+
+template <typename K, typename V>
+class KvWriter {
+ public:
+  KvWriter() : writer_(buffer_) {}
+
+  void Add(const K& key, const V& value) {
+    Serde<K>::Write(writer_, key);
+    Serde<V>::Write(writer_, value);
+    ++count_;
+  }
+
+  uint64_t count() const { return count_; }
+  size_t byte_size() const { return buffer_.size(); }
+  const Buffer& buffer() const { return buffer_; }
+
+  /// Finalizes into a length-prefixed stream buffer.
+  Buffer Finish() && {
+    Buffer out;
+    Writer w(out);
+    w.WriteVarU64(count_);
+    out.Append(buffer_.data(), buffer_.size());
+    return out;
+  }
+
+ private:
+  Buffer buffer_;
+  Writer writer_;
+  uint64_t count_ = 0;
+};
+
+template <typename K, typename V>
+class KvReader {
+ public:
+  explicit KvReader(std::span<const uint8_t> bytes) : reader_(bytes) {
+    status_ = reader_.ReadVarU64(count_);
+  }
+  explicit KvReader(const Buffer& buf) : KvReader(buf.view()) {}
+
+  /// Records announced by the stream header.
+  uint64_t count() const { return count_; }
+
+  /// Reads the next record. Returns false at end-of-stream; check status()
+  /// afterwards to distinguish clean EOF from corruption.
+  bool Next(K& key, V& value) {
+    if (!status_.ok() || read_ >= count_) return false;
+    status_ = Serde<K>::Read(reader_, key);
+    if (!status_.ok()) return false;
+    status_ = Serde<V>::Read(reader_, value);
+    if (!status_.ok()) return false;
+    ++read_;
+    return true;
+  }
+
+  Status status() const {
+    if (!status_.ok()) return status_;
+    if (read_ < count_) return Status::Ok();  // not yet drained
+    return Status::Ok();
+  }
+
+  /// Drains the stream into a vector; returns error on corruption.
+  Result<std::vector<std::pair<K, V>>> ReadAll() {
+    std::vector<std::pair<K, V>> out;
+    out.reserve(static_cast<size_t>(count_));
+    K k{};
+    V v{};
+    while (Next(k, v)) out.emplace_back(std::move(k), std::move(v));
+    if (!status_.ok()) return status_;
+    if (read_ != count_) return Status::DataLoss("kv stream shorter than header count");
+    return out;
+  }
+
+ private:
+  Reader reader_{std::span<const uint8_t>{}};
+  uint64_t count_ = 0;
+  uint64_t read_ = 0;
+  Status status_;
+};
+
+/// Encodes a vector of pairs as a KvStream buffer.
+template <typename K, typename V>
+Buffer EncodeKvStream(const std::vector<std::pair<K, V>>& records) {
+  KvWriter<K, V> w;
+  for (const auto& [k, v] : records) w.Add(k, v);
+  return std::move(w).Finish();
+}
+
+}  // namespace asyncmr::serde

@@ -1,0 +1,193 @@
+// Serde<T>: trait-style serialization. Specializations exist for arithmetic
+// types, strings, pairs, vectors and user structs that opt in via
+// `AMR_SERDE_FIELDS`. The MapReduce engine is typed end-to-end; keys/values
+// cross the simulated network only through these encoders so shuffle byte
+// counts are faithful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "serde/wire.hpp"
+
+namespace asyncmr::serde {
+
+template <typename T, typename Enable = void>
+struct Serde;  // undefined primary: instantiation error = "type not serializable"
+
+// --- arithmetic types -------------------------------------------------------
+
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_arithmetic_v<T>>> {
+  static void Write(Writer& w, const T& v) {
+    if constexpr (std::is_same_v<T, float>) {
+      w.WriteF32(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      w.WriteF64(static_cast<double>(v));
+    } else if constexpr (std::is_same_v<T, bool>) {
+      w.WriteBool(v);
+    } else if constexpr (std::is_signed_v<T>) {
+      w.WriteVarI64(static_cast<int64_t>(v));
+    } else {
+      w.WriteVarU64(static_cast<uint64_t>(v));
+    }
+  }
+  static Status Read(Reader& r, T& v) {
+    if constexpr (std::is_same_v<T, float>) {
+      return r.ReadF32(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      double d = 0;
+      AMR_RETURN_IF_ERROR(r.ReadF64(d));
+      v = static_cast<T>(d);
+      return Status::Ok();
+    } else if constexpr (std::is_same_v<T, bool>) {
+      bool b = false;
+      AMR_RETURN_IF_ERROR(r.ReadBool(b));
+      v = b;
+      return Status::Ok();
+    } else if constexpr (std::is_signed_v<T>) {
+      int64_t x = 0;
+      AMR_RETURN_IF_ERROR(r.ReadVarI64(x));
+      v = static_cast<T>(x);
+      return Status::Ok();
+    } else {
+      uint64_t x = 0;
+      AMR_RETURN_IF_ERROR(r.ReadVarU64(x));
+      v = static_cast<T>(x);
+      return Status::Ok();
+    }
+  }
+};
+
+// --- std::string ------------------------------------------------------------
+
+template <>
+struct Serde<std::string> {
+  static void Write(Writer& w, const std::string& v) { w.WriteString(v); }
+  static Status Read(Reader& r, std::string& v) { return r.ReadString(v); }
+};
+
+// --- std::pair ---------------------------------------------------------------
+
+template <typename A, typename B>
+struct Serde<std::pair<A, B>> {
+  static void Write(Writer& w, const std::pair<A, B>& v) {
+    Serde<A>::Write(w, v.first);
+    Serde<B>::Write(w, v.second);
+  }
+  static Status Read(Reader& r, std::pair<A, B>& v) {
+    AMR_RETURN_IF_ERROR(Serde<A>::Read(r, v.first));
+    return Serde<B>::Read(r, v.second);
+  }
+};
+
+// --- std::vector --------------------------------------------------------------
+
+template <typename T>
+struct Serde<std::vector<T>> {
+  static void Write(Writer& w, const std::vector<T>& v) {
+    w.WriteVarU64(v.size());
+    for (const auto& x : v) Serde<T>::Write(w, x);
+  }
+  static Status Read(Reader& r, std::vector<T>& v) {
+    uint64_t n = 0;
+    AMR_RETURN_IF_ERROR(r.ReadVarU64(n));
+    // Sanity bound: each element needs >= 1 byte on the wire.
+    if (n > r.remaining() && n > 0) {
+      if constexpr (!std::is_same_v<T, bool>) {
+        if (n > r.remaining()) return Status::DataLoss("vector length exceeds payload");
+      }
+    }
+    v.clear();
+    v.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      T x{};
+      AMR_RETURN_IF_ERROR(Serde<T>::Read(r, x));
+      v.push_back(std::move(x));
+    }
+    return Status::Ok();
+  }
+};
+
+// --- user structs via AMR_SERDE_FIELDS ---------------------------------------
+//
+//   struct Update { uint32_t node; double rank; AMR_SERDE_FIELDS(node, rank) };
+
+#define AMR_SERDE_FIELDS(...)                                              \
+  void AmrSerdeWrite(::asyncmr::serde::Writer& w) const {                  \
+    ::asyncmr::serde::detail::WriteFields(w, __VA_ARGS__);                 \
+  }                                                                        \
+  ::asyncmr::Status AmrSerdeRead(::asyncmr::serde::Reader& r) {            \
+    return ::asyncmr::serde::detail::ReadFields(r, __VA_ARGS__);           \
+  }
+
+namespace detail {
+
+template <typename... Ts>
+void WriteFields(Writer& w, const Ts&... fields) {
+  (Serde<Ts>::Write(w, fields), ...);
+}
+
+inline Status ReadFieldsImpl(Reader&) { return Status::Ok(); }
+
+template <typename T, typename... Rest>
+Status ReadFieldsImpl(Reader& r, T& first, Rest&... rest) {
+  AMR_RETURN_IF_ERROR(Serde<T>::Read(r, first));
+  return ReadFieldsImpl(r, rest...);
+}
+
+template <typename... Ts>
+Status ReadFields(Reader& r, Ts&... fields) {
+  return ReadFieldsImpl(r, fields...);
+}
+
+template <typename T>
+concept HasSerdeFields = requires(const T& ct, T& t, Writer& w, Reader& r) {
+  ct.AmrSerdeWrite(w);
+  { t.AmrSerdeRead(r) } -> std::same_as<Status>;
+};
+
+}  // namespace detail
+
+template <typename T>
+struct Serde<T, std::enable_if_t<detail::HasSerdeFields<T>>> {
+  static void Write(Writer& w, const T& v) { v.AmrSerdeWrite(w); }
+  static Status Read(Reader& r, T& v) { return v.AmrSerdeRead(r); }
+};
+
+// --- convenience -------------------------------------------------------------
+
+/// Serializes a value into a fresh buffer.
+template <typename T>
+Buffer Encode(const T& value) {
+  Buffer buf;
+  Writer w(buf);
+  Serde<T>::Write(w, value);
+  return buf;
+}
+
+/// Deserializes a whole buffer into a value; fails on trailing bytes.
+template <typename T>
+Result<T> Decode(std::span<const uint8_t> bytes) {
+  Reader r(bytes);
+  T value{};
+  AMR_RETURN_IF_ERROR(Serde<T>::Read(r, value));
+  if (!r.AtEnd()) return Status::DataLoss("trailing bytes after value");
+  return value;
+}
+
+template <typename T>
+Result<T> Decode(const Buffer& buf) {
+  return Decode<T>(buf.view());
+}
+
+/// Number of bytes value occupies on the wire.
+template <typename T>
+size_t EncodedSize(const T& value) {
+  return Encode(value).size();
+}
+
+}  // namespace asyncmr::serde

@@ -1,0 +1,148 @@
+// Binary wire format: little-endian fixed-width ints, LEB128 varints with
+// zigzag for signed values, length-prefixed strings. Writer appends to a
+// Buffer; Reader consumes a span with explicit error reporting (Status), so
+// corrupted simulated blocks surface as kDataLoss instead of UB.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "serde/buffer.hpp"
+
+namespace asyncmr::serde {
+
+static_assert(std::endian::native == std::endian::little,
+              "asyncmr wire format assumes a little-endian host");
+
+/// Zigzag encoding maps signed to unsigned preserving small magnitudes.
+constexpr uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+constexpr int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+class Writer {
+ public:
+  explicit Writer(Buffer& buffer) : buf_(buffer) {}
+
+  void WriteU8(uint8_t v) { buf_.AppendByte(v); }
+  void WriteU32(uint32_t v) { buf_.Append(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { buf_.Append(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { buf_.Append(&v, sizeof(v)); }
+  void WriteF64(double v) { buf_.Append(&v, sizeof(v)); }
+  void WriteF32(float v) { buf_.Append(&v, sizeof(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteVarU64(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.AppendByte(static_cast<uint8_t>(v | 0x80));
+      v >>= 7;
+    }
+    buf_.AppendByte(static_cast<uint8_t>(v));
+  }
+
+  void WriteVarI64(int64_t v) { WriteVarU64(ZigzagEncode(v)); }
+
+  void WriteString(std::string_view s) {
+    WriteVarU64(s.size());
+    buf_.Append(s.data(), s.size());
+  }
+
+  void WriteBytes(std::span<const uint8_t> bytes) {
+    WriteVarU64(bytes.size());
+    buf_.Append(bytes.data(), bytes.size());
+  }
+
+  Buffer& buffer() { return buf_; }
+
+ private:
+  Buffer& buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+  explicit Reader(const Buffer& buffer) : bytes_(buffer.view()) {}
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t position() const { return pos_; }
+
+  Status ReadU8(uint8_t& out) { return ReadRaw(&out, sizeof(out)); }
+  Status ReadU32(uint32_t& out) { return ReadRaw(&out, sizeof(out)); }
+  Status ReadU64(uint64_t& out) { return ReadRaw(&out, sizeof(out)); }
+  Status ReadI64(int64_t& out) { return ReadRaw(&out, sizeof(out)); }
+  Status ReadF64(double& out) { return ReadRaw(&out, sizeof(out)); }
+  Status ReadF32(float& out) { return ReadRaw(&out, sizeof(out)); }
+
+  Status ReadBool(bool& out) {
+    uint8_t b = 0;
+    AMR_RETURN_IF_ERROR(ReadU8(b));
+    if (b > 1) return Status::DataLoss("bool byte out of range");
+    out = (b == 1);
+    return Status::Ok();
+  }
+
+  Status ReadVarU64(uint64_t& out) {
+    out = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= bytes_.size()) return Status::DataLoss("truncated varint");
+      const uint8_t b = bytes_[pos_++];
+      if (shift >= 63 && (b & 0x7f) > 1) return Status::DataLoss("varint overflow");
+      out |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return Status::Ok();
+      shift += 7;
+    }
+  }
+
+  Status ReadVarI64(int64_t& out) {
+    uint64_t raw = 0;
+    AMR_RETURN_IF_ERROR(ReadVarU64(raw));
+    out = ZigzagDecode(raw);
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string& out) {
+    uint64_t len = 0;
+    AMR_RETURN_IF_ERROR(ReadVarU64(len));
+    if (len > remaining()) return Status::DataLoss("truncated string");
+    out.assign(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  Status ReadBytes(std::vector<uint8_t>& out) {
+    uint64_t len = 0;
+    AMR_RETURN_IF_ERROR(ReadVarU64(len));
+    if (len > remaining()) return Status::DataLoss("truncated bytes");
+    out.assign(bytes_.data() + pos_, bytes_.data() + pos_ + len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  Status Skip(size_t n) {
+    if (n > remaining()) return Status::DataLoss("skip past end");
+    pos_ += n;
+    return Status::Ok();
+  }
+
+ private:
+  Status ReadRaw(void* dst, size_t n) {
+    if (n > remaining()) return Status::DataLoss("truncated record");
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace asyncmr::serde

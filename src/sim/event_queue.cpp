@@ -1,0 +1,63 @@
+#include "sim/event_queue.hpp"
+
+namespace asyncmr::sim {
+
+EventId EventQueue::Schedule(SimTime at, std::function<void()> fn) {
+  AMR_CHECK(at >= now_) << "cannot schedule in the past: at=" << at << " now=" << now_;
+  const EventId id = next_id_++;
+  heap_.push(Event{at, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventQueue::RunOne() {
+  while (!heap_.empty()) {
+    const Event ev = heap_.top();
+    heap_.pop();
+    auto cancelled_it = cancelled_.find(ev.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto cb_it = callbacks_.find(ev.id);
+    AMR_CHECK(cb_it != callbacks_.end());
+    std::function<void()> fn = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = ev.time;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::RunUntilEmpty() {
+  while (RunOne()) {
+  }
+}
+
+void EventQueue::RunUntil(SimTime t) {
+  AMR_CHECK(t >= now_);
+  while (!heap_.empty()) {
+    // Peek for the earliest live event.
+    Event ev = heap_.top();
+    if (cancelled_.contains(ev.id)) {
+      heap_.pop();
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    if (ev.time > t) break;
+    RunOne();
+  }
+  now_ = t;
+}
+
+}  // namespace asyncmr::sim

@@ -1,0 +1,78 @@
+// Discrete-event simulation kernel: a virtual clock plus a deterministic
+// event queue. Cluster, network and DFS models schedule callbacks here;
+// virtual time ("EC2 seconds") advances only through this queue, never from
+// the host clock, so simulations are bit-reproducible for a given seed.
+//
+// Determinism: events at equal timestamps fire in scheduling order (FIFO
+// tie-break by sequence number).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace asyncmr::sim {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+/// Handle for cancelling a scheduled event.
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules fn at absolute virtual time `at` (must be >= now).
+  EventId Schedule(SimTime at, std::function<void()> fn);
+
+  /// Schedules fn `delay` seconds from now (delay >= 0).
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    return Schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; returns false if already fired or unknown.
+  bool Cancel(EventId id);
+
+  /// Fires the earliest pending event, advancing the clock to its timestamp.
+  /// Returns false when no events are pending.
+  bool RunOne();
+
+  /// Runs until the queue drains.
+  void RunUntilEmpty();
+
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  void RunUntil(SimTime t);
+
+  /// Pending (non-cancelled) event count.
+  size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  /// Total events fired so far (for determinism assertions in tests).
+  uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    // Ordered as a min-heap: earliest time first, then lowest id.
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace asyncmr::sim

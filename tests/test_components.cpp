@@ -1,0 +1,109 @@
+// Application tests: Connected Components (extension app) vs union-find.
+#include <gtest/gtest.h>
+
+#include "apps/components.hpp"
+#include "graph/generator.hpp"
+#include "graph/partitioner.hpp"
+
+namespace asyncmr::apps {
+namespace {
+
+cluster::ClusterSpec QuietSpec() {
+  auto spec = cluster::ClusterSpec::Ec2Large8();
+  spec.straggler_prob = 0.0;
+  spec.speed_jitter = 0.0;
+  return spec;
+}
+
+/// A graph with `islands` disconnected communities of size `island_size`.
+graph::Digraph IslandGraph(uint32_t islands, uint32_t island_size, uint64_t seed) {
+  std::vector<graph::Edge> edges;
+  Rng rng(seed);
+  for (uint32_t i = 0; i < islands; ++i) {
+    const uint32_t base = i * island_size;
+    // Random spanning structure plus chords.
+    for (uint32_t v = 1; v < island_size; ++v) {
+      edges.push_back({base + static_cast<graph::VertexId>(rng.NextBounded(v)),
+                       base + v, 1.0});
+    }
+    for (uint32_t c = 0; c < island_size / 2; ++c) {
+      const auto a = static_cast<graph::VertexId>(rng.NextBounded(island_size));
+      const auto b = static_cast<graph::VertexId>(rng.NextBounded(island_size));
+      if (a != b) edges.push_back({base + a, base + b, 1.0});
+    }
+  }
+  return graph::Digraph::FromEdges(islands * island_size, std::move(edges));
+}
+
+TEST(SerialComponents, CountsIslands) {
+  const auto g = IslandGraph(7, 40, 3);
+  const auto labels = SerialComponents(apps::Symmetrized(g));
+  std::set<graph::VertexId> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 7u);
+  // Label is the component minimum.
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[45], 40u);
+}
+
+TEST(GeneralComponents, MatchesUnionFind) {
+  const auto g = IslandGraph(5, 60, 11);
+  const auto part = graph::RangePartition(g, 6);
+  ComponentsConfig config;
+  cluster::SimCluster sim(QuietSpec());
+  const auto result = GeneralComponents(sim, g, part, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.labels, SerialComponents(apps::Symmetrized(g)));
+  EXPECT_EQ(result.num_components, 5u);
+}
+
+TEST(EagerComponents, MatchesUnionFind) {
+  const auto g = IslandGraph(5, 60, 11);
+  const auto part = graph::RangePartition(g, 6);
+  ComponentsConfig config;
+  cluster::SimCluster sim(QuietSpec());
+  const auto result = EagerComponents(sim, g, part, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.labels, SerialComponents(apps::Symmetrized(g)));
+  EXPECT_EQ(result.num_components, 5u);
+}
+
+TEST(EagerComponents, FewerGlobalIterationsOnChains) {
+  // A single long path: label 0 must travel the full length.
+  const auto g = graph::Grid2d(64, 1);
+  const auto part = graph::RangePartition(g, 8);
+  ComponentsConfig config;
+  cluster::SimCluster sim1(QuietSpec());
+  const auto general = GeneralComponents(sim1, g, part, config);
+  cluster::SimCluster sim2(QuietSpec());
+  const auto eager = EagerComponents(sim2, g, part, config);
+  EXPECT_EQ(general.num_components, 1u);
+  EXPECT_EQ(eager.num_components, 1u);
+  EXPECT_LT(eager.trace.global_iterations(), general.trace.global_iterations() / 3);
+}
+
+TEST(EagerComponents, SingletonVerticesAreOwnComponents) {
+  graph::Digraph g = graph::Digraph::FromEdges(5, {{0, 1, 1.0}});  // 2,3,4 isolated
+  graph::Partitioning part;
+  part.num_parts = 2;
+  part.part_of = {0, 0, 0, 1, 1};
+  ComponentsConfig config;
+  cluster::SimCluster sim(QuietSpec());
+  const auto result = EagerComponents(sim, g, part, config);
+  EXPECT_EQ(result.num_components, 4u);
+  EXPECT_EQ(result.labels[3], 3u);
+}
+
+TEST(Components, DirectedEdgesTreatedWeakly) {
+  // 0 -> 1 <- 2 : weakly one component even though not strongly connected.
+  graph::Digraph g = graph::Digraph::FromEdges(3, {{0, 1, 1.0}, {2, 1, 1.0}});
+  graph::Partitioning part;
+  part.num_parts = 1;
+  part.part_of = {0, 0, 0};
+  ComponentsConfig config;
+  cluster::SimCluster sim(QuietSpec());
+  const auto result = EagerComponents(sim, g, part, config);
+  EXPECT_EQ(result.num_components, 1u);
+}
+
+}  // namespace
+}  // namespace asyncmr::apps

