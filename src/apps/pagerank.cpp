@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <optional>
+#include <unordered_map>
 
 #include "apps/app_common.hpp"
 #include "core/partial_sync_job.hpp"
@@ -335,6 +338,228 @@ PageRankResult EagerPageRank(cluster::SimCluster& cluster, const graph::Digraph&
       break;
     }
   }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Async PageRank: barrier-free block solves on async::AsyncEngine.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-partition worker state for the asynchronous engine.
+struct AsyncPrPartition {
+  std::vector<graph::VertexId> members;
+  std::unordered_map<graph::VertexId, uint32_t> local_index;
+  // Internal adjacency in local indices (paper: the partition's sub-graph).
+  std::vector<std::vector<uint32_t>> internal_targets;
+  std::vector<double> inv_outdeg;  // per member
+  uint64_t internal_edges = 0;
+  // Boundary out-edges grouped by consuming partition, as (target, source
+  // local index) sorted by target so per-target sums accumulate in one pass.
+  struct BoundaryGroup {
+    uint32_t peer = 0;
+    std::vector<std::pair<graph::VertexId, uint32_t>> edges;
+  };
+  std::vector<BoundaryGroup> boundary;
+
+  std::vector<double> ranks;  // per member
+  std::vector<double> ext;    // per member: summed external contributions
+  async::StateStore<double> store;  // latest contribution per (sender, vertex)
+  // Delta filter per boundary group: last value pushed for each target.
+  std::vector<std::unordered_map<graph::VertexId, double>> last_sent;
+};
+
+/// Folds one target-sorted boundary edge group into per-target contribution
+/// sums: calls sink(target, sum of contrib(source local index)) once per
+/// distinct target. Seeding and the per-iteration push must group and sum
+/// identically or the senders' delta filters desynchronize from the
+/// receivers' state.
+template <typename ContribFn, typename SinkFn>
+void ForEachBoundaryTargetSum(
+    const std::vector<std::pair<graph::VertexId, uint32_t>>& edges,
+    ContribFn contrib, SinkFn sink) {
+  for (size_t e = 0; e < edges.size();) {
+    const graph::VertexId t = edges[e].first;
+    double sum = 0.0;
+    for (; e < edges.size() && edges[e].first == t; ++e) {
+      sum += contrib(edges[e].second);
+    }
+    sink(t, sum);
+  }
+}
+
+}  // namespace
+
+PageRankResult AsyncPageRank(cluster::SimCluster& cluster, const graph::Digraph& g,
+                             const graph::Partitioning& partitioning,
+                             const PageRankConfig& config, uint32_t staleness,
+                             async::AsyncResult* engine_stats) {
+  const uint32_t n = g.num_vertices();
+  const uint32_t num_parts = partitioning.num_parts;
+  const double chi = config.damping;
+  // Contribution changes smaller than this are not re-pushed. A receiver can
+  // accumulate one withheld delta per in-peer, so the threshold scales down
+  // with the partition count to keep the total silenced error under half the
+  // global tolerance regardless of fan-in.
+  const double send_eps =
+      config.tolerance * 0.5 / std::max(1u, partitioning.num_parts);
+  const auto members = partitioning.Members();
+
+  std::vector<AsyncPrPartition> parts(num_parts);
+  std::vector<std::vector<uint32_t>> in_peers(num_parts);
+
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    AsyncPrPartition& part = parts[p];
+    part.members = members[p];
+    const uint32_t m = static_cast<uint32_t>(part.members.size());
+    part.local_index.reserve(m * 2);
+    for (uint32_t i = 0; i < m; ++i) part.local_index.emplace(part.members[i], i);
+    part.internal_targets.resize(m);
+    part.inv_outdeg.resize(m);
+    part.ranks.assign(m, 1.0);
+    part.ext.assign(m, 0.0);
+
+    std::map<uint32_t, std::vector<std::pair<graph::VertexId, uint32_t>>> boundary;
+    for (uint32_t i = 0; i < m; ++i) {
+      const graph::VertexId u = part.members[i];
+      const uint32_t deg = g.OutDegree(u);
+      part.inv_outdeg[i] = deg > 0 ? 1.0 / deg : 0.0;
+      for (graph::VertexId t : g.OutNeighbors(u)) {
+        const uint32_t q = partitioning.part_of[t];
+        if (q == p) {
+          part.internal_targets[i].push_back(part.local_index.at(t));
+          ++part.internal_edges;
+        } else {
+          boundary[q].emplace_back(t, i);
+        }
+      }
+    }
+    for (auto& [q, edges] : boundary) {
+      std::sort(edges.begin(), edges.end());
+      part.boundary.push_back({q, std::move(edges)});
+      in_peers[q].push_back(p);
+    }
+    part.last_sent.resize(part.boundary.size());
+  }
+
+  // Seed external contributions from the initial all-ones ranks so iteration
+  // one starts from the same state a synchronized round zero would, and the
+  // delta filters agree with the receivers' seeded views.
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    parts[p].store = async::StateStore<double>(in_peers[p]);
+  }
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    AsyncPrPartition& part = parts[p];
+    for (size_t b = 0; b < part.boundary.size(); ++b) {
+      AsyncPrPartition& peer = parts[part.boundary[b].peer];
+      ForEachBoundaryTargetSum(
+          part.boundary[b].edges,
+          [&](uint32_t i) { return part.inv_outdeg[i]; },  // rank 1.0
+          [&](graph::VertexId t, double sum) {
+            part.last_sent[b].emplace(t, sum);
+            peer.store.Put(p, t, sum);
+            peer.ext[peer.local_index.at(t)] += sum;
+          });
+    }
+  }
+
+  async::AsyncConfig engine_config;
+  engine_config.staleness_bound = staleness;
+  engine_config.convergence_threshold = config.tolerance;
+  engine_config.max_iterations_per_worker = config.max_global_iterations * 10;
+  engine_config.update_record_bytes = kRankRecordBytes;
+  engine_config.compute_time_scale = config.gmap_time_scale;
+  engine_config.name = config.job_prefix + "-async";
+  async::AsyncEngine engine(cluster, num_parts, engine_config);
+
+  engine.set_out_peers([&](uint32_t p) {
+    std::vector<uint32_t> peers;
+    for (const auto& group : parts[p].boundary) peers.push_back(group.peer);
+    return peers;
+  });
+
+  engine.set_compute([&](uint32_t p, async::AsyncContext& ctx) {
+    AsyncPrPartition& part = parts[p];
+    const uint32_t m = static_cast<uint32_t>(part.members.size());
+    if (m == 0) return;
+    const std::vector<double> before = part.ranks;
+    uint64_t ops = 0;
+
+    // Block solve to local convergence with external contributions frozen
+    // (the paper's lmap/lreduce loop, computed directly).
+    std::vector<double> acc(m);
+    std::vector<double> next(m);
+    for (uint32_t sweep = 0; sweep < config.max_local_iterations; ++sweep) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (uint32_t i = 0; i < m; ++i) {
+        const double c = part.ranks[i] * part.inv_outdeg[i];
+        for (uint32_t t : part.internal_targets[i]) acc[t] += c;
+      }
+      double sweep_residual = 0.0;
+      for (uint32_t i = 0; i < m; ++i) {
+        next[i] = (1.0 - chi) + chi * (acc[i] + part.ext[i]);
+        sweep_residual = std::max(sweep_residual, std::abs(next[i] - part.ranks[i]));
+      }
+      part.ranks.swap(next);
+      ops += part.internal_edges + 2 * m;
+      if (sweep_residual < config.local_tolerance) break;
+    }
+
+    double residual = 0.0;
+    for (uint32_t i = 0; i < m; ++i) {
+      residual = std::max(residual, std::abs(part.ranks[i] - before[i]));
+    }
+    ctx.set_residual(residual);
+
+    // Push refreshed boundary contributions, delta-filtered.
+    for (size_t b = 0; b < part.boundary.size(); ++b) {
+      ForEachBoundaryTargetSum(
+          part.boundary[b].edges,
+          [&](uint32_t i) { return part.ranks[i] * part.inv_outdeg[i]; },
+          [&](graph::VertexId t, double sum) {
+            double& sent = part.last_sent[b][t];
+            if (std::abs(sum - sent) > send_eps) {
+              ctx.Emit(part.boundary[b].peer, t, sum);
+              sent = sum;
+            }
+          });
+      ops += part.boundary[b].edges.size();
+    }
+    ctx.AddOps(ops);
+  });
+
+  engine.set_apply([&](uint32_t p, uint32_t from, uint32_t from_clock,
+                       const async::UpdateBatch& batch) {
+    AsyncPrPartition& part = parts[p];
+    part.store.ObserveClock(from, from_clock);
+    for (const auto& [t, c] : batch) {
+      const std::optional<double> old = part.store.Put(from, t, c);
+      part.ext[part.local_index.at(t)] += c - old.value_or(0.0);
+    }
+  });
+
+  async::AsyncResult engine_result = engine.Run();
+  if (engine_stats != nullptr) *engine_stats = engine_result;
+
+  PageRankResult result;
+  result.ranks.assign(n, 1.0);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    for (uint32_t i = 0; i < parts[p].members.size(); ++i) {
+      result.ranks[parts[p].members[i]] = parts[p].ranks[i];
+    }
+  }
+  result.converged = engine_result.converged;
+  result.trace = core::RunTrace("async-pagerank");
+  core::RoundTrace trace;
+  trace.round = 0;
+  trace.start_seconds = engine_result.start_seconds;
+  trace.end_seconds = engine_result.end_seconds;
+  trace.ops = engine_result.total_ops;
+  trace.shuffle_bytes = engine_result.bytes_sent;
+  trace.local_iterations = static_cast<uint32_t>(engine_result.total_iterations);
+  trace.residual = engine_result.final_residual;
+  result.trace.AddRound(trace);
   return result;
 }
 

@@ -16,13 +16,19 @@
 //    local convergence with external contributions frozen, eagerly scheduling
 //    local iterations, then emits contributions for all out-edges into the
 //    global reduce.
-// Both converge to the same fixed point as SerialPageRank.
+//  * AsyncPageRank — beyond the paper: no global barrier at all. One
+//    long-lived worker per partition on async::AsyncEngine performs block
+//    solves and pushes boundary contributions directly to the neighboring
+//    partitions as byte-counted flows, with a configurable staleness window
+//    (0 = lockstep A/B baseline, unbounded = pure async).
+// All converge to the same fixed point as SerialPageRank.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "async/async_engine.hpp"
 #include "cluster/cluster.hpp"
 #include "core/metrics.hpp"
 #include "graph/partition.hpp"
@@ -62,5 +68,19 @@ PageRankResult GeneralPageRank(cluster::SimCluster& cluster, const graph::Digrap
 PageRankResult EagerPageRank(cluster::SimCluster& cluster, const graph::Digraph& g,
                              const graph::Partitioning& partitioning,
                              const PageRankConfig& config);
+
+/// Barrier-free PageRank on the asynchronous engine. Each iteration a worker
+/// block-solves its partition to local convergence against its current view
+/// of external contributions, then pushes refreshed boundary contributions to
+/// the partitions that consume them (delta-filtered, so a converged
+/// neighborhood goes quiet). `staleness` is the engine's window: 0 reproduces
+/// synchronized rounds, async::kUnboundedStaleness never waits. Detailed
+/// engine counters are returned through `engine_stats` when non-null; the
+/// RunTrace contains a single aggregate round.
+PageRankResult AsyncPageRank(cluster::SimCluster& cluster, const graph::Digraph& g,
+                             const graph::Partitioning& partitioning,
+                             const PageRankConfig& config,
+                             uint32_t staleness = async::kUnboundedStaleness,
+                             async::AsyncResult* engine_stats = nullptr);
 
 }  // namespace asyncmr::apps

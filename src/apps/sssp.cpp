@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <queue>
+#include <tuple>
+#include <unordered_map>
 
 #include "apps/app_common.hpp"
 #include "core/partial_sync_job.hpp"
@@ -338,6 +341,161 @@ SsspResult EagerSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
       break;
     }
   }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Async SSSP: chaotic relaxation on async::AsyncEngine.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-partition worker state for the asynchronous engine.
+struct AsyncSsspPartition {
+  std::vector<graph::VertexId> members;
+  // Internal weighted adjacency: per member, (target vertex, weight).
+  std::vector<std::vector<std::pair<graph::VertexId, double>>> internal;
+  uint64_t internal_edges = 0;
+  // Boundary out-edges grouped by consuming partition: (source, target, w).
+  struct BoundaryGroup {
+    uint32_t peer = 0;
+    std::vector<std::tuple<graph::VertexId, graph::VertexId, double>> edges;
+  };
+  std::vector<BoundaryGroup> boundary;
+  // Best candidate already pushed per boundary target (monotone decreasing).
+  std::vector<std::unordered_map<graph::VertexId, double>> best_sent;
+};
+
+}  // namespace
+
+SsspResult AsyncSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
+                     const graph::Partitioning& partitioning,
+                     const SsspConfig& config, uint32_t staleness,
+                     async::AsyncResult* engine_stats) {
+  const uint32_t n = g.num_vertices();
+  const uint32_t num_parts = partitioning.num_parts;
+  const auto members = partitioning.Members();
+
+  std::vector<AsyncSsspPartition> parts(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    AsyncSsspPartition& part = parts[p];
+    part.members = members[p];
+    part.internal.resize(part.members.size());
+    std::map<uint32_t,
+             std::vector<std::tuple<graph::VertexId, graph::VertexId, double>>>
+        boundary;
+    for (size_t i = 0; i < part.members.size(); ++i) {
+      const graph::VertexId u = part.members[i];
+      const auto neighbors = g.OutNeighbors(u);
+      const auto weights = g.OutWeights(u);
+      for (size_t e = 0; e < neighbors.size(); ++e) {
+        const graph::VertexId t = neighbors[e];
+        const double w = EdgeWeight(weights, e);
+        if (partitioning.part_of[t] == p) {
+          part.internal[i].emplace_back(t, w);
+          ++part.internal_edges;
+        } else {
+          boundary[partitioning.part_of[t]].emplace_back(u, t, w);
+        }
+      }
+    }
+    for (auto& [q, edges] : boundary) {
+      part.boundary.push_back({q, std::move(edges)});
+    }
+    part.best_sent.resize(part.boundary.size());
+  }
+
+  SsspResult result;
+  if (config.initial_distances.empty()) {
+    result.distances.assign(n, kInfDistance);
+    result.distances[config.source] = 0.0;
+  } else {
+    AMR_CHECK_EQ(config.initial_distances.size(), n);
+    result.distances = config.initial_distances;
+  }
+  std::vector<double>& dist = result.distances;
+
+  async::AsyncConfig engine_config;
+  engine_config.staleness_bound = staleness;
+  // Residual is the count of changed distances; terminate when none anywhere.
+  engine_config.convergence_threshold = 0.5;
+  engine_config.max_iterations_per_worker = config.max_global_iterations;
+  engine_config.update_record_bytes = kDistRecordBytes;
+  engine_config.compute_time_scale = config.gmap_time_scale;
+  engine_config.name = config.job_prefix + "-async";
+  async::AsyncEngine engine(cluster, num_parts, engine_config);
+
+  engine.set_out_peers([&](uint32_t p) {
+    std::vector<uint32_t> peers;
+    for (const auto& group : parts[p].boundary) peers.push_back(group.peer);
+    return peers;
+  });
+
+  engine.set_compute([&](uint32_t p, async::AsyncContext& ctx) {
+    AsyncSsspPartition& part = parts[p];
+    uint64_t ops = 0;
+    uint64_t changed = 0;
+
+    // Internal Bellman-Ford to a fixed point: all paths through this
+    // partition's sub-graph are settled before anything is pushed.
+    for (uint32_t sweep = 0; sweep < config.max_local_iterations; ++sweep) {
+      uint64_t sweep_changed = 0;
+      for (size_t i = 0; i < part.members.size(); ++i) {
+        const double d = dist[part.members[i]];
+        if (d == kInfDistance) continue;
+        for (const auto& [t, w] : part.internal[i]) {
+          if (d + w < dist[t] - kEps) {
+            dist[t] = d + w;
+            ++sweep_changed;
+          }
+        }
+      }
+      ops += part.internal_edges + part.members.size();
+      changed += sweep_changed;
+      if (sweep_changed == 0) break;
+    }
+    ctx.set_residual(static_cast<double>(changed));
+
+    // Push improved cross-partition candidates only.
+    for (size_t b = 0; b < part.boundary.size(); ++b) {
+      const auto& group = part.boundary[b];
+      for (const auto& [u, t, w] : group.edges) {
+        const double d = dist[u];
+        if (d == kInfDistance) continue;
+        const double cand = d + w;
+        auto [it, inserted] = part.best_sent[b].try_emplace(t, cand);
+        if (!inserted) {
+          if (cand >= it->second - kEps) continue;
+          it->second = cand;
+        }
+        ctx.Emit(group.peer, t, cand);
+      }
+      ops += group.edges.size();
+    }
+    ctx.AddOps(ops);
+  });
+
+  engine.set_apply([&](uint32_t /*p*/, uint32_t /*from*/, uint32_t /*from_clock*/,
+                       const async::UpdateBatch& batch) {
+    for (const auto& [t, cand] : batch) {
+      if (cand < dist[t] - kEps) dist[t] = cand;
+    }
+  });
+
+  async::AsyncResult engine_result = engine.Run();
+  if (engine_stats != nullptr) *engine_stats = engine_result;
+
+  result.converged = engine_result.converged;
+  result.trace = core::RunTrace("async-sssp");
+  core::RoundTrace trace;
+  trace.round = 0;
+  trace.start_seconds = engine_result.start_seconds;
+  trace.end_seconds = engine_result.end_seconds;
+  trace.ops = engine_result.total_ops;
+  trace.shuffle_bytes = engine_result.bytes_sent;
+  trace.local_iterations = static_cast<uint32_t>(engine_result.total_iterations);
+  trace.residual = engine_result.final_residual;
+  result.trace.AddRound(trace);
   return result;
 }
 

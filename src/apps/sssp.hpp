@@ -6,13 +6,18 @@
 // gmap relaxes *within* its partition to local convergence (all paths through
 // the sub-graph considered, exactly the paper's description of asynchronous
 // Dijkstra) before the global synchronization accounts for cross-partition
-// edges. Both converge to Dijkstra's distances.
+// edges. The Async implementation removes the global synchronization
+// entirely: chaotic relaxation on async::AsyncEngine, workers pushing
+// improved boundary candidates straight to the neighboring partitions (the
+// min-combine is monotone, so any staleness is safe). All converge to
+// Dijkstra's distances.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "async/async_engine.hpp"
 #include "cluster/cluster.hpp"
 #include "core/metrics.hpp"
 #include "graph/partition.hpp"
@@ -49,5 +54,16 @@ SsspResult GeneralSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
 SsspResult EagerSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
                      const graph::Partitioning& partitioning,
                      const SsspConfig& config);
+
+/// Barrier-free SSSP on the asynchronous engine: each worker runs internal
+/// Bellman-Ford to a fixed point, then pushes only *improved* cross-partition
+/// candidates (the natural delta filter — a settled frontier goes quiet).
+/// The worker residual is its count of changed distances, so the run
+/// terminates once no distance changes anywhere with nothing in flight.
+SsspResult AsyncSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
+                     const graph::Partitioning& partitioning,
+                     const SsspConfig& config,
+                     uint32_t staleness = async::kUnboundedStaleness,
+                     async::AsyncResult* engine_stats = nullptr);
 
 }  // namespace asyncmr::apps

@@ -1,0 +1,334 @@
+#include "async/async_engine.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hpp"
+
+namespace asyncmr::async {
+
+AsyncEngine::AsyncEngine(cluster::SimCluster& cluster, uint32_t num_partitions,
+                         AsyncConfig config)
+    : cluster_(cluster), num_partitions_(num_partitions), config_(std::move(config)) {
+  AMR_CHECK(num_partitions_ > 0) << "async engine needs at least one partition";
+  workers_.resize(num_partitions_);
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    workers_[p].node = NodeOfPartition(p);
+  }
+}
+
+AsyncEngine::~AsyncEngine() {
+  // The token handlers capture `this`; they must not outlive the engine in
+  // the longer-lived cluster.
+  if (!handlers_registered_) return;
+  const uint32_t nodes =
+      std::min<uint32_t>(num_partitions_, cluster_.spec().num_nodes());
+  for (net::NodeId node = 0; node < nodes; ++node) {
+    cluster_.rpc().UnregisterHandler(node, TokenMethod());
+  }
+}
+
+net::NodeId AsyncEngine::NodeOfPartition(uint32_t p) const {
+  return p % cluster_.spec().num_nodes();
+}
+
+void AsyncEngine::BuildTopology() {
+  send_peers_.assign(num_partitions_, {});
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    std::vector<uint32_t> out;
+    if (out_peers_) {
+      out = out_peers_(p);
+    } else {
+      out.reserve(num_partitions_ - 1);
+      for (uint32_t q = 0; q < num_partitions_; ++q) {
+        if (q != p) out.push_back(q);
+      }
+    }
+    for (uint32_t q : out) {
+      AMR_CHECK(q < num_partitions_ && q != p)
+          << "bad out-peer " << q << " for partition " << p;
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    send_peers_[p] = std::move(out);
+  }
+
+  if (config_.staleness_bound != kUnboundedStaleness) {
+    // Symmetrize: clocks must propagate along every edge they gate, so each
+    // directed peer edge carries (possibly empty) batches both ways.
+    std::vector<std::vector<uint32_t>> sym = send_peers_;
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      for (uint32_t q : send_peers_[p]) sym[q].push_back(p);
+    }
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      std::sort(sym[p].begin(), sym[p].end());
+      sym[p].erase(std::unique(sym[p].begin(), sym[p].end()), sym[p].end());
+    }
+    send_peers_ = std::move(sym);
+    clocks_.clear();
+    clocks_.reserve(num_partitions_);
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      clocks_.emplace_back(send_peers_[p]);
+    }
+  }
+}
+
+bool AsyncEngine::KeepaliveDue(const Worker& w, uint32_t p) const {
+  // An idle worker must take a clock-bearing iteration once a peer pulls
+  // ahead of the staleness window, or lockstep peers would gate on it
+  // forever.
+  if (config_.staleness_bound == kUnboundedStaleness || w.capped) return false;
+  if (clocks_[p].peers().empty()) return false;
+  return static_cast<uint64_t>(clocks_[p].max_clock()) >
+         static_cast<uint64_t>(w.iterations) + config_.staleness_bound;
+}
+
+void AsyncEngine::TryStartIteration(uint32_t p) {
+  if (finished_) return;
+  Worker& w = workers_[p];
+  if (w.phase != Phase::kIdle && w.phase != Phase::kBlocked) return;
+  if (w.iterations >= config_.max_iterations_per_worker) {
+    w.capped = true;
+    w.phase = Phase::kIdle;
+    return;
+  }
+  if (config_.staleness_bound != kUnboundedStaleness &&
+      !clocks_[p].AdmitsIteration(w.iterations + 1, config_.staleness_bound)) {
+    w.phase = Phase::kBlocked;
+    return;
+  }
+  w.phase = Phase::kWaitingSlot;
+  cluster_.AcquireSlot(w.node, config_.slot_type, [this, p] { BeginCompute(p); });
+}
+
+void AsyncEngine::BeginCompute(uint32_t p) {
+  Worker& w = workers_[p];
+  if (finished_) {
+    cluster_.ReleaseSlot(w.node, config_.slot_type);
+    return;
+  }
+  // An iteration forced only by the keepalive rule has no new input and an
+  // already-converged state: it exists to advance the clock, so skip the
+  // application compute and just carry the residual — charging a full block
+  // solve would distort the async cost model.
+  const bool keepalive_only =
+      w.iterations > 0 && !w.pending_input &&
+      w.ledger.last_residual < config_.convergence_threshold;
+
+  w.phase = Phase::kComputing;
+  w.pending_input = false;
+
+  // The real work runs exactly once, now; its virtual duration is charged
+  // from the same cost model as wave tasks.
+  AsyncContext ctx;
+  ctx.partition_ = p;
+  ctx.iteration_ = w.iterations + 1;
+  if (keepalive_only) {
+    ctx.residual_ = w.ledger.last_residual;
+  } else {
+    compute_(p, ctx);
+  }
+
+  const cluster::ClusterSpec& spec = cluster_.spec();
+  Rng& rng = cluster_.rng();
+  double slowdown = 1.0 + spec.speed_jitter * (2.0 * rng.NextDouble() - 1.0);
+  if (rng.NextBool(spec.straggler_prob)) {
+    slowdown =
+        rng.NextDouble(spec.straggler_slowdown_min, spec.straggler_slowdown_max);
+  }
+  const double compute_s = static_cast<double>(ctx.ops_) * spec.per_op_seconds *
+                           config_.compute_time_scale * slowdown /
+                           spec.nodes[w.node].speed_factor;
+
+  auto batches =
+      std::make_shared<std::map<uint32_t, UpdateBatch>>(std::move(ctx.batches_));
+  const uint64_t ops = ctx.ops_;
+  const double residual = ctx.residual_;
+  cluster_.queue().ScheduleAfter(compute_s, [this, p, ops, residual, batches] {
+    FinishCompute(p, ops, residual, std::move(*batches));
+  });
+}
+
+void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, double residual,
+                                std::map<uint32_t, UpdateBatch> batches) {
+  Worker& w = workers_[p];
+  cluster_.ReleaseSlot(w.node, config_.slot_type);
+  ++w.iterations;
+  w.ops += ops;
+  w.ledger.last_residual = residual;
+  w.ledger.dirty = true;
+
+  for (const auto& [q, batch] : batches) {
+    AMR_CHECK(std::binary_search(send_peers_[p].begin(), send_peers_[p].end(), q))
+        << "partition " << p << " emitted to undeclared peer " << q;
+  }
+
+  const uint32_t clock = w.iterations;
+  auto send = [&](uint32_t q, UpdateBatch batch) {
+    ++w.ledger.batches_sent;
+    ++total_batches_;
+    w.records_sent += batch.size();
+    total_records_ += batch.size();
+    const uint64_t bytes = config_.update_envelope_bytes +
+                           config_.update_record_bytes * batch.size();
+    total_bytes_ += bytes;
+    auto payload = std::make_shared<UpdateBatch>(std::move(batch));
+    cluster_.network().Transfer(
+        w.node, workers_[q].node, bytes,
+        [this, q, p, clock, payload] { OnBatchDelivered(q, p, clock, *payload); });
+  };
+
+  if (config_.staleness_bound != kUnboundedStaleness) {
+    // Bounded window: every peer edge carries the new clock each iteration,
+    // with an empty batch when there is no payload.
+    for (uint32_t q : send_peers_[p]) {
+      auto it = batches.find(q);
+      send(q, it == batches.end() ? UpdateBatch{} : std::move(it->second));
+    }
+  } else {
+    for (auto& [q, batch] : batches) {
+      if (!batch.empty()) send(q, std::move(batch));
+    }
+  }
+
+  w.phase = Phase::kIdle;
+  if (residual >= config_.convergence_threshold || w.pending_input ||
+      KeepaliveDue(w, p)) {
+    TryStartIteration(p);
+  }
+}
+
+void AsyncEngine::OnBatchDelivered(uint32_t to, uint32_t from, uint32_t from_clock,
+                                   const UpdateBatch& batch) {
+  Worker& w = workers_[to];
+  ++w.ledger.batches_received;
+  w.ledger.dirty = true;
+  if (!batch.empty()) {
+    apply_(to, from, from_clock, batch);
+    w.pending_input = true;
+  }
+  if (config_.staleness_bound != kUnboundedStaleness) {
+    clocks_[to].Observe(from, from_clock);
+  }
+  if (finished_) return;
+  if (w.phase == Phase::kBlocked ||
+      (w.phase == Phase::kIdle && (w.pending_input || KeepaliveDue(w, to)))) {
+    TryStartIteration(to);
+  }
+}
+
+// --- termination token -------------------------------------------------------
+
+void AsyncEngine::RegisterTokenHandlers() {
+  handlers_registered_ = true;
+  const uint32_t nodes =
+      std::min<uint32_t>(num_partitions_, cluster_.spec().num_nodes());
+  for (net::NodeId node = 0; node < nodes; ++node) {
+    cluster_.rpc().RegisterHandler(
+        node, TokenMethod(),
+        [this](net::NodeId /*from*/,
+               const serde::Buffer& request) -> Result<serde::Buffer> {
+          auto token = serde::Decode<ProgressToken>(request);
+          AMR_CHECK(token.ok()) << token.status().ToString();
+          HandleTokenAt(token.value().position, token.value());
+          return serde::Buffer{};  // ack
+        });
+  }
+}
+
+void AsyncEngine::StartCircuit() {
+  ProgressToken token;
+  token.circuit = token_circuits_;
+  token.position = 0;
+  cluster_.rpc().Call(workers_[num_partitions_ - 1].node, workers_[0].node,
+                      TokenMethod(), serde::Encode(token),
+                      [](Result<serde::Buffer>) {});
+}
+
+void AsyncEngine::HandleTokenAt(uint32_t position, ProgressToken token) {
+  if (finished_) return;
+  Worker& w = workers_[position];
+  token.residual = std::max(token.residual, w.ledger.last_residual);
+  token.sent += w.ledger.batches_sent;
+  token.received += w.ledger.batches_received;
+  if (w.ledger.dirty) token.tainted = true;
+  w.ledger.dirty = false;
+  // A capped worker is quiescent even with unconsumed input: it will never
+  // iterate again, and pretending otherwise would circulate the token
+  // forever.
+  const bool quiescent = w.capped ||
+                         (w.phase == Phase::kIdle && !w.pending_input) ||
+                         w.phase == Phase::kBlocked;
+  if (!quiescent) token.all_quiescent = false;
+
+  if (position + 1 < num_partitions_) {
+    token.position = position + 1;
+    cluster_.rpc().Call(w.node, workers_[token.position].node, TokenMethod(),
+                        serde::Encode(token), [](Result<serde::Buffer>) {});
+  } else {
+    CompleteCircuit(token);
+  }
+}
+
+void AsyncEngine::CompleteCircuit(const ProgressToken& token) {
+  ++token_circuits_;
+  if (token.ProvesTermination()) {
+    Finish(token.residual < config_.convergence_threshold, token.residual);
+    return;
+  }
+  cluster_.queue().ScheduleAfter(config_.token_backoff_s, [this] {
+    if (!finished_) StartCircuit();
+  });
+}
+
+void AsyncEngine::Finish(bool converged, double residual) {
+  AMR_LOG_DEBUG << "async engine '" << config_.name << "' terminated at t="
+                << cluster_.now() << " converged=" << converged
+                << " residual=" << residual;
+  finished_ = true;
+  converged_ = converged;
+  final_residual_ = residual;
+  end_time_ = cluster_.now();
+}
+
+AsyncResult AsyncEngine::Run() {
+  AMR_CHECK(compute_) << "async engine needs a compute callback";
+  AMR_CHECK(apply_) << "async engine needs an apply callback";
+  AMR_CHECK(!running_) << "async engine is single-use";
+  running_ = true;
+
+  BuildTopology();
+  RegisterTokenHandlers();
+  start_time_ = cluster_.now();
+  for (uint32_t p = 0; p < num_partitions_; ++p) TryStartIteration(p);
+  StartCircuit();
+  cluster_.RunUntilIdle();
+  AMR_CHECK(finished_)
+      << "async engine drained the event queue without terminating";
+
+  AsyncResult result;
+  result.converged = converged_;
+  result.start_seconds = start_time_;
+  result.end_seconds = end_time_;
+  result.token_circuits = token_circuits_;
+  result.final_residual = final_residual_;
+  result.update_batches = total_batches_;
+  result.update_records = total_records_;
+  result.bytes_sent = total_bytes_;
+  result.workers.reserve(num_partitions_);
+  for (const Worker& w : workers_) {
+    WorkerStats stats;
+    stats.iterations = w.iterations;
+    stats.ops = w.ops;
+    stats.batches_sent = w.ledger.batches_sent;
+    stats.batches_received = w.ledger.batches_received;
+    stats.records_sent = w.records_sent;
+    stats.last_residual = w.ledger.last_residual;
+    result.workers.push_back(stats);
+    result.total_iterations += w.iterations;
+    result.total_ops += w.ops;
+  }
+  return result;
+}
+
+}  // namespace asyncmr::async

@@ -1,0 +1,218 @@
+// Barrier-free asynchronous iterative engine on the simulated cluster.
+//
+// Where mr::Job runs map-wave -> shuffle barrier -> reduce-wave per global
+// iteration (the cost the paper identifies as dominant), this engine runs one
+// long-lived logical worker per partition. Each worker repeatedly:
+//
+//   1. leases a task slot on its host node (workers time-share slots, so
+//      partitions > slots serialize exactly like waves do),
+//   2. runs the application's compute callback — typically a local solve to
+//      convergence, the paper's lmap/lreduce loop — charged in virtual time
+//      from the same cost model as wave tasks (ops rate, jitter, stragglers),
+//   3. pushes its update batches directly to the peer partitions that need
+//      them, as real byte-counted flows through net::Network — no shuffle,
+//      no DFS round trip, no job-submit overhead.
+//
+// Staleness: updates carry the sender's iteration clock. With a bounded
+// staleness window S a worker may start its k-th iteration only once every
+// peer has completed k-1-S (see state_store.hpp — a lag bound: fresher
+// already-delivered updates remain visible, per the SSP contract); S = 0
+// gives barrier-strength synchronized rounds for A/B comparison,
+// S = kUnboundedStaleness is pure asynchrony. Under a bounded window the engine symmetrizes the peer graph
+// and sends (possibly empty) clock-bearing batches each iteration so clocks
+// propagate; idle workers take keepalive iterations when peers pull ahead of
+// the window, which keeps lockstep deadlock-free.
+//
+// Termination is detected without a barrier by the Safra-style residual token
+// of progress.hpp circulating on the RPC layer.
+//
+// Everything is scheduled on the cluster's deterministic DES event queue:
+// two runs with the same seed are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "async/progress.hpp"
+#include "async/state_store.hpp"
+#include "cluster/cluster.hpp"
+
+namespace asyncmr::async {
+
+using Key = uint32_t;
+using Value = double;
+using Update = std::pair<Key, Value>;
+using UpdateBatch = std::vector<Update>;
+
+struct AsyncConfig {
+  /// Staleness window S (see file comment). 0 = lockstep, kUnboundedStaleness
+  /// = pure async.
+  uint32_t staleness_bound = kUnboundedStaleness;
+  /// A worker idles once its iteration residual drops below this; the run
+  /// terminates (converged) when all workers idle below it with no updates in
+  /// flight.
+  double convergence_threshold = 1e-5;
+  /// Hard per-worker iteration cap; a capped run terminates converged=false.
+  uint32_t max_iterations_per_worker = 10'000;
+  /// Wire bytes per (key, value) update record, plus one envelope per batch.
+  uint64_t update_record_bytes = 12;
+  uint64_t update_envelope_bytes = 64;
+  /// Compute-time multiplier (models intra-worker thread pools, like
+  /// gmap_time_scale).
+  double compute_time_scale = 1.0;
+  /// Pause between termination-token circuits that fail to prove termination.
+  double token_backoff_s = 0.25;
+  cluster::SlotType slot_type = cluster::SlotType::kMap;
+  std::string name = "async";
+};
+
+/// Handed to the compute callback: collects update emissions, op counts and
+/// the iteration residual.
+class AsyncContext {
+ public:
+  /// Queues an update for `peer` (must be a declared out-peer, not self).
+  void Emit(uint32_t peer, Key key, Value value) {
+    batches_[peer].emplace_back(key, value);
+  }
+  void AddOps(uint64_t ops) { ops_ += ops; }
+  /// Convergence measure of this iteration; the worker idles below the
+  /// engine's convergence_threshold.
+  void set_residual(double r) { residual_ = r; }
+
+  uint32_t partition() const { return partition_; }
+  /// 1-based index of the iteration being computed.
+  uint32_t iteration() const { return iteration_; }
+
+ private:
+  friend class AsyncEngine;
+  uint32_t partition_ = 0;
+  uint32_t iteration_ = 0;
+  uint64_t ops_ = 0;
+  double residual_ = 0.0;
+  // Ordered by peer so batch send order (and thus the DES trace) is
+  // deterministic.
+  std::map<uint32_t, UpdateBatch> batches_;
+};
+
+struct WorkerStats {
+  uint32_t iterations = 0;
+  uint64_t ops = 0;
+  uint64_t batches_sent = 0;
+  uint64_t batches_received = 0;
+  uint64_t records_sent = 0;
+  double last_residual = 0.0;
+};
+
+struct AsyncResult {
+  bool converged = false;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  /// Sum of iterations across workers — the async analogue of the paper's
+  /// partial synchronization count.
+  uint64_t total_iterations = 0;
+  uint64_t total_ops = 0;
+  uint64_t update_batches = 0;
+  uint64_t update_records = 0;
+  uint64_t bytes_sent = 0;
+  uint32_t token_circuits = 0;
+  double final_residual = 0.0;
+  std::vector<WorkerStats> workers;
+
+  double seconds() const { return end_seconds - start_seconds; }
+};
+
+class AsyncEngine {
+ public:
+  /// One asynchronous iteration of `partition`: read state, emit updates.
+  /// Runs exactly once per iteration on the host; virtual compute time is
+  /// charged from ctx ops.
+  using ComputeFn = std::function<void(uint32_t partition, AsyncContext& ctx)>;
+  /// Merges a delivered batch into `partition`'s state. `from_clock` is the
+  /// sender's completed-iteration count when it emitted the batch.
+  using ApplyFn = std::function<void(uint32_t partition, uint32_t from,
+                                     uint32_t from_clock, const UpdateBatch& batch)>;
+  /// Partitions that `partition` emits updates to (static topology; queried
+  /// once at Run). Defaults to all-to-all.
+  using OutPeersFn = std::function<std::vector<uint32_t>(uint32_t partition)>;
+
+  AsyncEngine(cluster::SimCluster& cluster, uint32_t num_partitions,
+              AsyncConfig config);
+  ~AsyncEngine();
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  void set_compute(ComputeFn fn) { compute_ = std::move(fn); }
+  void set_apply(ApplyFn fn) { apply_ = std::move(fn); }
+  void set_out_peers(OutPeersFn fn) { out_peers_ = std::move(fn); }
+
+  /// Runs all workers to global termination (drains virtual time).
+  AsyncResult Run();
+
+  /// Round-robin partition placement over the cluster's nodes.
+  net::NodeId NodeOfPartition(uint32_t p) const;
+
+  const AsyncConfig& config() const { return config_; }
+
+ private:
+  enum class Phase { kIdle, kBlocked, kWaitingSlot, kComputing };
+
+  struct Worker {
+    net::NodeId node = 0;
+    Phase phase = Phase::kIdle;
+    uint32_t iterations = 0;  // completed iterations == this worker's clock
+    bool pending_input = false;
+    bool capped = false;
+    ProgressLedger ledger;
+    uint64_t ops = 0;
+    uint64_t records_sent = 0;
+  };
+
+  void BuildTopology();
+  bool KeepaliveDue(const Worker& w, uint32_t p) const;
+  void TryStartIteration(uint32_t p);
+  void BeginCompute(uint32_t p);
+  void FinishCompute(uint32_t p, uint64_t ops, double residual,
+                     std::map<uint32_t, UpdateBatch> batches);
+  void OnBatchDelivered(uint32_t to, uint32_t from, uint32_t from_clock,
+                        const UpdateBatch& batch);
+
+  // --- termination token -----------------------------------------------------
+  std::string TokenMethod() const { return "amr.async." + config_.name + ".token"; }
+  void RegisterTokenHandlers();
+  void StartCircuit();
+  void HandleTokenAt(uint32_t position, ProgressToken token);
+  void CompleteCircuit(const ProgressToken& token);
+  void Finish(bool converged, double residual);
+
+  cluster::SimCluster& cluster_;
+  uint32_t num_partitions_;
+  AsyncConfig config_;
+  ComputeFn compute_;
+  ApplyFn apply_;
+  OutPeersFn out_peers_;
+
+  std::vector<Worker> workers_;
+  /// Per partition: peers it sends to each iteration (symmetrized under a
+  /// bounded staleness window so clocks propagate everywhere they gate).
+  std::vector<std::vector<uint32_t>> send_peers_;
+  /// Per partition: observed peer clocks (gating view; bounded staleness only).
+  std::vector<ClockTable> clocks_;
+
+  bool running_ = false;
+  bool handlers_registered_ = false;
+  bool finished_ = false;
+  bool converged_ = false;
+  double final_residual_ = 0.0;
+  double start_time_ = 0.0;
+  double end_time_ = 0.0;
+  uint32_t token_circuits_ = 0;
+  uint64_t total_batches_ = 0;
+  uint64_t total_records_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace asyncmr::async

@@ -1,0 +1,60 @@
+// Barrier-free global progress detection for the asynchronous engine.
+//
+// There is no shuffle barrier to piggyback convergence checks on, so the
+// engine circulates a Safra-style token over the RPC layer: partition 0 ->
+// 1 -> ... -> P-1 -> decide, each hop a real (latency- and byte-costed) RPC
+// between the partitions' host nodes. The token aggregates each worker's
+// ledger as it passes:
+//
+//   residual   — max of the workers' last-iteration residuals,
+//   sent/recv  — cumulative update batches sent and received,
+//   tainted    — some visited worker changed state since the token's
+//                previous visit (Safra's "black machine"),
+//   quiescent  — every visited worker was idle or gated when visited.
+//
+// A circuit proves global termination when it returns untainted with all
+// workers quiescent and sent == received (no update in flight anywhere):
+// messages delivered after a visit re-dirty their receiver, so a stale
+// snapshot can never satisfy all three at once. The run converged if the
+// aggregated residual is below the engine's threshold; a quiescent-but-hot
+// circuit (workers capped out on iterations) terminates with converged =
+// false instead of spinning forever.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "serde/serde.hpp"
+
+namespace asyncmr::async {
+
+/// The token circulated over RPC (one visit per partition per circuit).
+struct ProgressToken {
+  uint32_t position = 0;  // partition the receiving node must visit next
+  uint32_t circuit = 0;   // completed circuits before this one
+  double residual = 0.0;  // max last-iteration residual seen this circuit
+  uint64_t sent = 0;      // sum of visited workers' batches_sent
+  uint64_t received = 0;  // sum of visited workers' batches_received
+  bool tainted = false;   // a visited worker was dirty (Safra black)
+  bool all_quiescent = true;
+
+  AMR_SERDE_FIELDS(position, circuit, residual, sent, received, tainted,
+                   all_quiescent)
+
+  /// Does this completed circuit prove global termination?
+  bool ProvesTermination() const {
+    return !tainted && all_quiescent && sent == received;
+  }
+};
+
+/// Per-worker counters the token reads (and clears `dirty` on) at each visit.
+struct ProgressLedger {
+  double last_residual = std::numeric_limits<double>::infinity();
+  uint64_t batches_sent = 0;
+  uint64_t batches_received = 0;
+  /// Set whenever the worker completes an iteration or receives a batch;
+  /// cleared by the token. A dirty worker taints the circuit.
+  bool dirty = true;
+};
+
+}  // namespace asyncmr::async

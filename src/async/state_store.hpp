@@ -1,0 +1,137 @@
+// Versioned state for the barrier-free asynchronous engine.
+//
+// Two pieces:
+//  * ClockTable — tracks, per peer partition, the highest iteration count
+//    ("clock") observed from that peer, and answers the bounded-staleness
+//    admission question: may a worker start its k-th iteration yet?
+//  * StateStore<V> — a ClockTable plus per-peer versioned key/value views.
+//    Put() records a peer's latest value for a key and returns the value it
+//    replaces, so applications can maintain aggregates (sums, mins)
+//    incrementally as stale entries are overwritten.
+//
+// Staleness semantics (SSP-style): with bound S, a worker may start its k-th
+// iteration (1-based) only once every tracked peer has completed at least
+// k - 1 - S iterations. The gate bounds *lag*, not *lead*: iteration k is
+// guaranteed to see every peer's k-1-S updates, but fresher updates that
+// happen to have arrived are visible too (the usual SSP contract). S = 0
+// therefore gives synchronized rounds — no worker computes on state older
+// than the previous round — which is the barrier-strength A/B baseline for
+// the asynchronous modes. S = kUnboundedStaleness disables the gate entirely
+// (pure asynchrony).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace asyncmr::async {
+
+/// Staleness bound meaning "no bound": workers never wait for peers.
+inline constexpr uint32_t kUnboundedStaleness =
+    std::numeric_limits<uint32_t>::max();
+
+class ClockTable {
+ public:
+  ClockTable() = default;
+  explicit ClockTable(std::vector<uint32_t> peers)
+      : peers_(std::move(peers)), clocks_(peers_.size(), 0) {}
+
+  /// Records that `peer` has completed `clock` iterations (monotone).
+  /// Returns true if the observation advanced the peer's clock.
+  bool Observe(uint32_t peer, uint32_t clock) {
+    const size_t i = IndexOf(peer);
+    if (clock <= clocks_[i]) return false;
+    clocks_[i] = clock;
+    return true;
+  }
+
+  uint32_t clock_of(uint32_t peer) const { return clocks_[IndexOf(peer)]; }
+
+  /// Minimum observed clock; max uint32 when no peers are tracked.
+  uint32_t min_clock() const {
+    uint32_t m = std::numeric_limits<uint32_t>::max();
+    for (uint32_t c : clocks_) m = std::min(m, c);
+    return m;
+  }
+
+  /// Maximum observed clock; 0 when no peers are tracked.
+  uint32_t max_clock() const {
+    uint32_t m = 0;
+    for (uint32_t c : clocks_) m = std::max(m, c);
+    return m;
+  }
+
+  /// Bounded-staleness gate for starting the `iteration`-th (1-based)
+  /// iteration under bound `staleness` (see file comment).
+  bool AdmitsIteration(uint32_t iteration, uint32_t staleness) const {
+    if (staleness == kUnboundedStaleness || peers_.empty()) return true;
+    const int64_t need =
+        static_cast<int64_t>(iteration) - 1 - static_cast<int64_t>(staleness);
+    if (need <= 0) return true;
+    return static_cast<int64_t>(min_clock()) >= need;
+  }
+
+  const std::vector<uint32_t>& peers() const { return peers_; }
+
+ private:
+  size_t IndexOf(uint32_t peer) const {
+    for (size_t i = 0; i < peers_.size(); ++i) {
+      if (peers_[i] == peer) return i;
+    }
+    AMR_CHECK(false) << "unknown peer partition " << peer;
+    return 0;
+  }
+
+  std::vector<uint32_t> peers_;
+  std::vector<uint32_t> clocks_;  // parallel to peers_
+};
+
+template <typename V>
+class StateStore {
+ public:
+  using Key = uint32_t;
+
+  StateStore() = default;
+  explicit StateStore(std::vector<uint32_t> peers) : clocks_(std::move(peers)) {
+    for (uint32_t p : clocks_.peers()) views_[p];
+  }
+
+  /// Records `value` as peer `from`'s latest state for `key`; returns the
+  /// value it replaces, if any.
+  std::optional<V> Put(uint32_t from, Key key, V value) {
+    auto& view = views_.at(from);
+    auto [it, inserted] = view.try_emplace(key, value);
+    if (inserted) return std::nullopt;
+    std::optional<V> old = it->second;
+    it->second = std::move(value);
+    return old;
+  }
+
+  void ObserveClock(uint32_t from, uint32_t clock) { clocks_.Observe(from, clock); }
+
+  bool AdmitsIteration(uint32_t iteration, uint32_t staleness) const {
+    return clocks_.AdmitsIteration(iteration, staleness);
+  }
+
+  const ClockTable& clocks() const { return clocks_; }
+
+  const std::unordered_map<Key, V>& view(uint32_t from) const {
+    return views_.at(from);
+  }
+
+  size_t total_entries() const {
+    size_t n = 0;
+    for (const auto& [p, view] : views_) n += view.size();
+    return n;
+  }
+
+ private:
+  ClockTable clocks_;
+  std::unordered_map<uint32_t, std::unordered_map<Key, V>> views_;
+};
+
+}  // namespace asyncmr::async

@@ -89,7 +89,7 @@ class SimCluster::WaveRunner
     --reserved_assigns_;
     auto task = sched_.PickForNode(node, specs_);
     if (!task.has_value()) {
-      ++cluster_.slot_count(node, type_);
+      cluster_.ReleaseSlot(node, type_);
       return;
     }
     StartAttempt(*task, node, /*speculative=*/false);
@@ -198,7 +198,7 @@ class SimCluster::WaveRunner
 
   void OnAttemptFailed(uint32_t task_index, net::NodeId node) {
     ++result_.failed_attempts;
-    ++cluster_.slot_count(node, type_);
+    cluster_.ReleaseSlot(node, type_);
     TaskState& st = tasks_[task_index];
     st.attempt_running = false;
     if (!st.done) {
@@ -211,7 +211,7 @@ class SimCluster::WaveRunner
 
   void OnAttemptCompleted(uint32_t task_index, net::NodeId node, bool data_local,
                           bool speculative) {
-    ++cluster_.slot_count(node, type_);
+    cluster_.ReleaseSlot(node, type_);
     TaskState& st = tasks_[task_index];
     if (st.done) {
       // A redundant (speculative or original) attempt lost the race.
@@ -315,10 +315,42 @@ SimCluster::SimCluster(ClusterSpec spec)
     free_map_slots_.push_back(n.map_slots);
     free_reduce_slots_.push_back(n.reduce_slots);
   }
+  map_slot_waiters_.resize(spec_.nodes.size());
+  reduce_slot_waiters_.resize(spec_.nodes.size());
 }
 
 uint32_t& SimCluster::slot_count(net::NodeId node, SlotType type) {
   return type == SlotType::kMap ? free_map_slots_[node] : free_reduce_slots_[node];
+}
+
+std::deque<std::function<void()>>& SimCluster::slot_waiters(net::NodeId node,
+                                                            SlotType type) {
+  return type == SlotType::kMap ? map_slot_waiters_[node]
+                                : reduce_slot_waiters_[node];
+}
+
+void SimCluster::AcquireSlot(net::NodeId node, SlotType type,
+                             std::function<void()> on_acquired) {
+  uint32_t& free = slot_count(node, type);
+  // Invariant: waiters exist only while the free count is zero.
+  if (free > 0) {
+    --free;
+    queue_.ScheduleAfter(0.0, std::move(on_acquired));
+    return;
+  }
+  slot_waiters(node, type).push_back(std::move(on_acquired));
+}
+
+void SimCluster::ReleaseSlot(net::NodeId node, SlotType type) {
+  auto& waiters = slot_waiters(node, type);
+  if (!waiters.empty()) {
+    // Hand the slot straight to the oldest waiter (it stays allocated).
+    std::function<void()> next = std::move(waiters.front());
+    waiters.pop_front();
+    queue_.ScheduleAfter(0.0, std::move(next));
+    return;
+  }
+  ++slot_count(node, type);
 }
 
 uint32_t SimCluster::free_slots(net::NodeId node, SlotType type) const {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -56,6 +57,14 @@ class SimCluster {
   /// Drains all pending virtual-time events.
   void RunUntilIdle() { queue_.RunUntilEmpty(); }
 
+  /// Leases one slot of `type` on `node` for a long-lived service (e.g. an
+  /// async-engine worker), outside the wave machinery: on_acquired fires in
+  /// virtual time as soon as a slot is free, FIFO among waiters on that node.
+  /// The holder must call ReleaseSlot when done. Released slots are handed to
+  /// the oldest waiter before returning to the wave schedulers' free pool.
+  void AcquireSlot(net::NodeId node, SlotType type, std::function<void()> on_acquired);
+  void ReleaseSlot(net::NodeId node, SlotType type);
+
   /// Free slots of a type on a node right now (visible for tests).
   uint32_t free_slots(net::NodeId node, SlotType type) const;
 
@@ -63,6 +72,7 @@ class SimCluster {
   class WaveRunner;
 
   uint32_t& slot_count(net::NodeId node, SlotType type);
+  std::deque<std::function<void()>>& slot_waiters(net::NodeId node, SlotType type);
 
   ClusterSpec spec_;
   sim::EventQueue queue_;
@@ -72,6 +82,9 @@ class SimCluster {
   Rng rng_;
   std::vector<uint32_t> free_map_slots_;     // per node
   std::vector<uint32_t> free_reduce_slots_;  // per node
+  // FIFO AcquireSlot waiters per node (non-empty only while free count is 0).
+  std::vector<std::deque<std::function<void()>>> map_slot_waiters_;
+  std::vector<std::deque<std::function<void()>>> reduce_slot_waiters_;
   std::vector<std::shared_ptr<WaveRunner>> active_waves_;
   friend class WaveRunner;
 };

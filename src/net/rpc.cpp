@@ -9,6 +9,12 @@ void RpcSystem::RegisterHandler(NodeId node, const std::string& method,
   handlers_[node][method] = std::move(handler);
 }
 
+void RpcSystem::UnregisterHandler(NodeId node, const std::string& method) {
+  auto it = handlers_.find(node);
+  if (it == handlers_.end()) return;
+  it->second.erase(method);
+}
+
 void RpcSystem::Call(NodeId from, NodeId to, const std::string& method,
                      serde::Buffer request, ReplyCallback on_reply) {
   ++calls_made_;

@@ -29,6 +29,10 @@ class RpcSystem {
   /// Registers `method` on `node`; replaces any previous handler.
   void RegisterHandler(NodeId node, const std::string& method, Handler handler);
 
+  /// Removes `method` from `node`; no-op if absent. Services with a shorter
+  /// lifetime than the cluster must unregister their handlers.
+  void UnregisterHandler(NodeId node, const std::string& method);
+
   /// Invokes `method` on node `to`. Request and reply payloads each pay
   /// transfer cost; the handler runs at the destination in virtual time.
   void Call(NodeId from, NodeId to, const std::string& method,

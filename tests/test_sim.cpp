@@ -109,5 +109,104 @@ TEST(EventQueue, FiredCountExcludesCancelled) {
   EXPECT_EQ(q.fired_count(), 1u);
 }
 
+TEST(EventQueue, CancelFromInsideAnEvent) {
+  // The network model cancels and reschedules completion events from within
+  // running events (Rebalance); the queue must support that reentrancy.
+  EventQueue q;
+  std::vector<int> order;
+  EventId victim = 0;
+  q.Schedule(1.0, [&] {
+    order.push_back(1);
+    EXPECT_TRUE(q.Cancel(victim));
+    q.Schedule(2.5, [&] { order.push_back(25); });
+  });
+  victim = q.Schedule(2.0, [&] { order.push_back(2); });
+  q.Schedule(3.0, [&] { order.push_back(3); });
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 25, 3}));
+}
+
+TEST(EventQueue, CancelAlreadyFiredReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.Schedule(1.0, [] {});
+  q.RunUntilEmpty();
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(9999));  // unknown id
+}
+
+TEST(EventQueue, CancelKeepsFifoOrderOfSurvivors) {
+  // Cancelling some events at a shared timestamp must not disturb the FIFO
+  // tie-break among the survivors.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(q.Schedule(7.0, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 12; i += 3) q.Cancel(ids[i]);  // drop 0, 3, 6, 9
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 5, 7, 8, 10, 11}));
+}
+
+TEST(EventQueue, PendingCountExcludesCancelled) {
+  EventQueue q;
+  const EventId a = q.Schedule(1.0, [] {});
+  q.Schedule(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunUntilEmpty();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_FALSE(q.RunOne());  // empty queue reports no work
+}
+
+TEST(EventQueue, RunUntilSkipsCancelledBoundaryEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.Schedule(1.0, [&] { order.push_back(1); });
+  q.Schedule(2.0, [&] { order.push_back(2); });
+  q.Cancel(a);
+  q.RunUntil(1.5);
+  EXPECT_TRUE(order.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 1.5);
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, DeterministicTraceWithInterleavedCancels) {
+  // The async engine relies on bit-identical event traces across runs even
+  // under heavy cancel/reschedule churn (network rebalancing).
+  auto run = [] {
+    EventQueue q;
+    std::vector<std::pair<double, int>> trace;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 200; ++i) {
+      const double at = static_cast<double>((i * 131) % 17);
+      ids.push_back(q.Schedule(at, [&trace, &q, i] {
+        trace.emplace_back(q.now(), i);
+      }));
+      if (i % 3 == 0 && i > 0) q.Cancel(ids[i / 2]);
+    }
+    q.RunUntilEmpty();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EventQueue, FifoAcrossReschedules) {
+  // Ids issued later always fire later at equal timestamps, even when the
+  // earlier id at that timestamp was scheduled from inside an event.
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(1.0, [&] {
+    q.Schedule(5.0, [&] { order.push_back(1); });  // id issued at t=1
+  });
+  q.Schedule(2.0, [&] {
+    q.Schedule(5.0, [&] { order.push_back(2); });  // id issued at t=2
+  });
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 }  // namespace
 }  // namespace asyncmr::sim
