@@ -60,16 +60,12 @@ int main() {
   bench::PrintBanner("Ablation A6 — barrier-free async vs partial-sync vs general",
                      opts);
 
-  // The power-law graph scenario (crawl-locality preferential attachment).
-  auto config = bench::GraphConfig(bench::PaperGraph::kA, opts);
-  config.num_vertices = static_cast<graph::VertexId>(
-      std::min<uint64_t>(config.num_vertices, opts.Scaled(50'000, 5000)));
-  config.locality_window = std::max<graph::VertexId>(8, config.num_vertices / 1000);
-  config.max_edge_age = 4 * config.locality_window;
-  const auto g = graph::PreferentialAttachment(config);
-  const uint32_t k = static_cast<uint32_t>(
-      std::max<uint64_t>(8, std::min<uint64_t>(64, opts.Scaled(16))));
-  const auto part = graph::MultilevelPartition(g, k, opts.seed);
+  // The power-law graph scenario (crawl-locality preferential attachment),
+  // shared with bench/micro_des so the perf anchor never drifts from it.
+  auto scenario = bench::BuildAblationGraphScenario(opts);
+  const auto& g = scenario.g;
+  const uint32_t k = scenario.k;
+  const auto& part = scenario.part;
   std::printf("graph: %s, k=%u partitions (%s)\n\n", g.Describe().c_str(), k,
               graph::EvaluatePartition(g, part).ToString().c_str());
 

@@ -18,6 +18,21 @@ std::vector<uint32_t> ScaledPartitionCounts(const BenchOptions& opts) {
   return ks;
 }
 
+AblationGraphScenario BuildAblationGraphScenario(const BenchOptions& opts) {
+  auto config = GraphConfig(PaperGraph::kA, opts);
+  config.num_vertices = static_cast<graph::VertexId>(
+      std::min<uint64_t>(config.num_vertices, opts.Scaled(50'000, 5000)));
+  config.locality_window =
+      std::max<graph::VertexId>(8, config.num_vertices / 1000);
+  config.max_edge_age = 4 * config.locality_window;
+  AblationGraphScenario scenario;
+  scenario.g = graph::PreferentialAttachment(config);
+  scenario.k = static_cast<uint32_t>(
+      std::max<uint64_t>(8, std::min<uint64_t>(64, opts.Scaled(16))));
+  scenario.part = graph::MultilevelPartition(scenario.g, scenario.k, opts.seed);
+  return scenario;
+}
+
 graph::PrefAttachConfig GraphConfig(PaperGraph which, const BenchOptions& opts) {
   graph::PrefAttachConfig config = which == PaperGraph::kA
                                        ? graph::PrefAttachConfig::PaperGraphA(opts.seed)

@@ -34,6 +34,16 @@ std::vector<uint32_t> ScaledPartitionCounts(const BenchOptions& opts);
 enum class PaperGraph { kA, kB };
 graph::PrefAttachConfig GraphConfig(PaperGraph which, const BenchOptions& opts);
 
+/// The power-law graph scenario shared by ablation_async and micro_des
+/// (crawl-locality preferential attachment, multilevel-partitioned): one
+/// definition so the perf-trajectory anchor and the ablation never drift.
+struct AblationGraphScenario {
+  graph::Digraph g;
+  uint32_t k = 0;  // partition count
+  graph::Partitioning part;
+};
+AblationGraphScenario BuildAblationGraphScenario(const BenchOptions& opts);
+
 struct GraphSweepRow {
   uint32_t partitions = 0;
   double cut_fraction = 0.0;

@@ -71,6 +71,10 @@ void AsyncEngine::BuildTopology() {
       clocks_.emplace_back(send_peers_[p]);
     }
   }
+
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    workers_[p].out.assign(send_peers_[p].size(), UpdateBatch{});
+  }
 }
 
 bool AsyncEngine::KeepaliveDue(const Worker& w, uint32_t p) const {
@@ -119,10 +123,14 @@ void AsyncEngine::BeginCompute(uint32_t p) {
   w.pending_input = false;
 
   // The real work runs exactly once, now; its virtual duration is charged
-  // from the same cost model as wave tasks.
+  // from the same cost model as wave tasks. Emissions accumulate in the
+  // worker's reused per-peer buffers (cleared here, capacity kept).
+  for (UpdateBatch& b : w.out) b.clear();
   AsyncContext ctx;
   ctx.partition_ = p;
   ctx.iteration_ = w.iterations + 1;
+  ctx.peers_ = &send_peers_[p];
+  ctx.slots_ = &w.out;
   if (keepalive_only) {
     ctx.residual_ = w.ledger.last_residual;
   } else {
@@ -140,17 +148,13 @@ void AsyncEngine::BeginCompute(uint32_t p) {
                            config_.compute_time_scale * slowdown /
                            spec.nodes[w.node].speed_factor;
 
-  auto batches =
-      std::make_shared<std::map<uint32_t, UpdateBatch>>(std::move(ctx.batches_));
   const uint64_t ops = ctx.ops_;
   const double residual = ctx.residual_;
-  cluster_.queue().ScheduleAfter(compute_s, [this, p, ops, residual, batches] {
-    FinishCompute(p, ops, residual, std::move(*batches));
-  });
+  cluster_.queue().ScheduleAfter(
+      compute_s, [this, p, ops, residual] { FinishCompute(p, ops, residual); });
 }
 
-void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, double residual,
-                                std::map<uint32_t, UpdateBatch> batches) {
+void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, double residual) {
   Worker& w = workers_[p];
   cluster_.ReleaseSlot(w.node, config_.slot_type);
   ++w.iterations;
@@ -158,11 +162,10 @@ void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, double residual,
   w.ledger.last_residual = residual;
   w.ledger.dirty = true;
 
-  for (const auto& [q, batch] : batches) {
-    AMR_CHECK(std::binary_search(send_peers_[p].begin(), send_peers_[p].end(), q))
-        << "partition " << p << " emitted to undeclared peer " << q;
-  }
-
+  // Batches sit in w.out, index-aligned with the sorted send_peers_[p] (so
+  // send order — and thus the DES trace — is deterministic, ascending by
+  // peer as before). Each non-empty batch is moved, not copied, into its
+  // network payload; the emptied slots are reused next iteration.
   const uint32_t clock = w.iterations;
   auto send = [&](uint32_t q, UpdateBatch batch) {
     ++w.ledger.batches_sent;
@@ -178,16 +181,16 @@ void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, double residual,
         [this, q, p, clock, payload] { OnBatchDelivered(q, p, clock, *payload); });
   };
 
+  const std::vector<uint32_t>& peers = send_peers_[p];
   if (config_.staleness_bound != kUnboundedStaleness) {
     // Bounded window: every peer edge carries the new clock each iteration,
     // with an empty batch when there is no payload.
-    for (uint32_t q : send_peers_[p]) {
-      auto it = batches.find(q);
-      send(q, it == batches.end() ? UpdateBatch{} : std::move(it->second));
+    for (size_t i = 0; i < peers.size(); ++i) {
+      send(peers[i], std::move(w.out[i]));
     }
   } else {
-    for (auto& [q, batch] : batches) {
-      if (!batch.empty()) send(q, std::move(batch));
+    for (size_t i = 0; i < peers.size(); ++i) {
+      if (!w.out[i].empty()) send(peers[i], std::move(w.out[i]));
     }
   }
 

@@ -30,9 +30,9 @@
 // two runs with the same seed are bit-identical.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -70,12 +70,14 @@ struct AsyncConfig {
 };
 
 /// Handed to the compute callback: collects update emissions, op counts and
-/// the iteration residual.
+/// the iteration residual. Emissions land directly in the worker's per-peer
+/// batch buffers (index-aligned with its sorted out-peer list), which the
+/// engine reuses across iterations — no per-iteration map nodes.
 class AsyncContext {
  public:
   /// Queues an update for `peer` (must be a declared out-peer, not self).
   void Emit(uint32_t peer, Key key, Value value) {
-    batches_[peer].emplace_back(key, value);
+    (*slots_)[SlotOf(peer)].emplace_back(key, value);
   }
   void AddOps(uint64_t ops) { ops_ += ops; }
   /// Convergence measure of this iteration; the worker idles below the
@@ -88,13 +90,20 @@ class AsyncContext {
 
  private:
   friend class AsyncEngine;
+
+  size_t SlotOf(uint32_t peer) const {
+    const auto it = std::lower_bound(peers_->begin(), peers_->end(), peer);
+    AMR_CHECK(it != peers_->end() && *it == peer)
+        << "partition " << partition_ << " emitted to undeclared peer " << peer;
+    return static_cast<size_t>(it - peers_->begin());
+  }
+
   uint32_t partition_ = 0;
   uint32_t iteration_ = 0;
   uint64_t ops_ = 0;
   double residual_ = 0.0;
-  // Ordered by peer so batch send order (and thus the DES trace) is
-  // deterministic.
-  std::map<uint32_t, UpdateBatch> batches_;
+  const std::vector<uint32_t>* peers_ = nullptr;  // sorted out-peer list
+  std::vector<UpdateBatch>* slots_ = nullptr;     // parallel batch buffers
 };
 
 struct WorkerStats {
@@ -169,14 +178,17 @@ class AsyncEngine {
     ProgressLedger ledger;
     uint64_t ops = 0;
     uint64_t records_sent = 0;
+    /// Per-out-peer emission buffers, index-aligned with send_peers_[p].
+    /// Cleared (capacity kept) at BeginCompute, filled via AsyncContext, and
+    /// moved into network payloads at FinishCompute.
+    std::vector<UpdateBatch> out;
   };
 
   void BuildTopology();
   bool KeepaliveDue(const Worker& w, uint32_t p) const;
   void TryStartIteration(uint32_t p);
   void BeginCompute(uint32_t p);
-  void FinishCompute(uint32_t p, uint64_t ops, double residual,
-                     std::map<uint32_t, UpdateBatch> batches);
+  void FinishCompute(uint32_t p, uint64_t ops, double residual);
   void OnBatchDelivered(uint32_t to, uint32_t from, uint32_t from_clock,
                         const UpdateBatch& batch);
 

@@ -20,6 +20,7 @@
 // (pure asynchrony).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -38,7 +39,35 @@ class ClockTable {
  public:
   ClockTable() = default;
   explicit ClockTable(std::vector<uint32_t> peers)
-      : peers_(std::move(peers)), clocks_(peers_.size(), 0) {}
+      : peers_(std::move(peers)), clocks_(peers_.size(), 0) {
+    uint32_t max_peer = 0;
+    for (uint32_t p : peers_) max_peer = std::max(max_peer, p);
+    // Peer -> index lookup replaces the old linear scan per observation
+    // (which made all-to-all rounds quadratic per partition). When the peer
+    // id space is dense (the all-to-all case) a direct table gives O(1) at
+    // memory proportional to the peer list itself; for sparse topologies at
+    // large P a dense table would cost O(max peer id) per partition, so fall
+    // back to binary search over a sorted copy — O(log d), O(d) memory.
+    if (!peers_.empty() &&
+        static_cast<size_t>(max_peer) < 4 * peers_.size() + 64) {
+      index_of_.assign(static_cast<size_t>(max_peer) + 1, kNotAPeer);
+      for (size_t i = 0; i < peers_.size(); ++i) {
+        AMR_CHECK(index_of_[peers_[i]] == kNotAPeer)
+            << "duplicate peer partition " << peers_[i];
+        index_of_[peers_[i]] = static_cast<uint32_t>(i);
+      }
+    } else {
+      sorted_.reserve(peers_.size());
+      for (size_t i = 0; i < peers_.size(); ++i) {
+        sorted_.emplace_back(peers_[i], static_cast<uint32_t>(i));
+      }
+      std::sort(sorted_.begin(), sorted_.end());
+      for (size_t i = 1; i < sorted_.size(); ++i) {
+        AMR_CHECK(sorted_[i - 1].first != sorted_[i].first)
+            << "duplicate peer partition " << sorted_[i].first;
+      }
+    }
+  }
 
   /// Records that `peer` has completed `clock` iterations (monotone).
   /// Returns true if the observation advanced the peer's clock.
@@ -77,17 +106,29 @@ class ClockTable {
 
   const std::vector<uint32_t>& peers() const { return peers_; }
 
- private:
+  /// Index of `peer` in peers() — O(1) dense / O(log d) sparse; checks
+  /// membership.
   size_t IndexOf(uint32_t peer) const {
-    for (size_t i = 0; i < peers_.size(); ++i) {
-      if (peers_[i] == peer) return i;
+    if (!index_of_.empty()) {
+      AMR_CHECK(peer < index_of_.size() && index_of_[peer] != kNotAPeer)
+          << "unknown peer partition " << peer;
+      return index_of_[peer];
     }
-    AMR_CHECK(false) << "unknown peer partition " << peer;
-    return 0;
+    const auto it = std::lower_bound(
+        sorted_.begin(), sorted_.end(),
+        std::pair<uint32_t, uint32_t>{peer, 0});
+    AMR_CHECK(it != sorted_.end() && it->first == peer)
+        << "unknown peer partition " << peer;
+    return it->second;
   }
 
+ private:
+  static constexpr uint32_t kNotAPeer = std::numeric_limits<uint32_t>::max();
+
   std::vector<uint32_t> peers_;
-  std::vector<uint32_t> clocks_;  // parallel to peers_
+  std::vector<uint32_t> clocks_;    // parallel to peers_
+  std::vector<uint32_t> index_of_;  // dense: peer id -> index (empty if sparse)
+  std::vector<std::pair<uint32_t, uint32_t>> sorted_;  // sparse: (peer, index)
 };
 
 template <typename V>
@@ -96,14 +137,13 @@ class StateStore {
   using Key = uint32_t;
 
   StateStore() = default;
-  explicit StateStore(std::vector<uint32_t> peers) : clocks_(std::move(peers)) {
-    for (uint32_t p : clocks_.peers()) views_[p];
-  }
+  explicit StateStore(std::vector<uint32_t> peers)
+      : clocks_(std::move(peers)), views_(clocks_.peers().size()) {}
 
   /// Records `value` as peer `from`'s latest state for `key`; returns the
   /// value it replaces, if any.
   std::optional<V> Put(uint32_t from, Key key, V value) {
-    auto& view = views_.at(from);
+    auto& view = views_[clocks_.IndexOf(from)];
     auto [it, inserted] = view.try_emplace(key, value);
     if (inserted) return std::nullopt;
     std::optional<V> old = it->second;
@@ -120,18 +160,18 @@ class StateStore {
   const ClockTable& clocks() const { return clocks_; }
 
   const std::unordered_map<Key, V>& view(uint32_t from) const {
-    return views_.at(from);
+    return views_[clocks_.IndexOf(from)];
   }
 
   size_t total_entries() const {
     size_t n = 0;
-    for (const auto& [p, view] : views_) n += view.size();
+    for (const auto& view : views_) n += view.size();
     return n;
   }
 
  private:
   ClockTable clocks_;
-  std::unordered_map<uint32_t, std::unordered_map<Key, V>> views_;
+  std::vector<std::unordered_map<Key, V>> views_;  // parallel to clocks_.peers()
 };
 
 }  // namespace asyncmr::async

@@ -14,7 +14,6 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -108,27 +107,36 @@ class Job {
   }
 
  private:
-  ReduceTaskOutput RunReduce(uint32_t /*reducer_index*/,
-                             const std::vector<const serde::Buffer*>& inputs) {
-    // Decode + group by key.
-    std::unordered_map<KMid, std::vector<VMid>> groups;
-    uint64_t input_records = 0;
+  /// Decodes all input streams into one flat record run. A stable sort then
+  /// groups duplicates while keeping each key's values in stream-arrival
+  /// order, which is what Hadoop's merge of sorted segments yields — and it
+  /// avoids the hash table plus one heap-allocated vector per key the old
+  /// grouping paid.
+  static std::vector<std::pair<KMid, VMid>> DecodeSorted(
+      const std::vector<const serde::Buffer*>& inputs) {
+    uint64_t total = 0;
+    for (const serde::Buffer* buf : inputs) {
+      total += serde::KvReader<KMid, VMid>(*buf).count();
+    }
+    std::vector<std::pair<KMid, VMid>> records;
+    records.reserve(static_cast<size_t>(total));
     for (const serde::Buffer* buf : inputs) {
       serde::KvReader<KMid, VMid> reader(*buf);
       KMid k{};
       VMid v{};
-      while (reader.Next(k, v)) {
-        groups[k].push_back(v);
-        ++input_records;
-      }
+      while (reader.Next(k, v)) records.emplace_back(std::move(k), std::move(v));
       AMR_CHECK(reader.status().ok()) << reader.status().ToString();
     }
-    // Deterministic key order; models Hadoop's merge sort.
-    std::vector<const KMid*> keys;
-    keys.reserve(groups.size());
-    for (const auto& [k, vs] : groups) keys.push_back(&k);
-    std::sort(keys.begin(), keys.end(),
-              [](const KMid* a, const KMid* b) { return *a < *b; });
+    std::stable_sort(
+        records.begin(), records.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    return records;
+  }
+
+  ReduceTaskOutput RunReduce(uint32_t /*reducer_index*/,
+                             const std::vector<const serde::Buffer*>& inputs) {
+    std::vector<std::pair<KMid, VMid>> records = DecodeSorted(inputs);
+    const uint64_t input_records = records.size();
 
     ReduceCtx ctx;
     if (config_.charge_sort && input_records > 1) {
@@ -136,25 +144,37 @@ class Job {
           static_cast<double>(input_records) *
           std::log2(static_cast<double>(input_records))));
     }
-    for (const KMid* k : keys) reducer_(*k, groups.at(*k), ctx);
+    // Scan runs of equal keys; `values` is reused across keys.
+    std::vector<VMid> values;
+    for (size_t i = 0; i < records.size();) {
+      values.clear();
+      size_t j = i;
+      while (j < records.size() && !(records[i].first < records[j].first)) {
+        values.push_back(std::move(records[j].second));
+        ++j;
+      }
+      reducer_(records[i].first, values, ctx);
+      i = j;
+    }
     return ctx.Finish();
   }
 
-  /// Node-level combine: merges streams, one value per key, re-encodes.
+  /// Node-level combine: merges streams, one value per key, re-encodes in
+  /// sorted key order (deterministic across standard libraries; the byte
+  /// count is unchanged since records encode position-independently).
   serde::Buffer CombineStreams(const std::vector<const serde::Buffer*>& inputs) {
-    std::unordered_map<KMid, VMid> merged;
-    for (const serde::Buffer* buf : inputs) {
-      serde::KvReader<KMid, VMid> reader(*buf);
-      KMid k{};
-      VMid v{};
-      while (reader.Next(k, v)) {
-        auto [it, inserted] = merged.try_emplace(k, v);
-        if (!inserted) it->second = combiner_(it->second, v);
-      }
-      AMR_CHECK(reader.status().ok()) << reader.status().ToString();
-    }
+    std::vector<std::pair<KMid, VMid>> records = DecodeSorted(inputs);
     serde::KvWriter<KMid, VMid> writer;
-    for (const auto& [k, v] : merged) writer.Add(k, v);
+    for (size_t i = 0; i < records.size();) {
+      VMid acc = std::move(records[i].second);
+      size_t j = i + 1;
+      while (j < records.size() && !(records[i].first < records[j].first)) {
+        acc = combiner_(acc, records[j].second);
+        ++j;
+      }
+      writer.Add(records[i].first, acc);
+      i = j;
+    }
     return std::move(writer).Finish();
   }
 

@@ -32,6 +32,13 @@ class Buffer {
 
   void AppendByte(uint8_t b) { bytes_.push_back(b); }
 
+  /// Inserts n bytes at the front (memmove of the payload, no new buffer —
+  /// lets KvWriter::Finish prepend its header without copying the stream).
+  void Prepend(const void* src, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(src);
+    bytes_.insert(bytes_.begin(), p, p + n);
+  }
+
   std::span<const uint8_t> view() const { return {bytes_.data(), bytes_.size()}; }
 
   const std::vector<uint8_t>& bytes() const { return bytes_; }

@@ -17,11 +17,12 @@ namespace asyncmr::serde {
 template <typename K, typename V>
 class KvWriter {
  public:
-  KvWriter() : writer_(buffer_) {}
+  KvWriter() = default;
 
   void Add(const K& key, const V& value) {
-    Serde<K>::Write(writer_, key);
-    Serde<V>::Write(writer_, value);
+    Writer w(buffer_);
+    Serde<K>::Write(w, key);
+    Serde<V>::Write(w, value);
     ++count_;
   }
 
@@ -29,18 +30,27 @@ class KvWriter {
   size_t byte_size() const { return buffer_.size(); }
   const Buffer& buffer() const { return buffer_; }
 
-  /// Finalizes into a length-prefixed stream buffer.
+  /// Pre-sizes the record buffer (e.g. from a known encoded size).
+  void Reserve(size_t bytes) { buffer_.reserve(bytes); }
+
+  /// Clears the stream for reuse; the buffer keeps its capacity.
+  void Reset() {
+    buffer_.clear();
+    count_ = 0;
+  }
+
+  /// Finalizes into a length-prefixed stream buffer. Prepends the header
+  /// into the accumulation buffer and moves it out — no second copy of the
+  /// record payload.
   Buffer Finish() && {
-    Buffer out;
-    Writer w(out);
-    w.WriteVarU64(count_);
-    out.Append(buffer_.data(), buffer_.size());
-    return out;
+    uint8_t header[10];
+    const size_t n = EncodeVarU64(count_, header);
+    buffer_.Prepend(header, n);
+    return std::move(buffer_);
   }
 
  private:
   Buffer buffer_;
-  Writer writer_;
   uint64_t count_ = 0;
 };
 

@@ -95,12 +95,11 @@ struct Serde<std::vector<T>> {
   static Status Read(Reader& r, std::vector<T>& v) {
     uint64_t n = 0;
     AMR_RETURN_IF_ERROR(r.ReadVarU64(n));
-    // Sanity bound: each element needs >= 1 byte on the wire.
-    if (n > r.remaining() && n > 0) {
-      if constexpr (!std::is_same_v<T, bool>) {
-        if (n > r.remaining()) return Status::DataLoss("vector length exceeds payload");
-      }
-    }
+    // Sanity bound: every element type (bool included) occupies >= 1 byte on
+    // the wire, so a length beyond the remaining payload is corruption — and
+    // rejecting it here keeps the reserve() below from ballooning on a
+    // corrupted length prefix.
+    if (n > r.remaining()) return Status::DataLoss("vector length exceeds payload");
     v.clear();
     v.reserve(static_cast<size_t>(n));
     for (uint64_t i = 0; i < n; ++i) {
@@ -184,10 +183,13 @@ Result<T> Decode(const Buffer& buf) {
   return Decode<T>(buf.view());
 }
 
-/// Number of bytes value occupies on the wire.
+/// Number of bytes value occupies on the wire. Counts without encoding —
+/// no buffer is allocated or written.
 template <typename T>
 size_t EncodedSize(const T& value) {
-  return Encode(value).size();
+  Writer w = Writer::Counting();
+  Serde<T>::Write(w, value);
+  return w.bytes_counted();
 }
 
 }  // namespace asyncmr::serde

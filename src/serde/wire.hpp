@@ -27,42 +27,93 @@ constexpr int64_t ZigzagDecode(uint64_t v) {
   return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
 }
 
+/// Encoded length of v as a LEB128 varint (1..10 bytes).
+constexpr size_t VarU64Size(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    ++n;
+    v >>= 7;
+  }
+  return n;
+}
+
+/// Encodes v as a LEB128 varint into out (at least 10 bytes); returns the
+/// number of bytes written.
+inline size_t EncodeVarU64(uint64_t v, uint8_t* out) {
+  size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = static_cast<uint8_t>(v | 0x80);
+    v >>= 7;
+  }
+  out[n++] = static_cast<uint8_t>(v);
+  return n;
+}
+
+/// A Writer either appends to a Buffer or, in counting mode, measures the
+/// encoded size without storing any bytes — so EncodedSize() costs no
+/// allocation or copying.
 class Writer {
  public:
-  explicit Writer(Buffer& buffer) : buf_(buffer) {}
+  explicit Writer(Buffer& buffer) : buf_(&buffer) {}
 
-  void WriteU8(uint8_t v) { buf_.AppendByte(v); }
-  void WriteU32(uint32_t v) { buf_.Append(&v, sizeof(v)); }
-  void WriteU64(uint64_t v) { buf_.Append(&v, sizeof(v)); }
-  void WriteI64(int64_t v) { buf_.Append(&v, sizeof(v)); }
-  void WriteF64(double v) { buf_.Append(&v, sizeof(v)); }
-  void WriteF32(float v) { buf_.Append(&v, sizeof(v)); }
+  /// A counting writer: Write* calls tally bytes_counted() instead of
+  /// producing output.
+  static Writer Counting() { return Writer(); }
+
+  void WriteU8(uint8_t v) {
+    if (buf_ != nullptr) {
+      buf_->AppendByte(v);
+    } else {
+      ++counted_;
+    }
+  }
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
   void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
 
   void WriteVarU64(uint64_t v) {
+    if (buf_ == nullptr) {
+      counted_ += VarU64Size(v);
+      return;
+    }
     while (v >= 0x80) {
-      buf_.AppendByte(static_cast<uint8_t>(v | 0x80));
+      buf_->AppendByte(static_cast<uint8_t>(v | 0x80));
       v >>= 7;
     }
-    buf_.AppendByte(static_cast<uint8_t>(v));
+    buf_->AppendByte(static_cast<uint8_t>(v));
   }
 
   void WriteVarI64(int64_t v) { WriteVarU64(ZigzagEncode(v)); }
 
   void WriteString(std::string_view s) {
     WriteVarU64(s.size());
-    buf_.Append(s.data(), s.size());
+    WriteRaw(s.data(), s.size());
   }
 
   void WriteBytes(std::span<const uint8_t> bytes) {
     WriteVarU64(bytes.size());
-    buf_.Append(bytes.data(), bytes.size());
+    WriteRaw(bytes.data(), bytes.size());
   }
 
-  Buffer& buffer() { return buf_; }
+  /// Bytes tallied in counting mode (0 for a buffer-backed writer).
+  size_t bytes_counted() const { return counted_; }
 
  private:
-  Buffer& buf_;
+  Writer() = default;  // counting mode
+
+  void WriteRaw(const void* src, size_t n) {
+    if (buf_ != nullptr) {
+      buf_->Append(src, n);
+    } else {
+      counted_ += n;
+    }
+  }
+
+  Buffer* buf_ = nullptr;
+  size_t counted_ = 0;
 };
 
 class Reader {

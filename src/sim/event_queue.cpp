@@ -2,41 +2,66 @@
 
 namespace asyncmr::sim {
 
-EventId EventQueue::Schedule(SimTime at, std::function<void()> fn) {
-  AMR_CHECK(at >= now_) << "cannot schedule in the past: at=" << at << " now=" << now_;
-  const EventId id = next_id_++;
-  heap_.push(Event{at, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+bool EventQueue::Cancel(EventId id) {
+  const uint64_t seq = SeqOf(id);
+  // Real ids always carry seq >= 1; seq 0 (e.g. the "no event" sentinel 0)
+  // must not match a free slot's seq marker, or the slot would be freed
+  // twice and pending() would underflow.
+  if (seq == 0) return false;
+  const uint32_t slot = SlotOf(id);
+  if (slot >= slab_.size()) return false;
+  if (slab_[slot].seq != seq) return false;  // fired/cancelled/reused
+  // Free immediately — the slot is reusable right away; the orphaned heap
+  // or FIFO entry is discarded (stale seq) when it surfaces.
+  FreeSlot(slot);
+  --live_;
+  return true;
 }
 
-bool EventQueue::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+bool EventQueue::PeekEarliest(HeapKey* key, bool* from_heap) {
+  // Skip cancelled fronts lazily; the FIFO storage is recycled once drained.
+  while (imm_head_ < immediate_.size() && IsStale(immediate_[imm_head_])) {
+    ++imm_head_;
+  }
+  if (imm_head_ == immediate_.size() && imm_head_ != 0) {
+    immediate_.clear();
+    imm_head_ = 0;
+  }
+  while (!heap_.empty() && IsStale(heap_.top())) heap_.pop();
+
+  const bool have_imm = imm_head_ < immediate_.size();
+  if (!have_imm && heap_.empty()) return false;
+  // Queued immediates all carry time == now_, which ties or beats every
+  // heap entry's time, so one key compare resolves the FIFO/seq order too.
+  if (have_imm && (heap_.empty() || immediate_[imm_head_] < heap_.top())) {
+    *key = immediate_[imm_head_];
+    *from_heap = false;
+  } else {
+    *key = heap_.top();
+    *from_heap = true;
+  }
   return true;
 }
 
 bool EventQueue::RunOne() {
-  while (!heap_.empty()) {
-    const Event ev = heap_.top();
+  HeapKey e;
+  bool from_heap = false;
+  if (!PeekEarliest(&e, &from_heap)) return false;
+  if (from_heap) {
     heap_.pop();
-    auto cancelled_it = cancelled_.find(ev.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
-    }
-    auto cb_it = callbacks_.find(ev.id);
-    AMR_CHECK(cb_it != callbacks_.end());
-    std::function<void()> fn = std::move(cb_it->second);
-    callbacks_.erase(cb_it);
-    now_ = ev.time;
-    ++fired_;
-    fn();
-    return true;
+  } else {
+    ++imm_head_;
   }
-  return false;
+  // Move the callback out and free the slot before firing: the callback
+  // may schedule (reusing this slot) or grow the slab reentrantly.
+  const uint32_t slot = SlotOf(e);
+  EventFn fn = std::move(slab_[slot].fn);
+  FreeSlot(slot);
+  --live_;
+  now_ = TimeOf(e);
+  ++fired_;
+  fn();
+  return true;
 }
 
 void EventQueue::RunUntilEmpty() {
@@ -46,15 +71,11 @@ void EventQueue::RunUntilEmpty() {
 
 void EventQueue::RunUntil(SimTime t) {
   AMR_CHECK(t >= now_);
-  while (!heap_.empty()) {
-    // Peek for the earliest live event.
-    Event ev = heap_.top();
-    if (cancelled_.contains(ev.id)) {
-      heap_.pop();
-      cancelled_.erase(ev.id);
-      continue;
-    }
-    if (ev.time > t) break;
+  t += 0.0;  // normalize -0.0 so future now_ comparisons stay exact
+  HeapKey e;
+  bool from_heap = false;
+  while (PeekEarliest(&e, &from_heap)) {
+    if (TimeOf(e) > t) break;
     RunOne();
   }
   now_ = t;

@@ -5,13 +5,37 @@
 //
 // Determinism: events at equal timestamps fire in scheduling order (FIFO
 // tie-break by sequence number).
+//
+// Implementation: this is the hottest path in the whole simulator, so events
+// live in a slab of reusable slots with the callback stored inline (no
+// per-event std::function heap allocation for callables up to
+// EventFn::kInlineBytes) and the heap orders plain (time, seq, slot,
+// generation) tuples.
+// An EventId packs (sequence number << 24 | slot index); the slot records
+// the sequence number of the event it currently holds (0 = free), so the
+// never-reused sequence acts as a perfect generation: stale ids (fired or
+// cancelled events, reused slots) fail Cancel safely and stale heap entries
+// are skipped on pop — Schedule, Cancel and RunOne never touch a hash table,
+// and a cancelled slot is reusable immediately. Heap entries are single
+// 128-bit keys — the event time's IEEE bits (virtual time is never negative,
+// so bit order equals numeric order) above the packed id, whose sequence
+// number is the FIFO tie-break — making the sift one branchless compare per
+// level. Ids are never 0 (the network model uses 0 as a "no event"
+// sentinel).
+//
+// Zero-delay events (slot grants, immediate continuations — a large share
+// of cluster traffic) skip the heap: events scheduled at exactly `now` go to
+// an O(1) FIFO whose entries provably all share time == now, so one key
+// compare against the heap top preserves the exact global firing order.
 #pragma once
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -21,8 +45,100 @@ namespace asyncmr::sim {
 /// Virtual time in seconds.
 using SimTime = double;
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Never 0 for a real event.
 using EventId = uint64_t;
+
+/// Move-only callable with a large inline buffer: the slab's event storage.
+/// Falls back to the heap only for callables over kInlineBytes (rare; the
+/// simulator's capture lists are a `this` pointer plus a few scalars, and
+/// 48 bytes covers them while keeping EventFn itself at 64 bytes).
+class EventFn {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() = default;
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  template <typename F>
+  void Set(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_v<Fn&>, "event callback must be invocable");
+    Reset();
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  void operator()() { ops_->invoke(*this); }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(*this);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(EventFn&);
+    void (*move)(EventFn& dst, EventFn& src);  // dst is raw storage
+    void (*destroy)(EventFn&);
+  };
+
+  // Members are declared before the vtable templates: static member
+  // initializers are not complete-class contexts, so the lambdas below can
+  // only name what is already declared. The heap fallback pointer shares
+  // the inline buffer (which Ops table is installed says which is active).
+  const Ops* ops_ = nullptr;
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    void* heap_;
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](EventFn& self) { (*std::launder(reinterpret_cast<Fn*>(self.buf_)))(); },
+      [](EventFn& dst, EventFn& src) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src.buf_));
+        ::new (static_cast<void*>(dst.buf_)) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](EventFn& self) { std::launder(reinterpret_cast<Fn*>(self.buf_))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](EventFn& self) { (*static_cast<Fn*>(self.heap_))(); },
+      [](EventFn& dst, EventFn& src) {
+        dst.heap_ = src.heap_;
+        src.heap_ = nullptr;
+      },
+      [](EventFn& self) { delete static_cast<Fn*>(self.heap_); },
+  };
+
+  void MoveFrom(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) ops_->move(*this, other);
+    other.ops_ = nullptr;
+  }
+};
 
 class EventQueue {
  public:
@@ -30,14 +146,39 @@ class EventQueue {
   SimTime now() const { return now_; }
 
   /// Schedules fn at absolute virtual time `at` (must be >= now).
-  EventId Schedule(SimTime at, std::function<void()> fn);
-
-  /// Schedules fn `delay` seconds from now (delay >= 0).
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
-    return Schedule(now_ + delay, std::move(fn));
+  template <typename F>
+  EventId Schedule(SimTime at, F&& fn) {
+    AMR_CHECK(at >= now_) << "cannot schedule in the past: at=" << at
+                          << " now=" << now_;
+    at += 0.0;  // normalize -0.0: key order must equal numeric order
+    const uint32_t slot = AllocSlot();
+    const uint64_t seq = next_seq_++;
+    AMR_CHECK(seq < (uint64_t{1} << (64 - kSlotBits))) << "event seq exhausted";
+    Slot& s = slab_[slot];
+    s.fn.Set(std::forward<F>(fn));
+    s.seq = seq;
+    const EventId id = (seq << kSlotBits) | slot;
+    const HeapKey key = MakeKey(at, id);
+    if (at == now_) {
+      // Zero-delay fast path: appended in seq order, and every queued
+      // immediate shares time == now (an immediate always fires before the
+      // clock can advance), so the FIFO front is the immediates' minimum.
+      immediate_.push_back(key);
+    } else {
+      heap_.push(key);
+    }
+    ++live_;
+    return id;
   }
 
-  /// Cancels a pending event; returns false if already fired or unknown.
+  /// Schedules fn `delay` seconds from now (delay >= 0).
+  template <typename F>
+  EventId ScheduleAfter(SimTime delay, F&& fn) {
+    return Schedule(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Cancels a pending event; returns false if already fired, already
+  /// cancelled, or unknown. Idempotent: double-cancel is a safe no-op.
   bool Cancel(EventId id);
 
   /// Fires the earliest pending event, advancing the clock to its timestamp.
@@ -50,29 +191,79 @@ class EventQueue {
   /// Runs events with time <= t, then advances the clock to exactly t.
   void RunUntil(SimTime t);
 
-  /// Pending (non-cancelled) event count.
-  size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Pending (non-cancelled, non-fired) event count.
+  size_t pending() const { return live_; }
 
   /// Total events fired so far (for determinism assertions in tests).
   uint64_t fired_count() const { return fired_; }
 
  private:
-  struct Event {
-    SimTime time;
-    EventId id;
-    // Ordered as a min-heap: earliest time first, then lowest id.
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return id > other.id;
-    }
+  /// Low bits of an EventId / heap key hold the slot, the rest the sequence
+  /// number: 16M concurrent events, ~1.1e12 events per queue lifetime.
+  static constexpr uint32_t kSlotBits = 24;
+  static constexpr uint64_t kSlotMask = (uint64_t{1} << kSlotBits) - 1;
+
+  struct Slot {
+    // Sequence number of the event this slot currently holds; 0 = free.
+    // Never reused, so it doubles as a perfect generation: stale ids fail
+    // Cancel, stale heap entries are discarded on pop. First so staleness
+    // probes touch the line's head.
+    uint64_t seq = 0;
+    EventFn fn;
   };
 
+  /// Heap entry: (time bits << 64) | (seq << kSlotBits) | slot. Strictly
+  /// increasing in (time, scheduling order) — one unsigned compare gives
+  /// min-time-then-FIFO, and the low half is the event id for slot lookup.
+  using HeapKey = unsigned __int128;
+
+  static HeapKey MakeKey(SimTime time, uint64_t id) {
+    return (static_cast<HeapKey>(std::bit_cast<uint64_t>(time)) << 64) | id;
+  }
+  static SimTime TimeOf(HeapKey k) {
+    return std::bit_cast<SimTime>(static_cast<uint64_t>(k >> 64));
+  }
+  static uint32_t SlotOf(HeapKey k) {
+    return static_cast<uint32_t>(static_cast<uint64_t>(k) & kSlotMask);
+  }
+  static uint64_t SeqOf(HeapKey k) {
+    return static_cast<uint64_t>(k) >> kSlotBits;
+  }
+
+  bool IsStale(HeapKey k) const { return slab_[SlotOf(k)].seq != SeqOf(k); }
+
+  uint32_t AllocSlot() {
+    if (!free_slots_.empty()) {
+      const uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    AMR_CHECK(slab_.size() < (uint64_t{1} << kSlotBits)) << "event slab exhausted";
+    slab_.emplace_back();
+    return static_cast<uint32_t>(slab_.size() - 1);
+  }
+
+  void FreeSlot(uint32_t slot) {
+    Slot& s = slab_[slot];
+    s.fn.Reset();
+    s.seq = 0;  // invalidate the id and any heap entry for this event
+    free_slots_.push_back(slot);
+  }
+
+  /// Earliest live key across the immediate FIFO and the heap; stale
+  /// (cancelled) entries are discarded along the way. Returns false when no
+  /// live event remains. On true, *key/*from_heap say where to pop from.
+  bool PeekEarliest(HeapKey* key, bool* from_heap);
+
   SimTime now_ = 0.0;
-  EventId next_id_ = 1;
+  uint64_t next_seq_ = 1;
   uint64_t fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  size_t live_ = 0;
+  std::priority_queue<HeapKey, std::vector<HeapKey>, std::greater<>> heap_;
+  std::vector<HeapKey> immediate_;  // all at time == now_; FIFO via imm_head_
+  size_t imm_head_ = 0;
+  std::vector<Slot> slab_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace asyncmr::sim

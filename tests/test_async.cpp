@@ -67,6 +67,20 @@ TEST(ClockTable, ObservationsAreMonotone) {
   EXPECT_EQ(clocks.max_clock(), 3u);
 }
 
+TEST(ClockTable, SparsePeerIdSpaceUsesOrderedLookup) {
+  // Widely spread peer ids take the sorted-lookup path instead of a dense
+  // O(max peer id) table; semantics must be identical.
+  async::ClockTable clocks({1'000'000, 5, 70'000});
+  EXPECT_TRUE(clocks.Observe(70'000, 2));
+  EXPECT_TRUE(clocks.Observe(5, 1));
+  EXPECT_FALSE(clocks.Observe(70'000, 1));  // stale
+  EXPECT_EQ(clocks.clock_of(1'000'000), 0u);
+  EXPECT_EQ(clocks.clock_of(70'000), 2u);
+  EXPECT_EQ(clocks.clock_of(5), 1u);
+  EXPECT_EQ(clocks.min_clock(), 0u);
+  EXPECT_EQ(clocks.max_clock(), 2u);
+}
+
 TEST(StateStore, PutReturnsReplacedValue) {
   async::StateStore<double> store({0, 1});
   EXPECT_EQ(store.Put(0, 42, 1.5), std::nullopt);
@@ -82,19 +96,30 @@ TEST(AsyncPageRank, DeterministicAcrossRuns) {
   const auto g = TestGraph(1500);
   const auto part = graph::MultilevelPartition(g, 8);
   apps::PageRankConfig config;
-  auto run = [&] {
+  auto run = [&](uint64_t* fired) {
     cluster::SimCluster sim(QuietSpec());
     async::AsyncResult stats;
     auto result = apps::AsyncPageRank(sim, g, part, config,
                                       async::kUnboundedStaleness, &stats);
+    *fired = sim.queue().fired_count();
     return std::make_pair(result, stats);
   };
-  const auto [a, a_stats] = run();
-  const auto [b, b_stats] = run();
-  // Bit-identical results and identical virtual timelines.
+  uint64_t a_fired = 0;
+  uint64_t b_fired = 0;
+  const auto [a, a_stats] = run(&a_fired);
+  const auto [b, b_stats] = run(&b_fired);
+  // Bit-identical results and identical virtual timelines, down to the DES
+  // kernel's fired-event count (the strictest trace fingerprint we keep).
   EXPECT_EQ(MaxDiff(a.ranks, b.ranks), 0.0);
+  EXPECT_EQ(a_fired, b_fired);
+  EXPECT_GT(a_fired, 0u);
   EXPECT_DOUBLE_EQ(a_stats.end_seconds, b_stats.end_seconds);
+  EXPECT_DOUBLE_EQ(a_stats.start_seconds, b_stats.start_seconds);
   EXPECT_EQ(a_stats.total_iterations, b_stats.total_iterations);
+  ASSERT_EQ(a_stats.workers.size(), b_stats.workers.size());
+  for (size_t p = 0; p < a_stats.workers.size(); ++p) {
+    EXPECT_EQ(a_stats.workers[p].iterations, b_stats.workers[p].iterations);
+  }
   EXPECT_EQ(a_stats.update_batches, b_stats.update_batches);
   EXPECT_EQ(a_stats.bytes_sent, b_stats.bytes_sent);
   EXPECT_EQ(a_stats.token_circuits, b_stats.token_circuits);

@@ -54,6 +54,44 @@ TEST(MrJob, WordCount) {
   EXPECT_GT(out.raw.stats.finish_time, out.raw.stats.submit_time);
 }
 
+TEST(MrJob, ReduceGroupsDuplicateKeysInArrivalOrder) {
+  // The sort-based grouping must hand the reducer every value of a key (from
+  // all map tasks), keys in sorted order, and each key's values in map-output
+  // arrival order — the contract the old hash-grouping provided.
+  cluster::SimCluster cluster(QuietSpec());
+  JobConfig config;
+  config.name = "dupkeys";
+  config.num_reducers = 1;  // single reducer: global arrival order is fixed
+
+  Job<uint32_t, uint64_t, uint32_t, uint64_t> job(cluster, config);
+  // Split s emits (k, 10*s + i) for each key k in {0,1,2}, i in 0..2.
+  job.set_mapper([](uint32_t split, MapContext<uint32_t, uint64_t>& ctx) {
+    for (uint32_t i = 0; i < 3; ++i) {
+      for (uint32_t k = 0; k < 3; ++k) ctx.Emit(k, 10 * split + i);
+    }
+  });
+  std::vector<std::pair<uint32_t, std::vector<uint64_t>>> seen;
+  job.set_reducer([&seen](const uint32_t& key, const std::vector<uint64_t>& values,
+                          ReduceContext<uint32_t, uint64_t>& ctx) {
+    seen.emplace_back(key, values);
+    ctx.Emit(key, values.size());
+  });
+
+  auto out = job.RunBlocking(std::vector<SplitDesc>(2));
+  ASSERT_EQ(seen.size(), 3u);
+  // Values arrive per input stream in emission order; the engine fixes the
+  // stream (map task) order by fetch completion, identically for every key.
+  const std::vector<uint64_t> split_first{0, 1, 2, 10, 11, 12};
+  const std::vector<uint64_t> split_second{10, 11, 12, 0, 1, 2};
+  const bool first_stream_is_split0 = (seen[0].second == split_first);
+  for (uint32_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(seen[k].first, k);  // keys in sorted order
+    EXPECT_EQ(seen[k].second, first_stream_is_split0 ? split_first : split_second);
+  }
+  ASSERT_EQ(out.records.size(), 3u);
+  for (const auto& [k, n] : out.records) EXPECT_EQ(n, 6u);
+}
+
 TEST(MrJob, CombinerReducesShuffleBytes) {
   auto run = [](bool combine) {
     cluster::SimCluster cluster(QuietSpec());

@@ -105,6 +105,30 @@ TEST(Serde, TrailingBytesRejected) {
   EXPECT_EQ(Decode<uint32_t>(buf).status().code(), StatusCode::kDataLoss);
 }
 
+TEST(Serde, CorruptVectorLengthRejectedForAllElementTypes) {
+  // A length prefix beyond the remaining payload is corruption and must be
+  // rejected up front — for vector<bool> too, which the old nested guard
+  // silently skipped (so a hostile length reached reserve()).
+  Buffer buf;
+  Writer w(buf);
+  w.WriteVarU64(uint64_t{1} << 40);  // claims ~10^12 elements, no payload
+  EXPECT_EQ(Decode<std::vector<bool>>(buf).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(Decode<std::vector<uint8_t>>(buf).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(Decode<std::vector<double>>(buf).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(Serde, EncodedSizeMatchesEncodeWithoutEncoding) {
+  const std::vector<std::string> v{"alpha", "", "beta"};
+  EXPECT_EQ(EncodedSize(v), Encode(v).size());
+  const std::pair<uint32_t, double> p{7, 0.25};
+  EXPECT_EQ(EncodedSize(p), Encode(p).size());
+  EXPECT_EQ(EncodedSize(true), Encode(true).size());
+  EXPECT_EQ(EncodedSize(uint64_t{1} << 40), Encode(uint64_t{1} << 40).size());
+}
+
 struct TestRecord {
   uint32_t node = 0;
   double rank = 0.0;
@@ -152,6 +176,24 @@ TEST(KvStream, WriteReadRoundTrip) {
   }
   EXPECT_EQ(expected, 100u);
   EXPECT_TRUE(r.status().ok());
+}
+
+TEST(KvStream, ResetReusesWriterAndFinishBytesAreCanonical) {
+  // Finish() prepends the header into the record buffer and moves it out —
+  // the bytes must match a freshly encoded stream, and Reset() must allow
+  // reuse with identical output.
+  auto encode_fresh = [] {
+    KvWriter<uint32_t, double> w;
+    for (uint32_t i = 0; i < 300; ++i) w.Add(i, 1.5 * i);
+    return std::move(w).Finish();
+  };
+  KvWriter<uint32_t, double> reused;
+  reused.Add(9, 9.0);
+  reused.Reset();
+  EXPECT_EQ(reused.count(), 0u);
+  EXPECT_EQ(reused.byte_size(), 0u);
+  for (uint32_t i = 0; i < 300; ++i) reused.Add(i, 1.5 * i);
+  EXPECT_EQ(std::move(reused).Finish(), encode_fresh());
 }
 
 TEST(KvStream, ReadAllMatchesEncode) {

@@ -1,6 +1,7 @@
 // Unit tests: discrete-event kernel — ordering, determinism, cancellation.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -191,6 +192,119 @@ TEST(EventQueue, DeterministicTraceWithInterleavedCancels) {
     return trace;
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalseAndPendingStaysCorrect) {
+  // Regression: a second Cancel of the same id must be a no-op — the old
+  // queue's cancelled-set bookkeeping could make pending() drift.
+  EventQueue q;
+  const EventId a = q.Schedule(1.0, [] {});
+  q.Schedule(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunUntilEmpty();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.fired_count(), 1u);
+}
+
+TEST(EventQueue, SlabReuseUnderCancelHeavyChurn) {
+  // Slots are recycled across rounds of schedule/cancel churn; counters and
+  // cancellation semantics must hold throughout.
+  EventQueue q;
+  uint64_t fired = 0;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 100; ++round) {
+    ids.clear();
+    for (int i = 0; i < 50; ++i) {
+      ids.push_back(q.ScheduleAfter(1.0 + 0.01 * i, [&fired] { ++fired; }));
+    }
+    EXPECT_EQ(q.pending(), 50u);
+    for (int i = 0; i < 50; i += 2) EXPECT_TRUE(q.Cancel(ids[i]));
+    for (int i = 0; i < 50; i += 2) EXPECT_FALSE(q.Cancel(ids[i]));
+    EXPECT_EQ(q.pending(), 25u);
+    q.RunUntil(q.now() + 2.0);
+    EXPECT_EQ(q.pending(), 0u);
+  }
+  EXPECT_EQ(fired, 2500u);
+  EXPECT_EQ(q.fired_count(), 2500u);
+}
+
+TEST(EventQueue, CancelOfSentinelZeroIdIsRejected) {
+  // Regression: after slot 0 is freed its seq marker is 0; Cancel(0) — the
+  // network model's "no event" sentinel — must not match it (that would
+  // double-free the slot and underflow pending()).
+  EventQueue q;
+  const EventId a = q.Schedule(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_FALSE(q.Cancel(0));
+  EXPECT_EQ(q.pending(), 0u);
+  int fired = 0;
+  q.Schedule(1.0, [&] { ++fired; });
+  q.Schedule(1.0, [&] { ++fired; });
+  EXPECT_FALSE(q.Cancel(0));
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired, 2);  // both events kept distinct slots and fired
+}
+
+TEST(EventQueue, StaleIdOfReusedSlotDoesNotCancelNewEvent) {
+  EventQueue q;
+  const EventId a = q.Schedule(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(a));
+  // The new event may land in the recycled slot; a's stale id must not
+  // reach it.
+  bool fired = false;
+  q.Schedule(1.0, [&] { fired = true; });
+  EXPECT_FALSE(q.Cancel(a));
+  q.RunUntilEmpty();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ZeroDelayEventsPreserveGlobalFifoOrder) {
+  // A zero-delay event scheduled from inside a running event still fires
+  // after same-timestamp events that were scheduled earlier.
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(1.0, [&] {
+    order.push_back(1);
+    q.ScheduleAfter(0.0, [&] { order.push_back(2); });
+  });
+  q.Schedule(1.0, [&] { order.push_back(3); });
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueue, ZeroDelayEventsCanBeCancelled) {
+  EventQueue q;
+  bool fired = false;
+  q.Schedule(1.0, [&] {
+    const EventId imm = q.ScheduleAfter(0.0, [&] { fired = true; });
+    EXPECT_TRUE(q.Cancel(imm));
+    EXPECT_FALSE(q.Cancel(imm));
+  });
+  q.RunUntilEmpty();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, ZeroDelayChainsDrainInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  std::function<void(int)> hop = [&](int depth) {
+    order.push_back(depth);
+    if (depth < 5) q.ScheduleAfter(0.0, [&hop, depth] { hop(depth + 1); });
+  };
+  q.Schedule(2.0, [&] { hop(0); });
+  q.Schedule(2.0, [&] { order.push_back(100); });
+  q.RunUntilEmpty();
+  // The first chain hop interleaves with the pre-scheduled peer at t=2,
+  // then the remaining hops drain in order.
+  EXPECT_EQ(order, (std::vector<int>{0, 100, 1, 2, 3, 4, 5}));
 }
 
 TEST(EventQueue, FifoAcrossReschedules) {
