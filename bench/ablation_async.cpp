@@ -1,22 +1,35 @@
-// Ablation A6 — synchronization spectrum on the power-law graph scenario:
+// Ablation A6 — synchronization spectrum across every application family:
 //
-//   general       one MapReduce job per Jacobi sweep (the vanilla baseline)
+//   general       one MapReduce job per global iteration (the vanilla baseline)
 //   partial-sync  the paper's eager gmap (local convergence per global round)
 //   async S=0     barrier-free engine with a zero staleness window
 //                 (synchronized rounds — SSP lag bound 0 — but no job
 //                 submit / shuffle / DFS round trip, isolating the barrier
 //                 *implementation* cost)
-//   async S=3     bounded staleness window
+//   async S=4     bounded staleness window
 //   async         unbounded staleness (pure asynchrony)
 //
+// Runs all five apps — PageRank, SSSP, K-Means, Components, Jacobi — so the
+// paper's central claim (asynchrony pays off across algorithm *families*)
+// is measured, not asserted. The async engine charges a per-record merge
+// cost for applying delivered batches (merge-ops column), so its times are
+// not flattered by free state application.
+//
 // Reports iterations-to-convergence (global rounds for the wave engines,
-// worker iterations for the async engine), virtual time, and network bytes,
-// for PageRank and SSSP. The headline: async virtual-time-to-convergence
-// must come in at or below the partial-sync baseline.
+// worker iterations for the async engine), virtual time, and network bytes.
+// One machine-readable JSON line per app goes to stdout — append them to
+// BENCH_ablation_async.json to extend the trajectory. The headline: async
+// PageRank virtual-time-to-convergence must come in at or below the
+// partial-sync baseline.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "apps/components.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/kmeans.hpp"
 #include "bench_common.hpp"
+#include "common/rng.hpp"
 #include "common/string_util.hpp"
 #include "graph/partitioner.hpp"
 
@@ -30,35 +43,82 @@ struct Row {
   uint64_t local_iters = 0;
   double seconds = 0.0;
   uint64_t net_bytes = 0;
+  uint64_t merge_ops = 0;
   bool converged = false;
 };
+
+const std::vector<std::pair<std::string, uint32_t>> kStalenessSweep = {
+    {"async-s0", 0u}, {"async-s4", 4u}, {"async", async::kUnboundedStaleness}};
 
 void PrintRows(const std::vector<Row>& rows, const BenchOptions& opts,
                const char* workload) {
   const double base = rows.front().seconds;
-  std::printf("%-14s %-9s %-13s %-11s %-12s %-9s %s\n", "variant", "globals",
-              "local/async", "time(s)", "net-bytes", "speedup", "converged");
+  std::printf("%-14s %-9s %-13s %-11s %-12s %-11s %-9s %s\n", "variant",
+              "globals", "local/async", "time(s)", "net-bytes", "merge-ops",
+              "speedup", "converged");
   for (const Row& r : rows) {
-    std::printf("%-14s %-9u %-13llu %-11.1f %-12s %-9.2f %s\n", r.variant.c_str(),
-                r.global_iters, static_cast<unsigned long long>(r.local_iters),
-                r.seconds, HumanBytes(r.net_bytes).c_str(),
+    std::printf("%-14s %-9u %-13llu %-11.1f %-12s %-11s %-9.2f %s\n",
+                r.variant.c_str(), r.global_iters,
+                static_cast<unsigned long long>(r.local_iters), r.seconds,
+                HumanBytes(r.net_bytes).c_str(),
+                WithThousands(r.merge_ops).c_str(),
                 r.seconds > 0 ? base / r.seconds : 0.0, r.converged ? "yes" : "NO");
     if (opts.csv) {
-      std::printf("CSV,%s,%s,%u,%llu,%.3f,%llu,%d\n", workload, r.variant.c_str(),
-                  r.global_iters, static_cast<unsigned long long>(r.local_iters),
-                  r.seconds, static_cast<unsigned long long>(r.net_bytes),
+      std::printf("CSV,%s,%s,%u,%llu,%.3f,%llu,%llu,%d\n", workload,
+                  r.variant.c_str(), r.global_iters,
+                  static_cast<unsigned long long>(r.local_iters), r.seconds,
+                  static_cast<unsigned long long>(r.net_bytes),
+                  static_cast<unsigned long long>(r.merge_ops),
                   r.converged ? 1 : 0);
     }
   }
   std::printf("\n");
 }
 
+/// The rows arrive ordered: general, partial-sync, async-s0, async-s4, async.
+void EmitJson(const std::vector<Row>& rows, const BenchOptions& opts,
+              const char* workload) {
+  const Row& async_row = rows.back();
+  std::printf(
+      "{\"bench\":\"ablation_async\",\"app\":\"%s\",\"scale\":%g,\"seed\":%llu,"
+      "\"general_s\":%.4f,\"partial_sync_s\":%.4f,\"async_s0_s\":%.4f,"
+      "\"async_s4_s\":%.4f,\"async_s\":%.4f,\"async_iters\":%llu,"
+      "\"async_net_bytes\":%llu,\"async_merge_ops\":%llu,"
+      "\"async_converged\":%d}\n",
+      workload, opts.scale, static_cast<unsigned long long>(opts.seed),
+      rows[0].seconds, rows[1].seconds, rows[2].seconds, rows[3].seconds,
+      async_row.seconds, static_cast<unsigned long long>(async_row.local_iters),
+      static_cast<unsigned long long>(async_row.net_bytes),
+      static_cast<unsigned long long>(async_row.merge_ops),
+      async_row.converged ? 1 : 0);
+}
+
+Row WaveRow(const std::string& variant, const core::RunTrace& trace,
+            bool converged, bool with_locals) {
+  return {variant,
+          trace.global_iterations(),
+          with_locals ? trace.total_local_iterations() : 0,
+          trace.total_seconds(),
+          trace.total_shuffle_bytes(),
+          0,
+          converged};
+}
+
+Row AsyncRow(const std::string& variant, const async::AsyncResult& stats,
+             bool converged) {
+  return {variant,      0,
+          stats.total_iterations, stats.seconds(),
+          stats.bytes_sent,       stats.total_merge_ops,
+          converged};
+}
+
 }  // namespace
 
 int main() {
   const auto opts = BenchOptions::FromEnv();
-  bench::PrintBanner("Ablation A6 — barrier-free async vs partial-sync vs general",
-                     opts);
+  bench::PrintBanner(
+      "Ablation A6 — barrier-free async vs partial-sync vs general, all apps",
+      opts);
 
   // The power-law graph scenario (crawl-locality preferential attachment),
   // shared with bench/micro_des so the perf anchor never drifts from it.
@@ -76,60 +136,130 @@ int main() {
   {
     cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
     const auto r = apps::GeneralPageRank(sim, g, part, pr);
-    rows.push_back({"general", r.trace.global_iterations(), 0,
-                    r.trace.total_seconds(), r.trace.total_shuffle_bytes(),
-                    r.converged});
+    rows.push_back(WaveRow("general", r.trace, r.converged, false));
   }
   {
     cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
     const auto r = apps::EagerPageRank(sim, g, part, pr);
-    rows.push_back({"partial-sync", r.trace.global_iterations(),
-                    r.trace.total_local_iterations(), r.trace.total_seconds(),
-                    r.trace.total_shuffle_bytes(), r.converged});
+    rows.push_back(WaveRow("partial-sync", r.trace, r.converged, true));
   }
   const double partial_sync_s = rows.back().seconds;
-  for (const auto& [label, staleness] :
-       std::vector<std::pair<std::string, uint32_t>>{
-           {"async-s0", 0u}, {"async-s3", 3u}, {"async", async::kUnboundedStaleness}}) {
+  for (const auto& [label, staleness] : kStalenessSweep) {
     cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
     async::AsyncResult stats;
     const auto r = apps::AsyncPageRank(sim, g, part, pr, staleness, &stats);
-    rows.push_back({label, 0, stats.total_iterations, stats.seconds(),
-                    stats.bytes_sent, r.converged});
+    rows.push_back(AsyncRow(label, stats, r.converged));
   }
   PrintRows(rows, opts, "pagerank");
+  EmitJson(rows, opts, "pagerank");
   const double async_s = rows.back().seconds;
 
   // --- SSSP ------------------------------------------------------------------
-  std::printf("SSSP (random weights):\n");
+  std::printf("\nSSSP (random weights):\n");
   const auto gw = graph::WithRandomWeights(g, 1.0, 10.0, opts.seed + 3);
   std::vector<Row> srows;
   apps::SsspConfig sc;
   {
     cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
     const auto r = apps::GeneralSssp(sim, gw, part, sc);
-    srows.push_back({"general", r.trace.global_iterations(), 0,
-                     r.trace.total_seconds(), r.trace.total_shuffle_bytes(),
-                     r.converged});
+    srows.push_back(WaveRow("general", r.trace, r.converged, false));
   }
   {
     cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
     const auto r = apps::EagerSssp(sim, gw, part, sc);
-    srows.push_back({"partial-sync", r.trace.global_iterations(),
-                     r.trace.total_local_iterations(), r.trace.total_seconds(),
-                     r.trace.total_shuffle_bytes(), r.converged});
+    srows.push_back(WaveRow("partial-sync", r.trace, r.converged, true));
+  }
+  for (const auto& [label, staleness] : kStalenessSweep) {
+    cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
+    async::AsyncResult stats;
+    const auto r = apps::AsyncSssp(sim, gw, part, sc, staleness, &stats);
+    srows.push_back(AsyncRow(label, stats, r.converged));
+  }
+  PrintRows(srows, opts, "sssp");
+  EmitJson(srows, opts, "sssp");
+
+  // --- K-Means ---------------------------------------------------------------
+  std::printf("\nK-Means (census-like):\n");
+  apps::CensusLikeConfig data_config;
+  data_config.num_points = static_cast<uint32_t>(opts.Scaled(30'000, 2'000));
+  data_config.seed = opts.seed;
+  const auto data = apps::GenerateCensusLike(data_config);
+  apps::KMeansConfig km;
+  km.k = 8;
+  km.num_partitions = std::max(4u, k);
+  km.seed = opts.seed + 5;
+  std::vector<Row> krows;
+  {
+    cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
+    const auto r = apps::GeneralKMeans(sim, data, km);
+    krows.push_back(WaveRow("general", r.trace, r.converged, false));
   }
   {
     cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
-    async::AsyncResult stats;
-    const auto r = apps::AsyncSssp(sim, gw, part, sc,
-                                   async::kUnboundedStaleness, &stats);
-    srows.push_back({"async", 0, stats.total_iterations, stats.seconds(),
-                     stats.bytes_sent, r.converged});
+    const auto r = apps::EagerKMeans(sim, data, km);
+    krows.push_back(WaveRow("partial-sync", r.trace, r.converged, true));
   }
-  PrintRows(srows, opts, "sssp");
+  for (const auto& [label, staleness] : kStalenessSweep) {
+    cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
+    async::AsyncResult stats;
+    const auto r = apps::AsyncKMeans(sim, data, km, staleness, &stats);
+    krows.push_back(AsyncRow(label, stats, r.converged));
+  }
+  PrintRows(krows, opts, "kmeans");
+  EmitJson(krows, opts, "kmeans");
 
-  std::printf("headline: async PageRank %.1fs vs partial-sync %.1fs — %s\n",
+  // --- Connected Components --------------------------------------------------
+  std::printf("\nConnected Components:\n");
+  std::vector<Row> crows;
+  apps::ComponentsConfig cc;
+  {
+    cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
+    const auto r = apps::GeneralComponents(sim, g, part, cc);
+    crows.push_back(WaveRow("general", r.trace, r.converged, false));
+  }
+  {
+    cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
+    const auto r = apps::EagerComponents(sim, g, part, cc);
+    crows.push_back(WaveRow("partial-sync", r.trace, r.converged, true));
+  }
+  for (const auto& [label, staleness] : kStalenessSweep) {
+    cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
+    async::AsyncResult stats;
+    const auto r = apps::AsyncComponents(sim, g, part, cc, staleness, &stats);
+    crows.push_back(AsyncRow(label, stats, r.converged));
+  }
+  PrintRows(crows, opts, "components");
+  EmitJson(crows, opts, "components");
+
+  // --- Jacobi ----------------------------------------------------------------
+  std::printf("\nJacobi (A = D + I - Adj over the symmetrized graph):\n");
+  const auto g_sym = apps::Symmetrized(g);
+  std::vector<double> b(g_sym.num_vertices());
+  Rng rhs_rng(opts.seed + 11);
+  for (double& v : b) v = rhs_rng.NextDouble(-1.0, 1.0);
+  apps::JacobiConfig jc;
+  jc.tolerance = 1e-6;  // bench scale: keep the general baseline's round count sane
+  std::vector<Row> jrows;
+  {
+    cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
+    const auto r = apps::GeneralJacobi(sim, g_sym, b, part, jc);
+    jrows.push_back(WaveRow("general", r.trace, r.converged, false));
+  }
+  {
+    cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
+    const auto r = apps::EagerJacobi(sim, g_sym, b, part, jc);
+    jrows.push_back(WaveRow("partial-sync", r.trace, r.converged, true));
+  }
+  for (const auto& [label, staleness] : kStalenessSweep) {
+    cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
+    async::AsyncResult stats;
+    const auto r = apps::AsyncJacobi(sim, g_sym, b, part, jc, staleness, &stats);
+    jrows.push_back(AsyncRow(label, stats, r.converged));
+  }
+  PrintRows(jrows, opts, "jacobi");
+  EmitJson(jrows, opts, "jacobi");
+
+  std::printf("\nheadline: async PageRank %.1fs vs partial-sync %.1fs — %s\n",
               async_s, partial_sync_s,
               async_s <= partial_sync_s
                   ? "async is at or below the partial-sync baseline"

@@ -41,11 +41,17 @@ int main() {
   const auto part = graph::MultilevelPartition(g, k, opts.seed);
 
   apps::ComponentsConfig config;
-  std::printf("running General vs Eager label propagation (k=%u partitions)...\n\n", k);
+  std::printf(
+      "running General vs Eager vs Async label propagation (k=%u partitions)"
+      "...\n\n", k);
   cluster::SimCluster general_cluster(cluster::ClusterSpec::Ec2Large8());
   const auto general = apps::GeneralComponents(general_cluster, g, part, config);
   cluster::SimCluster eager_cluster(cluster::ClusterSpec::Ec2Large8());
   const auto eager = apps::EagerComponents(eager_cluster, g, part, config);
+  cluster::SimCluster async_cluster(cluster::ClusterSpec::Ec2Large8());
+  async::AsyncResult stats;
+  const auto barrier_free = apps::AsyncComponents(
+      async_cluster, g, part, config, async::kUnboundedStaleness, &stats);
 
   std::printf("General: %u components in %u iterations (%s virtual)\n",
               general.num_components, general.trace.global_iterations(),
@@ -53,11 +59,17 @@ int main() {
   std::printf("Eager:   %u components in %u iterations (%s virtual)\n",
               eager.num_components, eager.trace.global_iterations(),
               HumanSeconds(eager.trace.total_seconds()).c_str());
+  std::printf("Async:   %u components in %llu worker iterations (%s virtual)\n",
+              barrier_free.num_components,
+              static_cast<unsigned long long>(stats.total_iterations),
+              HumanSeconds(stats.seconds()).c_str());
 
   const auto oracle = apps::SerialComponents(apps::Symmetrized(g));
-  const bool exact = eager.labels == oracle && general.labels == oracle;
+  const bool exact = eager.labels == oracle && general.labels == oracle &&
+                     barrier_free.labels == oracle;
   std::printf("\ncorrectness vs union-find: %s\n", exact ? "exact match" : "MISMATCH");
-  std::printf("speedup: %.1fx\n",
-              general.trace.total_seconds() / eager.trace.total_seconds());
+  std::printf("speedup over general: eager %.1fx, async %.1fx\n",
+              general.trace.total_seconds() / eager.trace.total_seconds(),
+              general.trace.total_seconds() / stats.seconds());
   return exact ? 0 : 1;
 }

@@ -40,16 +40,29 @@ int main() {
 
   cluster::SimCluster eager_cluster(cluster::ClusterSpec::Ec2Large8());
   const auto eager = apps::EagerKMeans(eager_cluster, data, km);
-  std::printf("Eager K-Means:   %3u iterations, SSE %.4g, %s virtual time%s\n\n",
+  std::printf("Eager K-Means:   %3u iterations, SSE %.4g, %s virtual time%s\n",
               eager.trace.global_iterations(), eager.sse,
               HumanSeconds(eager.trace.total_seconds()).c_str(),
               eager.stopped_on_oscillation ? " (stopped on oscillation)" : "");
 
-  std::printf("quality: eager/lloyd SSE ratio %.3f (1.0 = identical quality)\n",
-              eager.sse / lloyd.sse);
-  std::printf("speedup: %.1fx (%u -> %u global synchronizations, %s partial)\n",
+  cluster::SimCluster async_cluster(cluster::ClusterSpec::Ec2Large8());
+  async::AsyncResult stats;
+  const auto barrier_free = apps::AsyncKMeans(async_cluster, data, km,
+                                              async::kUnboundedStaleness, &stats);
+  std::printf("Async K-Means:   %3llu worker iterations, SSE %.4g, %s virtual "
+              "time (%s merge ops charged)\n\n",
+              static_cast<unsigned long long>(stats.total_iterations),
+              barrier_free.sse, HumanSeconds(stats.seconds()).c_str(),
+              WithThousands(stats.total_merge_ops).c_str());
+
+  std::printf("quality vs lloyd (SSE ratio, 1.0 = identical): eager %.3f, "
+              "async %.3f\n",
+              eager.sse / lloyd.sse, barrier_free.sse / lloyd.sse);
+  std::printf("speedup: %.1fx (%u -> %u global synchronizations, %s partial); "
+              "async %.1fx with no synchronizations at all\n",
               general.trace.total_seconds() / eager.trace.total_seconds(),
               general.trace.global_iterations(), eager.trace.global_iterations(),
-              WithThousands(eager.trace.total_local_iterations()).c_str());
+              WithThousands(eager.trace.total_local_iterations()).c_str(),
+              general.trace.total_seconds() / stats.seconds());
   return 0;
 }

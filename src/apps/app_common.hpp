@@ -5,14 +5,23 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "async/async_engine.hpp"
+#include "core/metrics.hpp"
 #include "graph/partition.hpp"
 
 namespace asyncmr::apps {
 
 /// Sentinel for "unreached" distances.
 inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// The single aggregate round every async app reports: engine time span,
+/// ops, bytes pushed, total worker iterations (as local_iterations) and the
+/// final residual.
+core::RunTrace AsyncRunTrace(const std::string& name,
+                             const async::AsyncResult& result);
 
 /// Per-partition view of a digraph: members plus, for each member, its
 /// out-neighbors split into partition-internal targets and all targets.

@@ -30,6 +30,16 @@ struct ComponentsResult {
   uint32_t num_components = 0;
 };
 
+/// AsyncComponents' wire record: an improved (smaller) component label for
+/// one cross-partition vertex, min-combined at the receiver. Labels travel
+/// as native uint32 — half the payload of the SSSP double encoding the wave
+/// variants ride on.
+struct CcLabelUpdate {
+  uint32_t vertex = 0;
+  uint32_t label = 0;
+  AMR_SERDE_FIELDS(vertex, label)
+};
+
 /// Union-find reference over the same (symmetrized) edge set.
 std::vector<graph::VertexId> SerialComponents(const graph::Digraph& g);
 
@@ -46,5 +56,17 @@ ComponentsResult EagerComponents(cluster::SimCluster& cluster,
                                  const graph::Digraph& g,
                                  const graph::Partitioning& partitioning,
                                  const ComponentsConfig& config);
+
+/// Barrier-free components on the asynchronous engine: chaotic min-label
+/// propagation directly on uint32 labels (no SSSP detour). Each worker
+/// floods labels through its partition's symmetrized sub-graph to a fixed
+/// point, then pushes only *improved* labels over cut edges; min-combine is
+/// monotone, so any staleness is safe and the final labels are exact.
+ComponentsResult AsyncComponents(cluster::SimCluster& cluster,
+                                 const graph::Digraph& g,
+                                 const graph::Partitioning& partitioning,
+                                 const ComponentsConfig& config,
+                                 uint32_t staleness = async::kUnboundedStaleness,
+                                 async::AsyncResult* engine_stats = nullptr);
 
 }  // namespace asyncmr::apps

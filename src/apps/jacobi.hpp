@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "async/async_engine.hpp"
 #include "cluster/cluster.hpp"
 #include "core/metrics.hpp"
 #include "graph/partition.hpp"
@@ -61,5 +62,27 @@ JacobiResult EagerJacobi(cluster::SimCluster& cluster, const graph::Digraph& g_s
                          const std::vector<double>& b,
                          const graph::Partitioning& partitioning,
                          const JacobiConfig& config);
+
+/// AsyncJacobi's wire record: the refreshed boundary-row sum for one vertex —
+/// the sum of the sender's x values over its edges into that vertex, which
+/// replaces the sender's previous value in the receiver's external-row sum.
+struct JacBoundaryUpdate {
+  uint32_t vertex = 0;
+  double sum = 0.0;
+  AMR_SERDE_FIELDS(vertex, sum)
+};
+
+/// Barrier-free Jacobi on the asynchronous engine (chaotic block-Jacobi:
+/// Chazan & Miranker's asynchronous relaxation, convergent here because the
+/// graph-induced system is diagonally dominant). Each worker block-solves its
+/// partition against its current view of external boundary rows, then pushes
+/// refreshed row sums to the partitions that consume them, delta-filtered so
+/// a settled neighborhood goes quiet.
+JacobiResult AsyncJacobi(cluster::SimCluster& cluster, const graph::Digraph& g_sym,
+                         const std::vector<double>& b,
+                         const graph::Partitioning& partitioning,
+                         const JacobiConfig& config,
+                         uint32_t staleness = async::kUnboundedStaleness,
+                         async::AsyncResult* engine_stats = nullptr);
 
 }  // namespace asyncmr::apps

@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 
+#include "apps/app_common.hpp"
 #include "common/rng.hpp"
 #include "core/partial_sync_job.hpp"
 #include "core/partition_io.hpp"
@@ -450,6 +451,199 @@ KMeansResult EagerKMeans(cluster::SimCluster& cluster, const Dataset& data,
       break;
     }
   }
+  result.sse = SumSquaredError(data, result.centroids, k);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Async K-Means: count-weighted centroid partials on async::AsyncEngine.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-partition worker state for the asynchronous engine.
+struct AsyncKmPartition {
+  std::vector<uint32_t> points;
+  /// Centroid estimate the points were last assigned against (k x dims).
+  std::vector<double> centroids;
+  /// This partition's current partial: per-centroid coordinate sums + counts
+  /// over its own points. Doubles as the delta filter — a partial is only
+  /// re-published when an assignment change moved it.
+  std::vector<double> own_sum;
+  std::vector<uint64_t> own_count;
+  /// Aggregate of own partial + every peer's latest received partial; the
+  /// centroid estimate is agg_sum / agg_count where count > 0.
+  std::vector<double> agg_sum;
+  std::vector<uint64_t> agg_count;
+  /// Latest partial per (sender, centroid), so apply can subtract what a
+  /// fresh partial replaces.
+  async::StateStore<KmPartialUpdate> store;
+};
+
+}  // namespace
+
+KMeansResult AsyncKMeans(cluster::SimCluster& cluster, const Dataset& data,
+                         const KMeansConfig& config, uint32_t staleness,
+                         async::AsyncResult* engine_stats) {
+  const uint32_t k = config.k, dims = data.dims();
+  const uint32_t num_parts = config.num_partitions;
+  std::vector<uint32_t> order(data.num_points());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto point_parts = SplitPoints(order, num_parts);
+
+  const std::vector<double> initial = InitialCentroids(data, k, config.seed);
+  std::vector<AsyncKmPartition> parts(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    AsyncKmPartition& part = parts[p];
+    part.points = point_parts[p];
+    part.centroids = initial;
+    part.own_sum.assign(static_cast<size_t>(k) * dims, 0.0);
+    part.own_count.assign(k, 0);
+    part.agg_sum.assign(static_cast<size_t>(k) * dims, 0.0);
+    part.agg_count.assign(k, 0);
+    std::vector<uint32_t> peers;
+    for (uint32_t q = 0; q < num_parts; ++q) {
+      if (q != p) peers.push_back(q);
+    }
+    part.store = async::StateStore<KmPartialUpdate>(std::move(peers));
+  }
+
+  async::AsyncConfig engine_config;
+  engine_config.staleness_bound = staleness;
+  engine_config.convergence_threshold = config.threshold;
+  engine_config.max_iterations_per_worker = config.max_global_iterations * 10;
+  engine_config.compute_time_scale = config.gmap_time_scale;
+  engine_config.name = config.job_prefix + "-async";
+  async::AsyncEngine engine(cluster, num_parts, engine_config);
+  // Default all-to-all out-peer topology: centroids are global state.
+
+  // Count-weighted mean of the aggregate; a centroid nobody claims keeps its
+  // position in `fallback`, like the serial rule for empty clusters.
+  auto estimate = [k, dims](const AsyncKmPartition& part,
+                            const std::vector<double>& fallback) {
+    std::vector<double> est(static_cast<size_t>(k) * dims);
+    for (uint32_t c = 0; c < k; ++c) {
+      const size_t base = static_cast<size_t>(c) * dims;
+      if (part.agg_count[c] > 0) {
+        const double inv = 1.0 / static_cast<double>(part.agg_count[c]);
+        for (uint32_t d = 0; d < dims; ++d) est[base + d] = part.agg_sum[base + d] * inv;
+      } else {
+        std::copy_n(fallback.begin() + base, dims, est.begin() + base);
+      }
+    }
+    return est;
+  };
+
+  engine.set_compute([&](uint32_t p, async::AsyncContext& ctx) {
+    AsyncKmPartition& part = parts[p];
+    uint64_t ops = 0;
+
+    // Refresh the centroid estimate from the aggregate (own partial + every
+    // peer partial applied so far), then re-assign this partition's points
+    // against it. Under staleness 0 the aggregate holds every peer's
+    // previous-round partial, so this reproduces a synchronized Lloyd round.
+    std::vector<double> est = estimate(part, part.centroids);
+    const double movement_in = Movement(part.centroids, est, k, dims);
+    std::vector<double> new_sum(static_cast<size_t>(k) * dims, 0.0);
+    std::vector<uint64_t> new_count(k, 0);
+    for (uint32_t i : part.points) {
+      const auto point = data.Point(i);
+      const uint32_t c = NearestCentroid(point, est, k, dims);
+      double* row = new_sum.data() + static_cast<size_t>(c) * dims;
+      for (uint32_t d = 0; d < dims; ++d) row[d] += point[d];
+      new_count[c]++;
+    }
+    ops += static_cast<uint64_t>(k) * dims +
+           part.points.size() * (AssignOps(k, dims) + dims);
+
+    // Publish the partials that moved (assignments are discrete, so a stable
+    // assignment reproduces bit-identical sums and goes quiet), folding them
+    // into the local aggregate at the same time.
+    for (uint32_t c = 0; c < k; ++c) {
+      const size_t base = static_cast<size_t>(c) * dims;
+      bool changed = new_count[c] != part.own_count[c];
+      for (uint32_t d = 0; !changed && d < dims; ++d) {
+        changed = new_sum[base + d] != part.own_sum[base + d];
+      }
+      if (!changed) continue;
+      part.agg_count[c] += new_count[c] - part.own_count[c];
+      part.own_count[c] = new_count[c];
+      KmPartialUpdate update;
+      update.centroid = c;
+      update.count = new_count[c];
+      update.sum.assign(new_sum.begin() + base, new_sum.begin() + base + dims);
+      for (uint32_t d = 0; d < dims; ++d) {
+        part.agg_sum[base + d] += new_sum[base + d] - part.own_sum[base + d];
+        part.own_sum[base + d] = new_sum[base + d];
+      }
+      // Same record to every peer: encode once, broadcast the bytes.
+      const serde::Buffer encoded = serde::Encode(update);
+      for (uint32_t q = 0; q < num_parts; ++q) {
+        if (q != p) ctx.EmitEncoded(q, encoded);
+      }
+      ops += static_cast<uint64_t>(num_parts) * dims;
+    }
+
+    // The residual must see the worker's own contribution too — movement of
+    // the incoming view alone would let a worker idle right after moving the
+    // global mean with its fresh partial (and a single-partition run would
+    // stop after one assignment pass).
+    const double movement_own =
+        Movement(est, estimate(part, est), k, dims);
+    ctx.set_residual(std::max(movement_in, movement_own));
+    part.centroids = std::move(est);
+    ctx.AddOps(ops);
+  });
+
+  engine.set_apply([&](uint32_t p, uint32_t from, uint32_t from_clock,
+                       const async::UpdateBatch& batch) {
+    AsyncKmPartition& part = parts[p];
+    part.store.ObserveClock(from, from_clock);
+    async::ForEachUpdate<KmPartialUpdate>(batch, [&](const KmPartialUpdate& u) {
+      const uint32_t c = u.centroid;
+      const size_t base = static_cast<size_t>(c) * dims;
+      const auto put = part.store.Put(from, c, u, from_clock);
+      if (!put.applied) return;  // out-of-order stale delivery
+      const auto& old = put.replaced;
+      const uint64_t old_count = old ? old->count : 0;
+      part.agg_count[c] += u.count - old_count;
+      for (uint32_t d = 0; d < dims; ++d) {
+        part.agg_sum[base + d] += u.sum[d] - (old ? old->sum[d] : 0.0);
+      }
+    });
+  });
+
+  async::AsyncResult engine_result = engine.Run();
+  if (engine_stats != nullptr) *engine_stats = engine_result;
+
+  // Final centroids from the authoritative partials: the count-weighted mean
+  // of every partition's own last assignment (exact, independent of which
+  // worker's view terminated last). Unclaimed centroids keep partition 0's
+  // last estimated position, mirroring the serial empty-cluster rule.
+  KMeansResult result;
+  result.centroids = parts.empty() ? initial : parts[0].centroids;
+  std::vector<double> total_sum(static_cast<size_t>(k) * dims, 0.0);
+  std::vector<uint64_t> total_count(k, 0);
+  for (const AsyncKmPartition& part : parts) {
+    for (uint32_t c = 0; c < k; ++c) {
+      total_count[c] += part.own_count[c];
+      for (uint32_t d = 0; d < dims; ++d) {
+        total_sum[static_cast<size_t>(c) * dims + d] +=
+            part.own_sum[static_cast<size_t>(c) * dims + d];
+      }
+    }
+  }
+  for (uint32_t c = 0; c < k; ++c) {
+    if (total_count[c] == 0) continue;
+    for (uint32_t d = 0; d < dims; ++d) {
+      result.centroids[static_cast<size_t>(c) * dims + d] =
+          total_sum[static_cast<size_t>(c) * dims + d] /
+          static_cast<double>(total_count[c]);
+    }
+  }
+
+  result.converged = engine_result.converged;
+  result.trace = AsyncRunTrace("async-kmeans", engine_result);
   result.sse = SumSquaredError(data, result.centroids, k);
   return result;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "apps/dataset.hpp"
+#include "async/async_engine.hpp"
 #include "cluster/cluster.hpp"
 #include "core/metrics.hpp"
 
@@ -59,5 +60,32 @@ KMeansResult GeneralKMeans(cluster::SimCluster& cluster, const Dataset& data,
 
 KMeansResult EagerKMeans(cluster::SimCluster& cluster, const Dataset& data,
                          const KMeansConfig& config);
+
+/// AsyncKMeans' wire record: a partition's refreshed partial for one centroid
+/// — the count-weighted coordinate sum over its points currently assigned to
+/// that centroid. It *replaces* the sender's previous partial at the
+/// receiver; the global centroid is the count-weighted mean of every
+/// partition's latest partial. This is the heterogeneous-payload case the
+/// generalized engine exists for: a variable-length vector value, not a
+/// (key, double) pair.
+struct KmPartialUpdate {
+  uint32_t centroid = 0;
+  uint64_t count = 0;
+  std::vector<double> sum;
+  AMR_SERDE_FIELDS(centroid, count, sum)
+};
+
+/// Barrier-free K-Means on the asynchronous engine. Each worker assigns its
+/// points against its current count-weighted view of the global centroids,
+/// publishes the centroid partials that changed to every peer (all-to-all —
+/// centroids are global state), and folds freshly delivered peer partials
+/// into its view. The residual is the per-iteration centroid movement, so
+/// the run terminates once every worker's view moves less than the
+/// threshold with no partials in flight. `staleness` as in AsyncPageRank:
+/// 0 reproduces synchronized Lloyd rounds, unbounded never waits.
+KMeansResult AsyncKMeans(cluster::SimCluster& cluster, const Dataset& data,
+                         const KMeansConfig& config,
+                         uint32_t staleness = async::kUnboundedStaleness,
+                         async::AsyncResult* engine_stats = nullptr);
 
 }  // namespace asyncmr::apps

@@ -458,7 +458,7 @@ PageRankResult AsyncPageRank(cluster::SimCluster& cluster, const graph::Digraph&
           [&](uint32_t i) { return part.inv_outdeg[i]; },  // rank 1.0
           [&](graph::VertexId t, double sum) {
             part.last_sent[b].emplace(t, sum);
-            peer.store.Put(p, t, sum);
+            peer.store.Put(p, t, sum, /*clock=*/0);
             peer.ext[peer.local_index.at(t)] += sum;
           });
     }
@@ -468,7 +468,6 @@ PageRankResult AsyncPageRank(cluster::SimCluster& cluster, const graph::Digraph&
   engine_config.staleness_bound = staleness;
   engine_config.convergence_threshold = config.tolerance;
   engine_config.max_iterations_per_worker = config.max_global_iterations * 10;
-  engine_config.update_record_bytes = kRankRecordBytes;
   engine_config.compute_time_scale = config.gmap_time_scale;
   engine_config.name = config.job_prefix + "-async";
   async::AsyncEngine engine(cluster, num_parts, engine_config);
@@ -520,7 +519,7 @@ PageRankResult AsyncPageRank(cluster::SimCluster& cluster, const graph::Digraph&
           [&](graph::VertexId t, double sum) {
             double& sent = part.last_sent[b][t];
             if (std::abs(sum - sent) > send_eps) {
-              ctx.Emit(part.boundary[b].peer, t, sum);
+              ctx.Emit(part.boundary[b].peer, PrBoundaryUpdate{t, sum});
               sent = sum;
             }
           });
@@ -533,10 +532,12 @@ PageRankResult AsyncPageRank(cluster::SimCluster& cluster, const graph::Digraph&
                        const async::UpdateBatch& batch) {
     AsyncPrPartition& part = parts[p];
     part.store.ObserveClock(from, from_clock);
-    for (const auto& [t, c] : batch) {
-      const std::optional<double> old = part.store.Put(from, t, c);
-      part.ext[part.local_index.at(t)] += c - old.value_or(0.0);
-    }
+    async::ForEachUpdate<PrBoundaryUpdate>(batch, [&](const PrBoundaryUpdate& u) {
+      const auto put = part.store.Put(from, u.vertex, u.contribution, from_clock);
+      if (!put.applied) return;  // out-of-order stale delivery
+      part.ext[part.local_index.at(u.vertex)] +=
+          u.contribution - put.replaced.value_or(0.0);
+    });
   });
 
   async::AsyncResult engine_result = engine.Run();
@@ -550,16 +551,7 @@ PageRankResult AsyncPageRank(cluster::SimCluster& cluster, const graph::Digraph&
     }
   }
   result.converged = engine_result.converged;
-  result.trace = core::RunTrace("async-pagerank");
-  core::RoundTrace trace;
-  trace.round = 0;
-  trace.start_seconds = engine_result.start_seconds;
-  trace.end_seconds = engine_result.end_seconds;
-  trace.ops = engine_result.total_ops;
-  trace.shuffle_bytes = engine_result.bytes_sent;
-  trace.local_iterations = static_cast<uint32_t>(engine_result.total_iterations);
-  trace.residual = engine_result.final_residual;
-  result.trace.AddRound(trace);
+  result.trace = AsyncRunTrace("async-pagerank", engine_result);
   return result;
 }
 

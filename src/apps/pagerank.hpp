@@ -56,6 +56,14 @@ struct PageRankResult {
   bool converged = false;
 };
 
+/// AsyncPageRank's wire record: the refreshed contribution sum for one
+/// boundary vertex (replaces the sender's previous value at the receiver).
+struct PrBoundaryUpdate {
+  uint32_t vertex = 0;
+  double contribution = 0.0;
+  AMR_SERDE_FIELDS(vertex, contribution)
+};
+
 /// Serial power iteration with the identical update rule; the correctness
 /// oracle for both distributed implementations.
 std::vector<double> SerialPageRank(const graph::Digraph& g, const PageRankConfig& config,

@@ -420,7 +420,6 @@ SsspResult AsyncSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
   // Residual is the count of changed distances; terminate when none anywhere.
   engine_config.convergence_threshold = 0.5;
   engine_config.max_iterations_per_worker = config.max_global_iterations;
-  engine_config.update_record_bytes = kDistRecordBytes;
   engine_config.compute_time_scale = config.gmap_time_scale;
   engine_config.name = config.job_prefix + "-async";
   async::AsyncEngine engine(cluster, num_parts, engine_config);
@@ -468,7 +467,7 @@ SsspResult AsyncSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
           if (cand >= it->second - kEps) continue;
           it->second = cand;
         }
-        ctx.Emit(group.peer, t, cand);
+        ctx.Emit(group.peer, SsspCandidateUpdate{t, cand});
       }
       ops += group.edges.size();
     }
@@ -477,25 +476,17 @@ SsspResult AsyncSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
 
   engine.set_apply([&](uint32_t /*p*/, uint32_t /*from*/, uint32_t /*from_clock*/,
                        const async::UpdateBatch& batch) {
-    for (const auto& [t, cand] : batch) {
-      if (cand < dist[t] - kEps) dist[t] = cand;
-    }
+    async::ForEachUpdate<SsspCandidateUpdate>(
+        batch, [&](const SsspCandidateUpdate& u) {
+          if (u.distance < dist[u.vertex] - kEps) dist[u.vertex] = u.distance;
+        });
   });
 
   async::AsyncResult engine_result = engine.Run();
   if (engine_stats != nullptr) *engine_stats = engine_result;
 
   result.converged = engine_result.converged;
-  result.trace = core::RunTrace("async-sssp");
-  core::RoundTrace trace;
-  trace.round = 0;
-  trace.start_seconds = engine_result.start_seconds;
-  trace.end_seconds = engine_result.end_seconds;
-  trace.ops = engine_result.total_ops;
-  trace.shuffle_bytes = engine_result.bytes_sent;
-  trace.local_iterations = static_cast<uint32_t>(engine_result.total_iterations);
-  trace.residual = engine_result.final_residual;
-  result.trace.AddRound(trace);
+  result.trace = AsyncRunTrace("async-sssp", engine_result);
   return result;
 }
 

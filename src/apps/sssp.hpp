@@ -44,6 +44,14 @@ struct SsspResult {
   bool converged = false;
 };
 
+/// AsyncSssp's wire record: an improved distance candidate for one
+/// cross-partition vertex (min-combined at the receiver).
+struct SsspCandidateUpdate {
+  uint32_t vertex = 0;
+  double distance = 0.0;
+  AMR_SERDE_FIELDS(vertex, distance)
+};
+
 /// Dijkstra with a binary heap; the correctness oracle.
 std::vector<double> SerialDijkstra(const graph::Digraph& g, graph::VertexId source);
 

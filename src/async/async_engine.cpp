@@ -1,6 +1,7 @@
 #include "async/async_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "common/logging.hpp"
@@ -90,18 +91,18 @@ bool AsyncEngine::KeepaliveDue(const Worker& w, uint32_t p) const {
 void AsyncEngine::TryStartIteration(uint32_t p) {
   if (finished_) return;
   Worker& w = workers_[p];
-  if (w.phase != Phase::kIdle && w.phase != Phase::kBlocked) return;
+  if (w.phase != WorkerPhase::kIdle && w.phase != WorkerPhase::kBlocked) return;
   if (w.iterations >= config_.max_iterations_per_worker) {
     w.capped = true;
-    w.phase = Phase::kIdle;
+    w.phase = WorkerPhase::kIdle;
     return;
   }
   if (config_.staleness_bound != kUnboundedStaleness &&
       !clocks_[p].AdmitsIteration(w.iterations + 1, config_.staleness_bound)) {
-    w.phase = Phase::kBlocked;
+    w.phase = WorkerPhase::kBlocked;
     return;
   }
-  w.phase = Phase::kWaitingSlot;
+  w.phase = WorkerPhase::kWaitingSlot;
   cluster_.AcquireSlot(w.node, config_.slot_type, [this, p] { BeginCompute(p); });
 }
 
@@ -119,8 +120,14 @@ void AsyncEngine::BeginCompute(uint32_t p) {
       w.iterations > 0 && !w.pending_input &&
       w.ledger.last_residual < config_.convergence_threshold;
 
-  w.phase = Phase::kComputing;
+  w.phase = WorkerPhase::kComputing;
   w.pending_input = false;
+  // Batches applied since the previous iteration are merged "now": their
+  // per-record cost lands in this iteration's virtual time.
+  const uint64_t merge_ops = static_cast<uint64_t>(
+      std::llround(config_.merge_ops_per_record *
+                   static_cast<double>(w.unmerged_records)));
+  w.unmerged_records = 0;
 
   // The real work runs exactly once, now; its virtual duration is charged
   // from the same cost model as wave tasks. Emissions accumulate in the
@@ -144,21 +151,24 @@ void AsyncEngine::BeginCompute(uint32_t p) {
     slowdown =
         rng.NextDouble(spec.straggler_slowdown_min, spec.straggler_slowdown_max);
   }
-  const double compute_s = static_cast<double>(ctx.ops_) * spec.per_op_seconds *
+  const uint64_t ops = ctx.ops_ + merge_ops;
+  const double compute_s = static_cast<double>(ops) * spec.per_op_seconds *
                            config_.compute_time_scale * slowdown /
                            spec.nodes[w.node].speed_factor;
 
-  const uint64_t ops = ctx.ops_;
   const double residual = ctx.residual_;
-  cluster_.queue().ScheduleAfter(
-      compute_s, [this, p, ops, residual] { FinishCompute(p, ops, residual); });
+  cluster_.queue().ScheduleAfter(compute_s, [this, p, ops, merge_ops, residual] {
+    FinishCompute(p, ops, merge_ops, residual);
+  });
 }
 
-void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, double residual) {
+void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, uint64_t merge_ops,
+                                double residual) {
   Worker& w = workers_[p];
   cluster_.ReleaseSlot(w.node, config_.slot_type);
   ++w.iterations;
   w.ops += ops;
+  w.merge_ops += merge_ops;
   w.ledger.last_residual = residual;
   w.ledger.dirty = true;
 
@@ -170,10 +180,9 @@ void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, double residual) {
   auto send = [&](uint32_t q, UpdateBatch batch) {
     ++w.ledger.batches_sent;
     ++total_batches_;
-    w.records_sent += batch.size();
-    total_records_ += batch.size();
-    const uint64_t bytes = config_.update_envelope_bytes +
-                           config_.update_record_bytes * batch.size();
+    w.records_sent += batch.records;
+    total_records_ += batch.records;
+    const uint64_t bytes = config_.update_envelope_bytes + batch.payload.size();
     total_bytes_ += bytes;
     auto payload = std::make_shared<UpdateBatch>(std::move(batch));
     cluster_.network().Transfer(
@@ -194,7 +203,7 @@ void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, double residual) {
     }
   }
 
-  w.phase = Phase::kIdle;
+  w.phase = WorkerPhase::kIdle;
   if (residual >= config_.convergence_threshold || w.pending_input ||
       KeepaliveDue(w, p)) {
     TryStartIteration(p);
@@ -209,13 +218,14 @@ void AsyncEngine::OnBatchDelivered(uint32_t to, uint32_t from, uint32_t from_clo
   if (!batch.empty()) {
     apply_(to, from, from_clock, batch);
     w.pending_input = true;
+    w.unmerged_records += batch.records;
   }
   if (config_.staleness_bound != kUnboundedStaleness) {
     clocks_[to].Observe(from, from_clock);
   }
   if (finished_) return;
-  if (w.phase == Phase::kBlocked ||
-      (w.phase == Phase::kIdle && (w.pending_input || KeepaliveDue(w, to)))) {
+  if (w.phase == WorkerPhase::kBlocked ||
+      (w.phase == WorkerPhase::kIdle && (w.pending_input || KeepaliveDue(w, to)))) {
     TryStartIteration(to);
   }
 }
@@ -251,18 +261,21 @@ void AsyncEngine::StartCircuit() {
 void AsyncEngine::HandleTokenAt(uint32_t position, ProgressToken token) {
   if (finished_) return;
   Worker& w = workers_[position];
-  token.residual = std::max(token.residual, w.ledger.last_residual);
+  if (w.iterations == 0) {
+    // Never completed an iteration: its ledger residual is the +inf "not yet
+    // measured" sentinel, which must not leak into the aggregate. The global
+    // residual is unknown for this circuit instead.
+    token.residual_known = false;
+  } else {
+    token.residual = std::max(token.residual, w.ledger.last_residual);
+  }
   token.sent += w.ledger.batches_sent;
   token.received += w.ledger.batches_received;
   if (w.ledger.dirty) token.tainted = true;
   w.ledger.dirty = false;
-  // A capped worker is quiescent even with unconsumed input: it will never
-  // iterate again, and pretending otherwise would circulate the token
-  // forever.
-  const bool quiescent = w.capped ||
-                         (w.phase == Phase::kIdle && !w.pending_input) ||
-                         w.phase == Phase::kBlocked;
-  if (!quiescent) token.all_quiescent = false;
+  if (!QuiescentForTermination(w.phase, w.capped, w.pending_input)) {
+    token.all_quiescent = false;
+  }
 
   if (position + 1 < num_partitions_) {
     token.position = position + 1;
@@ -276,7 +289,11 @@ void AsyncEngine::HandleTokenAt(uint32_t position, ProgressToken token) {
 void AsyncEngine::CompleteCircuit(const ProgressToken& token) {
   ++token_circuits_;
   if (token.ProvesTermination()) {
-    Finish(token.residual < config_.convergence_threshold, token.residual);
+    // An unknown residual (some worker never iterated) can terminate — the
+    // workers are provably done — but never *converged*.
+    Finish(token.residual_known &&
+               token.residual < config_.convergence_threshold,
+           token.residual, token.residual_known);
     return;
   }
   cluster_.queue().ScheduleAfter(config_.token_backoff_s, [this] {
@@ -284,13 +301,15 @@ void AsyncEngine::CompleteCircuit(const ProgressToken& token) {
   });
 }
 
-void AsyncEngine::Finish(bool converged, double residual) {
+void AsyncEngine::Finish(bool converged, double residual, bool residual_known) {
   AMR_LOG_DEBUG << "async engine '" << config_.name << "' terminated at t="
                 << cluster_.now() << " converged=" << converged
-                << " residual=" << residual;
+                << " residual=" << residual
+                << " residual_known=" << residual_known;
   finished_ = true;
   converged_ = converged;
   final_residual_ = residual;
+  final_residual_known_ = residual_known;
   end_time_ = cluster_.now();
 }
 
@@ -315,6 +334,7 @@ AsyncResult AsyncEngine::Run() {
   result.end_seconds = end_time_;
   result.token_circuits = token_circuits_;
   result.final_residual = final_residual_;
+  result.residual_known = final_residual_known_;
   result.update_batches = total_batches_;
   result.update_records = total_records_;
   result.bytes_sent = total_bytes_;
@@ -323,13 +343,16 @@ AsyncResult AsyncEngine::Run() {
     WorkerStats stats;
     stats.iterations = w.iterations;
     stats.ops = w.ops;
+    stats.merge_ops = w.merge_ops;
     stats.batches_sent = w.ledger.batches_sent;
     stats.batches_received = w.ledger.batches_received;
     stats.records_sent = w.records_sent;
-    stats.last_residual = w.ledger.last_residual;
+    stats.residual_known = w.iterations > 0;
+    stats.last_residual = stats.residual_known ? w.ledger.last_residual : 0.0;
     result.workers.push_back(stats);
     result.total_iterations += w.iterations;
     result.total_ops += w.ops;
+    result.total_merge_ops += w.merge_ops;
   }
   return result;
 }

@@ -9,9 +9,18 @@
 //   2. runs the application's compute callback — typically a local solve to
 //      convergence, the paper's lmap/lreduce loop — charged in virtual time
 //      from the same cost model as wave tasks (ops rate, jitter, stragglers),
+//      plus the merge cost of every update batch delivered since its previous
+//      iteration (merge_ops_per_record — applying peers' state is not free),
 //   3. pushes its update batches directly to the peer partitions that need
 //      them, as real byte-counted flows through net::Network — no shuffle,
 //      no DFS round trip, no job-submit overhead.
+//
+// Updates are app-defined: a batch is an opaque byte payload encoded through
+// serde (AsyncContext::Emit<U> appends a record, ForEachUpdate<U> walks a
+// delivered batch), so PageRank contributions, SSSP candidates, K-Means
+// count-weighted centroid partials, component labels, and Jacobi boundary
+// rows all ride the same engine, and network byte counts come from the real
+// encoded size rather than a fixed per-record estimate.
 //
 // Staleness: updates carry the sender's iteration clock. With a bounded
 // staleness window S a worker may start its k-th iteration only once every
@@ -39,13 +48,59 @@
 #include "async/progress.hpp"
 #include "async/state_store.hpp"
 #include "cluster/cluster.hpp"
+#include "serde/serde.hpp"
 
 namespace asyncmr::async {
 
-using Key = uint32_t;
-using Value = double;
-using Update = std::pair<Key, Value>;
-using UpdateBatch = std::vector<Update>;
+/// An update batch in flight between two workers: `records` values of the
+/// application's update type encoded back-to-back with serde. The engine
+/// never looks inside the payload — it only counts records (merge cost) and
+/// bytes (network cost).
+struct UpdateBatch {
+  serde::Buffer payload;
+  uint32_t records = 0;
+
+  bool empty() const { return records == 0; }
+  /// Drops contents, keeping the payload's capacity for reuse.
+  void clear() {
+    payload.clear();
+    records = 0;
+  }
+};
+
+/// Appends one update record to a batch.
+template <typename U>
+void AppendUpdate(UpdateBatch& batch, const U& update) {
+  serde::Writer w(batch.payload);
+  serde::Serde<U>::Write(w, update);
+  ++batch.records;
+}
+
+/// Decodes a delivered batch record by record. The update type must match
+/// what the sender emitted; a mismatch surfaces as a decode failure, not UB.
+template <typename U, typename Fn>
+void ForEachUpdate(const UpdateBatch& batch, Fn&& fn) {
+  serde::Reader r(batch.payload);
+  for (uint32_t i = 0; i < batch.records; ++i) {
+    U u{};
+    const Status s = serde::Serde<U>::Read(r, u);
+    AMR_CHECK(s.ok()) << "corrupt async update batch: " << s.ToString();
+    fn(u);
+  }
+  AMR_CHECK(r.AtEnd()) << "async update batch has trailing bytes ("
+                       << batch.records << " records, " << r.remaining()
+                       << " bytes left)";
+}
+
+/// Decodes a whole batch into a vector (test/debug convenience; hot paths
+/// should use ForEachUpdate and skip the allocation).
+template <typename U>
+std::vector<U> DecodeBatch(const UpdateBatch& batch) {
+  std::vector<U> out;
+  out.reserve(batch.records);
+  ForEachUpdate<U>(batch, [&](const U& u) { out.push_back(u); });
+  return out;
+}
 
 struct AsyncConfig {
   /// Staleness window S (see file comment). 0 = lockstep, kUnboundedStaleness
@@ -57,9 +112,13 @@ struct AsyncConfig {
   double convergence_threshold = 1e-5;
   /// Hard per-worker iteration cap; a capped run terminates converged=false.
   uint32_t max_iterations_per_worker = 10'000;
-  /// Wire bytes per (key, value) update record, plus one envelope per batch.
-  uint64_t update_record_bytes = 12;
+  /// Wire envelope bytes per batch; record bytes are the real encoded size.
   uint64_t update_envelope_bytes = 64;
+  /// Virtual ops charged per delivered update record, folded into the
+  /// receiver's *next* iteration's compute time — applying a peer's batch is
+  /// not free (the wave engines pay the equivalent inside reduce). Records
+  /// delivered to a worker that never iterates again are not charged.
+  double merge_ops_per_record = 1.0;
   /// Compute-time multiplier (models intra-worker thread pools, like
   /// gmap_time_scale).
   double compute_time_scale = 1.0;
@@ -69,15 +128,45 @@ struct AsyncConfig {
   std::string name = "async";
 };
 
+/// Worker lifecycle phase, exposed for the termination predicate below.
+enum class WorkerPhase { kIdle, kBlocked, kWaitingSlot, kComputing };
+
+/// Safra-visit quiescence: may the termination token count this worker as
+/// done? A capped worker never iterates again, whatever input it holds —
+/// counting it non-quiescent would circulate the token forever. Any other
+/// worker is quiescent only when parked (idle or gate-blocked) with NO
+/// unconsumed input: a blocked worker with pending_input WILL recompute once
+/// its staleness gate opens, so counting it quiescent lets a circuit prove
+/// "termination" while input that would change the final residual sits
+/// unapplied.
+constexpr bool QuiescentForTermination(WorkerPhase phase, bool capped,
+                                       bool pending_input) {
+  if (capped) return true;
+  return (phase == WorkerPhase::kIdle || phase == WorkerPhase::kBlocked) &&
+         !pending_input;
+}
+
 /// Handed to the compute callback: collects update emissions, op counts and
-/// the iteration residual. Emissions land directly in the worker's per-peer
-/// batch buffers (index-aligned with its sorted out-peer list), which the
-/// engine reuses across iterations — no per-iteration map nodes.
+/// the iteration residual. Emissions encode directly into the worker's
+/// per-peer batch buffers (index-aligned with its sorted out-peer list),
+/// which the engine reuses across iterations — no per-iteration map nodes.
 class AsyncContext {
  public:
   /// Queues an update for `peer` (must be a declared out-peer, not self).
-  void Emit(uint32_t peer, Key key, Value value) {
-    (*slots_)[SlotOf(peer)].emplace_back(key, value);
+  /// U is the application's update type; every record of a run must use the
+  /// same type (receivers decode with ForEachUpdate<U>).
+  template <typename U>
+  void Emit(uint32_t peer, const U& update) {
+    AppendUpdate((*slots_)[SlotOf(peer)], update);
+  }
+
+  /// Queues one already-encoded record (`record` = serde::Encode of a single
+  /// update) for `peer`. For broadcast-style apps this pays the encode once
+  /// instead of once per peer; the payload bytes are identical to Emit's.
+  void EmitEncoded(uint32_t peer, const serde::Buffer& record) {
+    UpdateBatch& batch = (*slots_)[SlotOf(peer)];
+    batch.payload.Append(record.data(), record.size());
+    ++batch.records;
   }
   void AddOps(uint64_t ops) { ops_ += ops; }
   /// Convergence measure of this iteration; the worker idles below the
@@ -109,10 +198,15 @@ class AsyncContext {
 struct WorkerStats {
   uint32_t iterations = 0;
   uint64_t ops = 0;
+  uint64_t merge_ops = 0;  // subset of ops charged for applying batches
   uint64_t batches_sent = 0;
   uint64_t batches_received = 0;
   uint64_t records_sent = 0;
+  /// Residual of the last completed iteration. Meaningless (0.0) when
+  /// residual_known is false — the worker terminated before completing a
+  /// single iteration, so it never measured one.
   double last_residual = 0.0;
+  bool residual_known = false;
 };
 
 struct AsyncResult {
@@ -123,11 +217,17 @@ struct AsyncResult {
   /// partial synchronization count.
   uint64_t total_iterations = 0;
   uint64_t total_ops = 0;
+  uint64_t total_merge_ops = 0;
   uint64_t update_batches = 0;
   uint64_t update_records = 0;
   uint64_t bytes_sent = 0;
   uint32_t token_circuits = 0;
+  /// Max last-iteration residual across workers that completed at least one
+  /// iteration. When residual_known is false some worker never iterated
+  /// (e.g. max_iterations_per_worker = 0), the global residual is unknown,
+  /// and the run reports converged = false regardless of this value.
   double final_residual = 0.0;
+  bool residual_known = true;
   std::vector<WorkerStats> workers;
 
   double seconds() const { return end_seconds - start_seconds; }
@@ -140,7 +240,8 @@ class AsyncEngine {
   /// charged from ctx ops.
   using ComputeFn = std::function<void(uint32_t partition, AsyncContext& ctx)>;
   /// Merges a delivered batch into `partition`'s state. `from_clock` is the
-  /// sender's completed-iteration count when it emitted the batch.
+  /// sender's completed-iteration count when it emitted the batch. Decode
+  /// with ForEachUpdate<U> for the application's update type.
   using ApplyFn = std::function<void(uint32_t partition, uint32_t from,
                                      uint32_t from_clock, const UpdateBatch& batch)>;
   /// Partitions that `partition` emits updates to (static topology; queried
@@ -167,17 +268,19 @@ class AsyncEngine {
   const AsyncConfig& config() const { return config_; }
 
  private:
-  enum class Phase { kIdle, kBlocked, kWaitingSlot, kComputing };
-
   struct Worker {
     net::NodeId node = 0;
-    Phase phase = Phase::kIdle;
+    WorkerPhase phase = WorkerPhase::kIdle;
     uint32_t iterations = 0;  // completed iterations == this worker's clock
     bool pending_input = false;
     bool capped = false;
     ProgressLedger ledger;
     uint64_t ops = 0;
+    uint64_t merge_ops = 0;
     uint64_t records_sent = 0;
+    /// Records delivered since the last BeginCompute; their merge cost is
+    /// charged into the next iteration's virtual time.
+    uint64_t unmerged_records = 0;
     /// Per-out-peer emission buffers, index-aligned with send_peers_[p].
     /// Cleared (capacity kept) at BeginCompute, filled via AsyncContext, and
     /// moved into network payloads at FinishCompute.
@@ -188,7 +291,8 @@ class AsyncEngine {
   bool KeepaliveDue(const Worker& w, uint32_t p) const;
   void TryStartIteration(uint32_t p);
   void BeginCompute(uint32_t p);
-  void FinishCompute(uint32_t p, uint64_t ops, double residual);
+  void FinishCompute(uint32_t p, uint64_t ops, uint64_t merge_ops,
+                     double residual);
   void OnBatchDelivered(uint32_t to, uint32_t from, uint32_t from_clock,
                         const UpdateBatch& batch);
 
@@ -198,7 +302,7 @@ class AsyncEngine {
   void StartCircuit();
   void HandleTokenAt(uint32_t position, ProgressToken token);
   void CompleteCircuit(const ProgressToken& token);
-  void Finish(bool converged, double residual);
+  void Finish(bool converged, double residual, bool residual_known);
 
   cluster::SimCluster& cluster_;
   uint32_t num_partitions_;
@@ -219,6 +323,7 @@ class AsyncEngine {
   bool finished_ = false;
   bool converged_ = false;
   double final_residual_ = 0.0;
+  bool final_residual_known_ = true;
   double start_time_ = 0.0;
   double end_time_ = 0.0;
   uint32_t token_circuits_ = 0;

@@ -37,9 +37,14 @@ struct ProgressToken {
   uint64_t received = 0;  // sum of visited workers' batches_received
   bool tainted = false;   // a visited worker was dirty (Safra black)
   bool all_quiescent = true;
+  /// Cleared when a visited worker has completed zero iterations: its ledger
+  /// residual is the +inf "not yet measured" sentinel and must not leak into
+  /// the aggregate. A terminating circuit with residual_known == false ends
+  /// the run converged = false (the residual cannot prove convergence).
+  bool residual_known = true;
 
   AMR_SERDE_FIELDS(position, circuit, residual, sent, received, tainted,
-                   all_quiescent)
+                   all_quiescent, residual_known)
 
   /// Does this completed circuit prove global termination?
   bool ProvesTermination() const {
@@ -49,6 +54,9 @@ struct ProgressToken {
 
 /// Per-worker counters the token reads (and clears `dirty` on) at each visit.
 struct ProgressLedger {
+  /// +inf = "no iteration completed yet". The token only folds this in once
+  /// the worker has iterated (see ProgressToken::residual_known), so the
+  /// sentinel never leaks into a result as an infinite residual.
   double last_residual = std::numeric_limits<double>::infinity();
   uint64_t batches_sent = 0;
   uint64_t batches_received = 0;

@@ -5,9 +5,14 @@
 //    ("clock") observed from that peer, and answers the bounded-staleness
 //    admission question: may a worker start its k-th iteration yet?
 //  * StateStore<V> — a ClockTable plus per-peer versioned key/value views.
-//    Put() records a peer's latest value for a key and returns the value it
-//    replaces, so applications can maintain aggregates (sums, mins)
-//    incrementally as stale entries are overwritten.
+//    Put() records a peer's value for a key at the sender's iteration clock
+//    and returns the value it replaces, so applications can maintain
+//    aggregates (sums, mins) incrementally as entries are overwritten. The
+//    clock guards against out-of-order delivery: the fluid network model
+//    completes flows by remaining bytes, so a sender's later (smaller) batch
+//    can land before an earlier large one — for replacement semantics the
+//    late stale record must be rejected, or it would overwrite the fresher
+//    value and the sender's delta filter would never repair it.
 //
 // Staleness semantics (SSP-style): with bound S, a worker may start its k-th
 // iteration (1-based) only once every tracked peer has completed at least
@@ -136,19 +141,43 @@ class StateStore {
  public:
   using Key = uint32_t;
 
+  /// A stored value plus the sender-iteration clock it was produced at.
+  struct Entry {
+    V value;
+    uint32_t clock = 0;
+  };
+
+  /// Outcome of a Put: whether the write took effect (false = rejected as a
+  /// stale out-of-order delivery) and, when it replaced an entry, the
+  /// previous value — so callers can adjust incremental aggregates.
+  struct PutResult {
+    bool applied = false;
+    std::optional<V> replaced;
+  };
+
   StateStore() = default;
   explicit StateStore(std::vector<uint32_t> peers)
       : clocks_(std::move(peers)), views_(clocks_.peers().size()) {}
 
-  /// Records `value` as peer `from`'s latest state for `key`; returns the
-  /// value it replaces, if any.
-  std::optional<V> Put(uint32_t from, Key key, V value) {
+  /// Records `value` as peer `from`'s state for `key`, produced at the
+  /// sender's iteration `clock`. A write older than the stored entry's clock
+  /// is rejected (see file comment); an equal clock is accepted (idempotent
+  /// redelivery).
+  PutResult Put(uint32_t from, Key key, V value, uint32_t clock) {
     auto& view = views_[clocks_.IndexOf(from)];
-    auto [it, inserted] = view.try_emplace(key, value);
-    if (inserted) return std::nullopt;
-    std::optional<V> old = it->second;
-    it->second = std::move(value);
-    return old;
+    PutResult result;
+    const auto it = view.find(key);
+    if (it == view.end()) {
+      view.emplace(key, Entry{std::move(value), clock});
+      result.applied = true;
+      return result;
+    }
+    if (clock < it->second.clock) return result;  // stale delivery
+    result.applied = true;
+    result.replaced = std::move(it->second.value);
+    it->second.value = std::move(value);
+    it->second.clock = clock;
+    return result;
   }
 
   void ObserveClock(uint32_t from, uint32_t clock) { clocks_.Observe(from, clock); }
@@ -159,7 +188,7 @@ class StateStore {
 
   const ClockTable& clocks() const { return clocks_; }
 
-  const std::unordered_map<Key, V>& view(uint32_t from) const {
+  const std::unordered_map<Key, Entry>& view(uint32_t from) const {
     return views_[clocks_.IndexOf(from)];
   }
 
@@ -171,7 +200,7 @@ class StateStore {
 
  private:
   ClockTable clocks_;
-  std::vector<std::unordered_map<Key, V>> views_;  // parallel to clocks_.peers()
+  std::vector<std::unordered_map<Key, Entry>> views_;  // parallel to clocks_.peers()
 };
 
 }  // namespace asyncmr::async

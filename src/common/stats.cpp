@@ -73,7 +73,11 @@ void Histogram::Add(double x) {
 double Histogram::Percentile(double p) const {
   AMR_CHECK(p >= 0.0 && p <= 100.0);
   if (total_ == 0) return 0.0;
-  const auto target = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(total_)));
+  // Rank of the sample answering the percentile, clamped to >= 1: p = 0 must
+  // still land on the first occupied bucket, not on bucket 0 (ceil(0) = 0
+  // made the scan below "find" an empty leading bucket).
+  const auto target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(total_))));
   uint64_t seen = 0;
   for (size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];

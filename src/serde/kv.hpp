@@ -61,6 +61,9 @@ class KvReader {
     status_ = reader_.ReadVarU64(count_);
   }
   explicit KvReader(const Buffer& buf) : KvReader(buf.view()) {}
+  /// The reader holds a view into the buffer, not a copy — a temporary would
+  /// dangle before the first Next().
+  explicit KvReader(Buffer&&) = delete;
 
   /// Records announced by the stream header.
   uint64_t count() const { return count_; }

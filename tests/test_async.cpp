@@ -1,10 +1,15 @@
 // Async engine tests: DES determinism, bounded-staleness semantics (0 =
 // synchronized rounds), convergence of async PageRank/SSSP to the serial
-// oracles, and the virtual-time win over the partial-sync baseline.
+// oracles, termination-proof and residual-accounting edge cases, the
+// generalized update payload, and the virtual-time win over the partial-sync
+// baseline.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "apps/components.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/kmeans.hpp"
 #include "apps/pagerank.hpp"
 #include "apps/sssp.hpp"
 #include "async/state_store.hpp"
@@ -83,11 +88,202 @@ TEST(ClockTable, SparsePeerIdSpaceUsesOrderedLookup) {
 
 TEST(StateStore, PutReturnsReplacedValue) {
   async::StateStore<double> store({0, 1});
-  EXPECT_EQ(store.Put(0, 42, 1.5), std::nullopt);
-  EXPECT_EQ(store.Put(0, 42, 2.5), std::optional<double>(1.5));
-  EXPECT_EQ(store.Put(1, 42, 9.0), std::nullopt);  // per-peer views
-  EXPECT_EQ(store.view(0).at(42), 2.5);
+  const auto first = store.Put(0, 42, 1.5, /*clock=*/1);
+  EXPECT_TRUE(first.applied);
+  EXPECT_EQ(first.replaced, std::nullopt);
+  const auto second = store.Put(0, 42, 2.5, /*clock=*/2);
+  EXPECT_TRUE(second.applied);
+  EXPECT_EQ(second.replaced, std::optional<double>(1.5));
+  EXPECT_EQ(store.Put(1, 42, 9.0, /*clock=*/1).replaced,
+            std::nullopt);  // per-peer views
+  EXPECT_EQ(store.view(0).at(42).value, 2.5);
   EXPECT_EQ(store.total_entries(), 2u);
+}
+
+TEST(StateStore, RejectsStaleOutOfOrderWrites) {
+  // The fluid network completes flows by remaining bytes, so a sender's
+  // later (smaller) batch can land before an earlier large one. Replacement
+  // semantics must not roll a key back when the stale batch finally arrives —
+  // the sender's delta filter believes the fresh value is in place and would
+  // never repair the overwrite.
+  async::StateStore<double> store({0});
+  EXPECT_TRUE(store.Put(0, 7, 1.0, /*clock=*/1).applied);
+  EXPECT_TRUE(store.Put(0, 7, 3.0, /*clock=*/3).applied);
+  const auto stale = store.Put(0, 7, 2.0, /*clock=*/2);
+  EXPECT_FALSE(stale.applied);
+  EXPECT_EQ(stale.replaced, std::nullopt);
+  EXPECT_EQ(store.view(0).at(7).value, 3.0);
+  EXPECT_EQ(store.view(0).at(7).clock, 3u);
+  // Equal clocks (idempotent redelivery) are accepted.
+  EXPECT_TRUE(store.Put(0, 7, 3.5, /*clock=*/3).applied);
+  EXPECT_EQ(store.view(0).at(7).value, 3.5);
+}
+
+// --- generalized update payload ----------------------------------------------
+
+TEST(UpdateBatch, AppUpdateTypesRoundTrip) {
+  {
+    async::UpdateBatch batch;
+    async::AppendUpdate(batch, apps::PrBoundaryUpdate{7, 0.125});
+    async::AppendUpdate(batch, apps::PrBoundaryUpdate{1u << 30, -3.5});
+    EXPECT_EQ(batch.records, 2u);
+    // Wire bytes are the real encoded size, not an estimate.
+    EXPECT_EQ(batch.payload.size(),
+              serde::EncodedSize(apps::PrBoundaryUpdate{7, 0.125}) +
+                  serde::EncodedSize(apps::PrBoundaryUpdate{1u << 30, -3.5}));
+    const auto out = async::DecodeBatch<apps::PrBoundaryUpdate>(batch);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].vertex, 7u);
+    EXPECT_EQ(out[0].contribution, 0.125);
+    EXPECT_EQ(out[1].vertex, 1u << 30);
+    EXPECT_EQ(out[1].contribution, -3.5);
+  }
+  {
+    async::UpdateBatch batch;
+    async::AppendUpdate(batch, apps::SsspCandidateUpdate{3, 17.25});
+    const auto out = async::DecodeBatch<apps::SsspCandidateUpdate>(batch);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].vertex, 3u);
+    EXPECT_EQ(out[0].distance, 17.25);
+  }
+  {
+    async::UpdateBatch batch;
+    async::AppendUpdate(batch, apps::CcLabelUpdate{99, 4});
+    const auto out = async::DecodeBatch<apps::CcLabelUpdate>(batch);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].vertex, 99u);
+    EXPECT_EQ(out[0].label, 4u);
+  }
+  {
+    async::UpdateBatch batch;
+    async::AppendUpdate(batch, apps::JacBoundaryUpdate{12, -0.75});
+    const auto out = async::DecodeBatch<apps::JacBoundaryUpdate>(batch);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].vertex, 12u);
+    EXPECT_EQ(out[0].sum, -0.75);
+  }
+  {
+    // The heterogeneous case the generalization exists for: a variable-length
+    // vector payload.
+    apps::KmPartialUpdate update;
+    update.centroid = 5;
+    update.count = 1234;
+    update.sum = {1.0, -2.5, 0.0, 1e-9};
+    async::UpdateBatch batch;
+    async::AppendUpdate(batch, update);
+    async::AppendUpdate(batch, update);
+    const auto out = async::DecodeBatch<apps::KmPartialUpdate>(batch);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1].centroid, 5u);
+    EXPECT_EQ(out[1].count, 1234u);
+    EXPECT_EQ(out[1].sum, update.sum);
+  }
+}
+
+TEST(UpdateBatch, ClearKeepsNothingVisible) {
+  async::UpdateBatch batch;
+  async::AppendUpdate(batch, apps::CcLabelUpdate{1, 2});
+  EXPECT_FALSE(batch.empty());
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.records, 0u);
+  EXPECT_EQ(batch.payload.size(), 0u);
+  EXPECT_TRUE(async::DecodeBatch<apps::CcLabelUpdate>(batch).empty());
+}
+
+// --- termination-proof and residual accounting -------------------------------
+
+TEST(QuiescentForTermination, BlockedWorkerWithPendingInputIsNotQuiescent) {
+  using async::QuiescentForTermination;
+  using async::WorkerPhase;
+  // The regression: a gate-blocked worker holding unconsumed input WILL
+  // recompute once its staleness gate opens, so a termination circuit must
+  // not count it quiescent. (It used to: the predicate accepted kBlocked
+  // regardless of pending_input, letting a circuit prove "termination" while
+  // input that would change the final residual sat unapplied.)
+  EXPECT_FALSE(QuiescentForTermination(WorkerPhase::kBlocked,
+                                       /*capped=*/false, /*pending_input=*/true));
+  // Parked without input is quiescent; unconsumed input disqualifies idle too.
+  EXPECT_TRUE(QuiescentForTermination(WorkerPhase::kIdle, false, false));
+  EXPECT_TRUE(QuiescentForTermination(WorkerPhase::kBlocked, false, false));
+  EXPECT_FALSE(QuiescentForTermination(WorkerPhase::kIdle, false, true));
+  // Active phases are never quiescent.
+  EXPECT_FALSE(QuiescentForTermination(WorkerPhase::kWaitingSlot, false, false));
+  EXPECT_FALSE(QuiescentForTermination(WorkerPhase::kComputing, false, false));
+  // A capped worker never iterates again: quiescent even with unconsumed
+  // input (counting it non-quiescent would circulate the token forever).
+  EXPECT_TRUE(QuiescentForTermination(WorkerPhase::kIdle, true, true));
+  EXPECT_TRUE(QuiescentForTermination(WorkerPhase::kBlocked, true, true));
+}
+
+TEST(AsyncEngine, ZeroIterationCapReportsResidualUnknown) {
+  // max_iterations_per_worker = 0: every worker caps before its first
+  // iteration, so no residual is ever measured. The run must terminate
+  // unconverged with a finite, flagged-unknown residual — not leak the
+  // ledger's +inf "not yet measured" sentinel into the result.
+  cluster::SimCluster sim(QuietSpec());
+  async::AsyncConfig config;
+  config.max_iterations_per_worker = 0;
+  config.name = "cap0";
+  async::AsyncEngine engine(sim, 3, config);
+  engine.set_compute([](uint32_t, async::AsyncContext& ctx) {
+    ctx.set_residual(1.0);
+  });
+  engine.set_apply([](uint32_t, uint32_t, uint32_t, const async::UpdateBatch&) {});
+  const auto result = engine.Run();
+  EXPECT_FALSE(result.converged);
+  EXPECT_FALSE(result.residual_known);
+  EXPECT_TRUE(std::isfinite(result.final_residual));
+  EXPECT_EQ(result.total_iterations, 0u);
+  ASSERT_EQ(result.workers.size(), 3u);
+  for (const auto& w : result.workers) {
+    EXPECT_EQ(w.iterations, 0u);
+    EXPECT_FALSE(w.residual_known);
+    EXPECT_TRUE(std::isfinite(w.last_residual));
+  }
+}
+
+namespace {
+struct PingUpdate {
+  uint32_t value = 0;
+  AMR_SERDE_FIELDS(value)
+};
+}  // namespace
+
+TEST(AsyncEngine, MergeCostIsChargedIntoReceiverVirtualTime) {
+  // Two lockstep workers (staleness 0, so every delivered record is consumed
+  // before the receiver's next iteration) ping one record to each other every
+  // iteration until capped. The only difference between the runs is
+  // merge_ops_per_record, so any virtual-time gap is the merge cost folded
+  // into the receivers' iterations.
+  auto run = [&](double merge_ops_per_record) {
+    cluster::SimCluster sim(QuietSpec());
+    async::AsyncConfig config;
+    config.staleness_bound = 0;
+    config.merge_ops_per_record = merge_ops_per_record;
+    config.max_iterations_per_worker = 5;
+    config.name = "merge";
+    async::AsyncEngine engine(sim, 2, config);
+    engine.set_compute([](uint32_t p, async::AsyncContext& ctx) {
+      ctx.AddOps(1000);
+      ctx.set_residual(1.0);  // never converges; the cap terminates the run
+      ctx.Emit(1 - p, PingUpdate{ctx.iteration()});
+    });
+    engine.set_apply([](uint32_t, uint32_t, uint32_t,
+                        const async::UpdateBatch& batch) {
+      EXPECT_GT(async::DecodeBatch<PingUpdate>(batch).size(), 0u);
+    });
+    return engine.Run();
+  };
+  const auto cheap = run(0.0);
+  // 1e8 ops/record = 5 virtual seconds per merged record — far beyond the
+  // 0.25s token-circuit cadence that quantizes the termination time.
+  const auto costly = run(100'000'000.0);
+  EXPECT_EQ(cheap.total_merge_ops, 0u);
+  EXPECT_GT(costly.total_merge_ops, 0u);
+  EXPECT_EQ(cheap.total_iterations, costly.total_iterations);
+  EXPECT_GT(costly.total_ops, cheap.total_ops);
+  EXPECT_GT(costly.seconds(), cheap.seconds());
 }
 
 // --- async PageRank ----------------------------------------------------------
@@ -166,6 +362,24 @@ TEST(AsyncPageRank, BoundedWindowMatchesSerialOracle) {
   cluster::SimCluster sim(QuietSpec());
   const auto result = apps::AsyncPageRank(sim, g, part, config, /*staleness=*/3);
   EXPECT_TRUE(result.converged);
+  EXPECT_LT(MaxDiff(result.ranks, apps::SerialPageRank(g, config)), 1e-3);
+}
+
+TEST(AsyncPageRank, BoundedWindowUnderStragglersMatchesSerialOracle) {
+  // Regression companion for the termination-proof fix: jitter + stragglers
+  // on a tight staleness window constantly park workers in kBlocked while
+  // payload batches land on them, and the noisy timeline maximizes token
+  // circuits racing those deliveries. A circuit must never prove termination
+  // while such unconsumed input could still change the final ranks.
+  const auto g = TestGraph(1500, 31);
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::PageRankConfig config;
+  cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());  // noise on
+  async::AsyncResult stats;
+  const auto result = apps::AsyncPageRank(sim, g, part, config, /*staleness=*/1,
+                                          &stats);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(stats.residual_known);
   EXPECT_LT(MaxDiff(result.ranks, apps::SerialPageRank(g, config)), 1e-3);
 }
 

@@ -166,6 +166,30 @@ TEST(Histogram, ExponentialBuckets) {
   EXPECT_EQ(h.bucket_count(2), 1u);
 }
 
+TEST(Histogram, PercentileEdgeCases) {
+  // Single sample in an interior bucket: every percentile — including p=0,
+  // whose target rank of ceil(0)=0 used to "find" the empty first bucket —
+  // must land on the sample's bucket.
+  Histogram single({1.0, 2.0, 4.0});
+  single.Add(3.0);  // bucket [2, 4)
+  EXPECT_DOUBLE_EQ(single.Percentile(0), 4.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(50), 4.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(100), 4.0);
+
+  // p=0 is the minimum-occupied bucket, p=100 the maximum-occupied one.
+  Histogram h({1.0, 10.0, 100.0});
+  h.Add(5.0);
+  h.Add(50.0);
+  h.Add(50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+
+  // Empty histograms report 0 for every percentile.
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(100), 0.0);
+}
+
 TEST(FitLine, RecoversSlope) {
   std::vector<double> xs, ys;
   for (int i = 0; i < 50; ++i) {

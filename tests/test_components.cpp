@@ -105,5 +105,66 @@ TEST(Components, DirectedEdgesTreatedWeakly) {
   EXPECT_EQ(result.num_components, 1u);
 }
 
+// --- barrier-free components on the async engine -----------------------------
+
+TEST(AsyncComponents, MatchesUnionFindExactly) {
+  const auto g = IslandGraph(5, 60, 11);
+  const auto part = graph::RangePartition(g, 6);
+  ComponentsConfig config;
+  cluster::SimCluster sim(QuietSpec());
+  async::AsyncResult stats;
+  const auto result =
+      AsyncComponents(sim, g, part, config, async::kUnboundedStaleness, &stats);
+  EXPECT_TRUE(result.converged);
+  // Min-label propagation is monotone: chaotic delivery order still lands on
+  // the exact component minima.
+  EXPECT_EQ(result.labels, SerialComponents(apps::Symmetrized(g)));
+  EXPECT_EQ(result.num_components, 5u);
+  EXPECT_GT(stats.total_iterations, 0u);
+  EXPECT_GT(stats.update_records, 0u);
+}
+
+TEST(AsyncComponents, LabelsExactlyEqualWaveVariants) {
+  const auto g = IslandGraph(4, 80, 23);
+  const auto part = graph::RangePartition(g, 5);
+  ComponentsConfig config;
+  cluster::SimCluster sim_wave(QuietSpec());
+  const auto wave = GeneralComponents(sim_wave, g, part, config);
+  for (const uint32_t staleness : {0u, 4u, async::kUnboundedStaleness}) {
+    cluster::SimCluster sim(QuietSpec());
+    const auto async_result = AsyncComponents(sim, g, part, config, staleness);
+    EXPECT_TRUE(async_result.converged);
+    EXPECT_EQ(async_result.labels, wave.labels) << "staleness=" << staleness;
+    EXPECT_EQ(async_result.num_components, wave.num_components);
+  }
+}
+
+TEST(AsyncComponents, DirectedEdgesTreatedWeakly) {
+  graph::Digraph g = graph::Digraph::FromEdges(3, {{0, 1, 1.0}, {2, 1, 1.0}});
+  graph::Partitioning part;
+  part.num_parts = 3;
+  part.part_of = {0, 1, 2};
+  ComponentsConfig config;
+  cluster::SimCluster sim(QuietSpec());
+  const auto result = AsyncComponents(sim, g, part, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.num_components, 1u);
+  EXPECT_EQ(result.labels, (std::vector<graph::VertexId>{0, 0, 0}));
+}
+
+TEST(AsyncComponents, DeterministicAcrossRuns) {
+  const auto g = IslandGraph(6, 50, 29);
+  const auto part = graph::RangePartition(g, 5);
+  ComponentsConfig config;
+  auto run = [&] {
+    cluster::SimCluster sim(QuietSpec());
+    return AsyncComponents(sim, g, part, config);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.trace.total_seconds(), b.trace.total_seconds());
+}
+
 }  // namespace
 }  // namespace asyncmr::apps

@@ -195,5 +195,77 @@ TEST(KMeans, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.sse, b.sse);
 }
 
+// --- barrier-free K-Means on the async engine --------------------------------
+
+TEST(AsyncKMeans, QualityComparableToLloyd) {
+  const Dataset data = SmallData();
+  const KMeansConfig config = SmallConfig();
+  const auto lloyd = SerialLloyd(data, config);
+  cluster::SimCluster sim(QuietSpec());
+  async::AsyncResult stats;
+  const auto result =
+      AsyncKMeans(sim, data, config, async::kUnboundedStaleness, &stats);
+  EXPECT_TRUE(result.converged);
+  // Asynchronous interleavings may land in a different local optimum, but on
+  // well-separated planted clusters quality must be in the same band.
+  EXPECT_LT(result.sse, lloyd.sse * 1.3);
+  EXPECT_GT(stats.total_iterations, 0u);
+  EXPECT_GT(stats.update_records, 0u);
+  // Applying delivered centroid partials is charged, not free.
+  EXPECT_GT(stats.total_merge_ops, 0u);
+}
+
+TEST(AsyncKMeans, StalenessZeroTracksLloydTrajectory) {
+  // Staleness 0 reproduces synchronized Lloyd rounds: every iteration k+1
+  // assigns against the count-weighted mean of all partitions' round-k
+  // partials. Only float association order differs from the serial sums.
+  const Dataset data = SmallData();
+  const KMeansConfig config = SmallConfig();
+  const auto lloyd = SerialLloyd(data, config);
+  cluster::SimCluster sim(QuietSpec());
+  const auto result = AsyncKMeans(sim, data, config, /*staleness=*/0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.sse, lloyd.sse, 0.02 * lloyd.sse);
+}
+
+TEST(AsyncKMeans, DeterministicAcrossRuns) {
+  const Dataset data = SmallData(1500);
+  const KMeansConfig config = SmallConfig();
+  auto run = [&](uint64_t* fired) {
+    cluster::SimCluster sim(QuietSpec());
+    async::AsyncResult stats;
+    auto result = AsyncKMeans(sim, data, config, async::kUnboundedStaleness, &stats);
+    *fired = sim.queue().fired_count();
+    return std::make_pair(result, stats);
+  };
+  uint64_t a_fired = 0;
+  uint64_t b_fired = 0;
+  const auto [a, a_stats] = run(&a_fired);
+  const auto [b, b_stats] = run(&b_fired);
+  EXPECT_EQ(a.centroids, b.centroids);  // bit-identical
+  EXPECT_DOUBLE_EQ(a.sse, b.sse);
+  EXPECT_EQ(a_fired, b_fired);
+  EXPECT_EQ(a_stats.total_iterations, b_stats.total_iterations);
+  EXPECT_EQ(a_stats.update_records, b_stats.update_records);
+  EXPECT_DOUBLE_EQ(a_stats.end_seconds, b_stats.end_seconds);
+}
+
+TEST(AsyncKMeans, SinglePartitionReducesToLloyd) {
+  // One worker, nobody to exchange partials with: the iteration loop is
+  // exactly serial Lloyd driven by the movement residual.
+  const Dataset data = SmallData(1000, 4, 17);
+  KMeansConfig config = SmallConfig();
+  config.k = 4;
+  config.num_partitions = 1;
+  const auto lloyd = SerialLloyd(data, config);
+  cluster::SimCluster sim(QuietSpec());
+  async::AsyncResult stats;
+  const auto result =
+      AsyncKMeans(sim, data, config, async::kUnboundedStaleness, &stats);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(stats.update_batches, 0u);  // nobody to talk to
+  EXPECT_NEAR(result.sse, lloyd.sse, 0.02 * lloyd.sse);
+}
+
 }  // namespace
 }  // namespace asyncmr::apps

@@ -209,9 +209,11 @@ TEST(KvStream, CorruptedStreamReportsDataLoss) {
   w.Add(1, "abcdefgh");
   w.Add(2, "ijklmnop");
   Buffer buf = std::move(w).Finish();
-  // Truncate mid-record.
-  std::vector<uint8_t> bytes(buf.bytes().begin(), buf.bytes().end() - 5);
-  KvReader<uint32_t, std::string> r(Buffer{std::move(bytes)});
+  // Truncate mid-record. The buffer must outlive the reader (KvReader holds
+  // a view, not a copy — it refuses temporaries for exactly this reason).
+  const Buffer truncated{
+      std::vector<uint8_t>(buf.bytes().begin(), buf.bytes().end() - 5)};
+  KvReader<uint32_t, std::string> r(truncated);
   EXPECT_FALSE(r.ReadAll().ok());
 }
 
