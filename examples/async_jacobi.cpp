@@ -71,8 +71,33 @@ int main() {
               WithThousands(stats.total_merge_ops).c_str(),
               async_result.residual_inf);
 
-  std::printf("speedup: eager %.1fx, async %.1fx over general\n",
+  std::printf("speedup: eager %.1fx, async %.1fx over general\n\n",
               general.trace.total_seconds() / eager.trace.total_seconds(),
               general.trace.total_seconds() / stats.seconds());
+
+  // --- fault injection: the same solve on a crashy cluster -------------------
+  // Workers checkpoint every few iterations (write-behind through the DFS
+  // cost model) and a crashed worker restarts from its last durable snapshot
+  // with a bumped epoch (ClusterSpec::worker_crash_rate — see README
+  // "Fault tolerance"). The run must converge to the same solution; the
+  // overhead is restart downtime plus rolled-back progress.
+  std::printf("Async Jacobi again, with worker crashes injected...\n");
+  auto crashy_spec = cluster::ClusterSpec::Ec2Large8();
+  crashy_spec.worker_crash_rate = 2.0 / k;  // ~2 crashes per virtual second
+  crashy_spec.worker_restart_delay_s = 0.25;
+  cluster::SimCluster crashy_cluster(crashy_spec);
+  async::AsyncResult crashy_stats;
+  const auto crashy_result = apps::AsyncJacobi(crashy_cluster, g, b, part, jacobi,
+                                               async::kUnboundedStaleness,
+                                               &crashy_stats);
+  std::printf("  %u worker crashes, %u checkpoints (%s), %s recovery time\n",
+              crashy_stats.worker_restarts, crashy_stats.checkpoints_written,
+              HumanBytes(crashy_stats.checkpoint_bytes).c_str(),
+              HumanSeconds(crashy_stats.recovery_seconds).c_str());
+  std::printf("  %s virtual (+%.0f%% over the clean run), converged=%s, "
+              "||Ax-b||inf = %.2e\n",
+              HumanSeconds(crashy_stats.seconds()).c_str(),
+              100.0 * (crashy_stats.seconds() / stats.seconds() - 1.0),
+              crashy_result.converged ? "yes" : "NO", crashy_result.residual_inf);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "apps/components.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <unordered_map>
@@ -177,8 +178,19 @@ ComponentsResult AsyncComponents(cluster::SimCluster& cluster,
   // Residual is the count of changed labels; terminate when none anywhere.
   engine_config.convergence_threshold = 0.5;
   engine_config.max_iterations_per_worker = config.max_global_iterations;
+  engine_config.checkpoint_interval = config.async_checkpoint_interval;
   engine_config.name = config.job_prefix + "-async";
   async::AsyncEngine engine(cluster, num_parts, engine_config);
+
+  // Recovery re-announcement: every label this group ever pushed is pushed
+  // again. Labels only shrink (min-combine), so dead-epoch facts stand; the
+  // restarted worker itself rolled back to older (larger) labels and needs
+  // its in-peers' minima again.
+  auto force_resend = [](AsyncCcPartition& part, size_t b) {
+    for (auto& [target, best] : part.best_sent[b]) {
+      best = std::numeric_limits<uint32_t>::max();
+    }
+  };
 
   engine.set_out_peers([&](uint32_t p) {
     std::vector<uint32_t> peers;
@@ -231,11 +243,35 @@ ComponentsResult AsyncComponents(cluster::SimCluster& cluster,
     ctx.AddOps(ops);
   });
 
+  // Min-combine is reorder- and epoch-safe; apply ignores version metadata.
   engine.set_apply([&](uint32_t /*p*/, uint32_t /*from*/, uint32_t /*from_clock*/,
-                       const async::UpdateBatch& batch) {
+                       uint32_t /*from_epoch*/, const async::UpdateBatch& batch) {
     async::ForEachUpdate<CcLabelUpdate>(batch, [&](const CcLabelUpdate& u) {
       if (u.label < labels[u.vertex]) labels[u.vertex] = u.label;
     });
+  });
+
+  // Worker state is this partition's slice of the label vector.
+  engine.set_snapshot([&](uint32_t p, serde::Writer& w) {
+    const AsyncCcPartition& part = parts[p];
+    std::vector<uint32_t> slice;
+    slice.reserve(part.members.size());
+    for (graph::VertexId v : part.members) slice.push_back(labels[v]);
+    serde::Serde<std::vector<uint32_t>>::Write(w, slice);
+  });
+  engine.set_restore([&](uint32_t p, serde::Reader& r) {
+    AsyncCcPartition& part = parts[p];
+    std::vector<uint32_t> slice;
+    AMR_CHECK(serde::Serde<std::vector<uint32_t>>::Read(r, slice).ok());
+    AMR_CHECK_EQ(slice.size(), part.members.size());
+    for (size_t i = 0; i < slice.size(); ++i) labels[part.members[i]] = slice[i];
+    for (size_t b = 0; b < part.boundary.size(); ++b) force_resend(part, b);
+  });
+  engine.set_on_peer_restart([&](uint32_t q, uint32_t restarted) {
+    AsyncCcPartition& part = parts[q];
+    for (size_t b = 0; b < part.boundary.size(); ++b) {
+      if (part.boundary[b].peer == restarted) force_resend(part, b);
+    }
   });
 
   async::AsyncResult engine_result = engine.Run();

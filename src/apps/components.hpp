@@ -19,6 +19,8 @@ struct ComponentsConfig {
   uint32_t max_global_iterations = 2000;
   uint32_t max_local_iterations = 4096;
   uint32_t num_reducers = 16;
+  /// Async: worker iterations between checkpoints (see AsyncConfig).
+  uint32_t async_checkpoint_interval = 8;
   std::string job_prefix = "cc";
 };
 

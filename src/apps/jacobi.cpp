@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -416,8 +417,20 @@ JacobiResult AsyncJacobi(cluster::SimCluster& cluster, const graph::Digraph& g_s
   engine_config.convergence_threshold = config.tolerance;
   engine_config.max_iterations_per_worker = config.max_global_iterations * 10;
   engine_config.compute_time_scale = config.gmap_time_scale;
+  engine_config.checkpoint_interval = config.async_checkpoint_interval;
   engine_config.name = config.job_prefix + "-async";
   async::AsyncEngine engine(cluster, num_parts, engine_config);
+
+  // Recovery re-announcement: marks every target of one boundary group for
+  // unconditional re-send (row sums hover near zero, so a cleared filter
+  // could stay silent within send_eps while the peer holds a stale
+  // dead-epoch value).
+  auto force_resend = [](AsyncJacPartition& part, size_t b) {
+    constexpr double kResend = std::numeric_limits<double>::infinity();
+    for (const auto& [target, source] : part.boundary[b].edges) {
+      part.last_sent[b][target] = kResend;
+    }
+  };
 
   engine.set_out_peers([&](uint32_t p) {
     std::vector<uint32_t> peers;
@@ -479,14 +492,34 @@ JacobiResult AsyncJacobi(cluster::SimCluster& cluster, const graph::Digraph& g_s
   });
 
   engine.set_apply([&](uint32_t p, uint32_t from, uint32_t from_clock,
-                       const async::UpdateBatch& batch) {
+                       uint32_t from_epoch, const async::UpdateBatch& batch) {
     AsyncJacPartition& part = parts[p];
     part.store.ObserveClock(from, from_clock);
     async::ForEachUpdate<JacBoundaryUpdate>(batch, [&](const JacBoundaryUpdate& u) {
-      const auto put = part.store.Put(from, u.vertex, u.sum, from_clock);
+      const auto put = part.store.Put(from, u.vertex, u.sum, from_clock, from_epoch);
       if (!put.applied) return;  // out-of-order stale delivery
       part.ext[part.local_index.at(u.vertex)] += u.sum - put.replaced.value_or(0.0);
     });
+  });
+
+  engine.set_snapshot([&](uint32_t p, serde::Writer& w) {
+    const AsyncJacPartition& part = parts[p];
+    serde::Serde<std::vector<double>>::Write(w, part.x);
+    serde::Serde<std::vector<double>>::Write(w, part.ext);
+    part.store.SnapshotTo(w);
+  });
+  engine.set_restore([&](uint32_t p, serde::Reader& r) {
+    AsyncJacPartition& part = parts[p];
+    AMR_CHECK(serde::Serde<std::vector<double>>::Read(r, part.x).ok());
+    AMR_CHECK(serde::Serde<std::vector<double>>::Read(r, part.ext).ok());
+    AMR_CHECK(part.store.RestoreFrom(r).ok());
+    for (size_t b = 0; b < part.boundary.size(); ++b) force_resend(part, b);
+  });
+  engine.set_on_peer_restart([&](uint32_t q, uint32_t restarted) {
+    AsyncJacPartition& part = parts[q];
+    for (size_t b = 0; b < part.boundary.size(); ++b) {
+      if (part.boundary[b].peer == restarted) force_resend(part, b);
+    }
   });
 
   async::AsyncResult engine_result = engine.Run();

@@ -30,6 +30,8 @@ struct JacobiConfig {
   uint32_t max_local_iterations = 256;
   uint32_t num_reducers = 16;
   double gmap_time_scale = 1.0;
+  /// Async: worker iterations between checkpoints (see AsyncConfig).
+  uint32_t async_checkpoint_interval = 8;
   std::string job_prefix = "jac";
 };
 

@@ -478,6 +478,10 @@ struct AsyncKmPartition {
   /// Latest partial per (sender, centroid), so apply can subtract what a
   /// fresh partial replaces.
   async::StateStore<KmPartialUpdate> store;
+  /// Per peer partition: re-announce this partition's full partial set on
+  /// the next iteration (the peer restarted, or this partition did and its
+  /// receivers hold dead-epoch partials).
+  std::vector<uint8_t> resend_to;
 };
 
 }  // namespace
@@ -501,6 +505,7 @@ KMeansResult AsyncKMeans(cluster::SimCluster& cluster, const Dataset& data,
     part.own_count.assign(k, 0);
     part.agg_sum.assign(static_cast<size_t>(k) * dims, 0.0);
     part.agg_count.assign(k, 0);
+    part.resend_to.assign(num_parts, 0);
     std::vector<uint32_t> peers;
     for (uint32_t q = 0; q < num_parts; ++q) {
       if (q != p) peers.push_back(q);
@@ -513,6 +518,7 @@ KMeansResult AsyncKMeans(cluster::SimCluster& cluster, const Dataset& data,
   engine_config.convergence_threshold = config.threshold;
   engine_config.max_iterations_per_worker = config.max_global_iterations * 10;
   engine_config.compute_time_scale = config.gmap_time_scale;
+  engine_config.checkpoint_interval = config.async_checkpoint_interval;
   engine_config.name = config.job_prefix + "-async";
   async::AsyncEngine engine(cluster, num_parts, engine_config);
   // Default all-to-all out-peer topology: centroids are global state.
@@ -584,6 +590,26 @@ KMeansResult AsyncKMeans(cluster::SimCluster& cluster, const Dataset& data,
       ops += static_cast<uint64_t>(num_parts) * dims;
     }
 
+    // Recovery re-announcement: peers flagged by a restart get this
+    // partition's full current partial set, changed or not — their view of
+    // it may date from any earlier clock (or epoch). A partial the loop
+    // above just broadcast goes out twice to such a peer; the replaced-delta
+    // apply makes the duplicate a no-op.
+    for (uint32_t q = 0; q < num_parts; ++q) {
+      if (q == p || !part.resend_to[q]) continue;
+      part.resend_to[q] = 0;
+      for (uint32_t c = 0; c < k; ++c) {
+        const size_t base = static_cast<size_t>(c) * dims;
+        KmPartialUpdate update;
+        update.centroid = c;
+        update.count = part.own_count[c];
+        update.sum.assign(part.own_sum.begin() + base,
+                          part.own_sum.begin() + base + dims);
+        ctx.Emit(q, update);
+      }
+      ops += static_cast<uint64_t>(k) * dims;
+    }
+
     // The residual must see the worker's own contribution too — movement of
     // the incoming view alone would let a worker idle right after moving the
     // global mean with its fresh partial (and a single-partition run would
@@ -596,13 +622,13 @@ KMeansResult AsyncKMeans(cluster::SimCluster& cluster, const Dataset& data,
   });
 
   engine.set_apply([&](uint32_t p, uint32_t from, uint32_t from_clock,
-                       const async::UpdateBatch& batch) {
+                       uint32_t from_epoch, const async::UpdateBatch& batch) {
     AsyncKmPartition& part = parts[p];
     part.store.ObserveClock(from, from_clock);
     async::ForEachUpdate<KmPartialUpdate>(batch, [&](const KmPartialUpdate& u) {
       const uint32_t c = u.centroid;
       const size_t base = static_cast<size_t>(c) * dims;
-      const auto put = part.store.Put(from, c, u, from_clock);
+      const auto put = part.store.Put(from, c, u, from_clock, from_epoch);
       if (!put.applied) return;  // out-of-order stale delivery
       const auto& old = put.replaced;
       const uint64_t old_count = old ? old->count : 0;
@@ -611,6 +637,30 @@ KMeansResult AsyncKMeans(cluster::SimCluster& cluster, const Dataset& data,
         part.agg_sum[base + d] += u.sum[d] - (old ? old->sum[d] : 0.0);
       }
     });
+  });
+
+  engine.set_snapshot([&](uint32_t p, serde::Writer& w) {
+    const AsyncKmPartition& part = parts[p];
+    serde::Serde<std::vector<double>>::Write(w, part.centroids);
+    serde::Serde<std::vector<double>>::Write(w, part.own_sum);
+    serde::Serde<std::vector<uint64_t>>::Write(w, part.own_count);
+    serde::Serde<std::vector<double>>::Write(w, part.agg_sum);
+    serde::Serde<std::vector<uint64_t>>::Write(w, part.agg_count);
+    part.store.SnapshotTo(w);
+  });
+  engine.set_restore([&](uint32_t p, serde::Reader& r) {
+    AsyncKmPartition& part = parts[p];
+    AMR_CHECK(serde::Serde<std::vector<double>>::Read(r, part.centroids).ok());
+    AMR_CHECK(serde::Serde<std::vector<double>>::Read(r, part.own_sum).ok());
+    AMR_CHECK(serde::Serde<std::vector<uint64_t>>::Read(r, part.own_count).ok());
+    AMR_CHECK(serde::Serde<std::vector<double>>::Read(r, part.agg_sum).ok());
+    AMR_CHECK(serde::Serde<std::vector<uint64_t>>::Read(r, part.agg_count).ok());
+    AMR_CHECK(part.store.RestoreFrom(r).ok());
+    // Everyone's view of this partition's partials is from the dead epoch.
+    std::fill(part.resend_to.begin(), part.resend_to.end(), 1);
+  });
+  engine.set_on_peer_restart([&](uint32_t q, uint32_t restarted) {
+    parts[q].resend_to[restarted] = 1;
   });
 
   async::AsyncResult engine_result = engine.Run();

@@ -39,6 +39,8 @@ struct KMeansConfig {
   uint32_t oscillation_window = 4;     // eager: rounds without improvement
   uint32_t num_reducers = 8;
   double gmap_time_scale = 1.0;
+  /// Async: worker iterations between checkpoints (see AsyncConfig).
+  uint32_t async_checkpoint_interval = 8;
   uint64_t seed = 1234;                // initial centroids + reshuffles
   std::string job_prefix = "km";
 };

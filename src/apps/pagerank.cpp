@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -155,6 +156,7 @@ PageRankResult GeneralPageRank(cluster::SimCluster& cluster, const graph::Digrap
     trace.shuffle_bytes = out.raw.stats.shuffle_bytes;
     trace.map_output_bytes = out.raw.stats.map_output_bytes;
     trace.local_iterations = 0;
+    trace.failed_attempts = out.raw.stats.failed_attempts;
     trace.residual = residual;
     result.trace.AddRound(trace);
 
@@ -330,6 +332,7 @@ PageRankResult EagerPageRank(cluster::SimCluster& cluster, const graph::Digraph&
     trace.shuffle_bytes = out.raw.stats.shuffle_bytes;
     trace.map_output_bytes = out.raw.stats.map_output_bytes;
     trace.local_iterations = psj.last_local_iterations();
+    trace.failed_attempts = out.raw.stats.failed_attempts;
     trace.residual = residual;
     result.trace.AddRound(trace);
 
@@ -469,8 +472,20 @@ PageRankResult AsyncPageRank(cluster::SimCluster& cluster, const graph::Digraph&
   engine_config.convergence_threshold = config.tolerance;
   engine_config.max_iterations_per_worker = config.max_global_iterations * 10;
   engine_config.compute_time_scale = config.gmap_time_scale;
+  engine_config.checkpoint_interval = config.async_checkpoint_interval;
   engine_config.name = config.job_prefix + "-async";
   async::AsyncEngine engine(cluster, num_parts, engine_config);
+
+  // Marks every target of one boundary group for unconditional re-send: the
+  // recovery protocol's re-announcement (a cleared filter is NOT enough — a
+  // sum whose current value sits within send_eps of zero would stay silent
+  // while the peer holds a stale dead-epoch value for it).
+  auto force_resend = [](AsyncPrPartition& part, size_t b) {
+    constexpr double kResend = std::numeric_limits<double>::infinity();
+    for (const auto& [target, source] : part.boundary[b].edges) {
+      part.last_sent[b][target] = kResend;
+    }
+  };
 
   engine.set_out_peers([&](uint32_t p) {
     std::vector<uint32_t> peers;
@@ -529,15 +544,38 @@ PageRankResult AsyncPageRank(cluster::SimCluster& cluster, const graph::Digraph&
   });
 
   engine.set_apply([&](uint32_t p, uint32_t from, uint32_t from_clock,
-                       const async::UpdateBatch& batch) {
+                       uint32_t from_epoch, const async::UpdateBatch& batch) {
     AsyncPrPartition& part = parts[p];
     part.store.ObserveClock(from, from_clock);
     async::ForEachUpdate<PrBoundaryUpdate>(batch, [&](const PrBoundaryUpdate& u) {
-      const auto put = part.store.Put(from, u.vertex, u.contribution, from_clock);
+      const auto put =
+          part.store.Put(from, u.vertex, u.contribution, from_clock, from_epoch);
       if (!put.applied) return;  // out-of-order stale delivery
       part.ext[part.local_index.at(u.vertex)] +=
           u.contribution - put.replaced.value_or(0.0);
     });
+  });
+
+  engine.set_snapshot([&](uint32_t p, serde::Writer& w) {
+    const AsyncPrPartition& part = parts[p];
+    serde::Serde<std::vector<double>>::Write(w, part.ranks);
+    serde::Serde<std::vector<double>>::Write(w, part.ext);
+    part.store.SnapshotTo(w);
+  });
+  engine.set_restore([&](uint32_t p, serde::Reader& r) {
+    AsyncPrPartition& part = parts[p];
+    AMR_CHECK(serde::Serde<std::vector<double>>::Read(r, part.ranks).ok());
+    AMR_CHECK(serde::Serde<std::vector<double>>::Read(r, part.ext).ok());
+    AMR_CHECK(part.store.RestoreFrom(r).ok());
+    // Re-announce everything: the receivers' views of this partition belong
+    // to the dead epoch.
+    for (size_t b = 0; b < part.boundary.size(); ++b) force_resend(part, b);
+  });
+  engine.set_on_peer_restart([&](uint32_t q, uint32_t restarted) {
+    AsyncPrPartition& part = parts[q];
+    for (size_t b = 0; b < part.boundary.size(); ++b) {
+      if (part.boundary[b].peer == restarted) force_resend(part, b);
+    }
   });
 
   async::AsyncResult engine_result = engine.Run();

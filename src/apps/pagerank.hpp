@@ -47,6 +47,9 @@ struct PageRankConfig {
   uint32_t max_local_iterations = 128; // eager: per-gmap cap
   uint32_t num_reducers = 16;
   double gmap_time_scale = 1.0;        // eager: lmap thread-pool speedup
+  /// Async: worker iterations between checkpoints (see AsyncConfig); crash
+  /// recovery restores from the last durable one.
+  uint32_t async_checkpoint_interval = 8;
   std::string job_prefix = "pr";
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <queue>
 #include <tuple>
@@ -421,8 +422,20 @@ SsspResult AsyncSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
   engine_config.convergence_threshold = 0.5;
   engine_config.max_iterations_per_worker = config.max_global_iterations;
   engine_config.compute_time_scale = config.gmap_time_scale;
+  engine_config.checkpoint_interval = config.async_checkpoint_interval;
   engine_config.name = config.job_prefix + "-async";
   async::AsyncEngine engine(cluster, num_parts, engine_config);
+
+  // Recovery re-announcement: marks one boundary group's best-sent cache so
+  // every candidate is re-pushed. Distances only shrink, so dead-epoch facts
+  // a crashed worker pushed remain true — but the restarted worker itself
+  // rolled back to older (larger) distances and needs its in-peers'
+  // candidates again.
+  auto force_resend = [](AsyncSsspPartition& part, size_t b) {
+    for (auto& [target, best] : part.best_sent[b]) {
+      best = std::numeric_limits<double>::infinity();
+    }
+  };
 
   engine.set_out_peers([&](uint32_t p) {
     std::vector<uint32_t> peers;
@@ -474,12 +487,38 @@ SsspResult AsyncSssp(cluster::SimCluster& cluster, const graph::Digraph& g,
     ctx.AddOps(ops);
   });
 
+  // Min-combine is reorder- and epoch-safe: a dead epoch's candidate is
+  // still a genuine path, so apply ignores the version metadata.
   engine.set_apply([&](uint32_t /*p*/, uint32_t /*from*/, uint32_t /*from_clock*/,
-                       const async::UpdateBatch& batch) {
+                       uint32_t /*from_epoch*/, const async::UpdateBatch& batch) {
     async::ForEachUpdate<SsspCandidateUpdate>(
         batch, [&](const SsspCandidateUpdate& u) {
           if (u.distance < dist[u.vertex] - kEps) dist[u.vertex] = u.distance;
         });
+  });
+
+  // Worker state is this partition's slice of the distance vector (apply
+  // only ever writes boundary targets inside the receiving partition).
+  engine.set_snapshot([&](uint32_t p, serde::Writer& w) {
+    const AsyncSsspPartition& part = parts[p];
+    std::vector<double> slice;
+    slice.reserve(part.members.size());
+    for (graph::VertexId v : part.members) slice.push_back(dist[v]);
+    serde::Serde<std::vector<double>>::Write(w, slice);
+  });
+  engine.set_restore([&](uint32_t p, serde::Reader& r) {
+    AsyncSsspPartition& part = parts[p];
+    std::vector<double> slice;
+    AMR_CHECK(serde::Serde<std::vector<double>>::Read(r, slice).ok());
+    AMR_CHECK_EQ(slice.size(), part.members.size());
+    for (size_t i = 0; i < slice.size(); ++i) dist[part.members[i]] = slice[i];
+    for (size_t b = 0; b < part.boundary.size(); ++b) force_resend(part, b);
+  });
+  engine.set_on_peer_restart([&](uint32_t q, uint32_t restarted) {
+    AsyncSsspPartition& part = parts[q];
+    for (size_t b = 0; b < part.boundary.size(); ++b) {
+      if (part.boundary[b].peer == restarted) force_resend(part, b);
+    }
   });
 
   async::AsyncResult engine_result = engine.Run();

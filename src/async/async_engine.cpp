@@ -10,7 +10,10 @@ namespace asyncmr::async {
 
 AsyncEngine::AsyncEngine(cluster::SimCluster& cluster, uint32_t num_partitions,
                          AsyncConfig config)
-    : cluster_(cluster), num_partitions_(num_partitions), config_(std::move(config)) {
+    : cluster_(cluster),
+      num_partitions_(num_partitions),
+      config_(std::move(config)),
+      checkpoints_(cluster.dfs()) {
   AMR_CHECK(num_partitions_ > 0) << "async engine needs at least one partition";
   workers_.resize(num_partitions_);
   for (uint32_t p = 0; p < num_partitions_; ++p) {
@@ -73,6 +76,11 @@ void AsyncEngine::BuildTopology() {
     }
   }
 
+  senders_to_.assign(num_partitions_, {});
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    for (uint32_t q : send_peers_[p]) senders_to_[q].push_back(p);
+  }
+
   for (uint32_t p = 0; p < num_partitions_; ++p) {
     workers_[p].out.assign(send_peers_[p].size(), UpdateBatch{});
   }
@@ -92,7 +100,11 @@ void AsyncEngine::TryStartIteration(uint32_t p) {
   if (finished_) return;
   Worker& w = workers_[p];
   if (w.phase != WorkerPhase::kIdle && w.phase != WorkerPhase::kBlocked) return;
-  if (w.iterations >= config_.max_iterations_per_worker) {
+  // force_iteration (granted once per peer restart, see RestoreWorker) lets
+  // a capped sender take the recovery re-announce iteration the protocol
+  // depends on: the cap bounds convergence work, and without this the
+  // restored peer would recompute against permanently stale input.
+  if (w.iterations >= config_.max_iterations_per_worker && !w.force_iteration) {
     w.capped = true;
     w.phase = WorkerPhase::kIdle;
     return;
@@ -103,12 +115,21 @@ void AsyncEngine::TryStartIteration(uint32_t p) {
     return;
   }
   w.phase = WorkerPhase::kWaitingSlot;
-  cluster_.AcquireSlot(w.node, config_.slot_type, [this, p] { BeginCompute(p); });
+  const uint32_t epoch = w.epoch;
+  cluster_.AcquireSlot(w.node, config_.slot_type,
+                       [this, p, epoch] { BeginCompute(p, epoch); });
 }
 
-void AsyncEngine::BeginCompute(uint32_t p) {
+void AsyncEngine::BeginCompute(uint32_t p, uint32_t epoch) {
   Worker& w = workers_[p];
   if (finished_) {
+    cluster_.ReleaseSlot(w.node, config_.slot_type);
+    return;
+  }
+  if (w.epoch != epoch || w.phase != WorkerPhase::kWaitingSlot) {
+    // The incarnation that queued this slot request died (and its
+    // replacement may already hold or await another slot): the grant goes
+    // straight back.
     cluster_.ReleaseSlot(w.node, config_.slot_type);
     return;
   }
@@ -122,6 +143,7 @@ void AsyncEngine::BeginCompute(uint32_t p) {
 
   w.phase = WorkerPhase::kComputing;
   w.pending_input = false;
+  w.force_iteration = false;
   // Batches applied since the previous iteration are merged "now": their
   // per-record cost lands in this iteration's virtual time.
   const uint64_t merge_ops = static_cast<uint64_t>(
@@ -157,14 +179,20 @@ void AsyncEngine::BeginCompute(uint32_t p) {
                            spec.nodes[w.node].speed_factor;
 
   const double residual = ctx.residual_;
-  cluster_.queue().ScheduleAfter(compute_s, [this, p, ops, merge_ops, residual] {
-    FinishCompute(p, ops, merge_ops, residual);
-  });
+  cluster_.queue().ScheduleAfter(
+      compute_s, [this, p, epoch, ops, merge_ops, residual] {
+        FinishCompute(p, epoch, ops, merge_ops, residual);
+      });
 }
 
-void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, uint64_t merge_ops,
-                                double residual) {
+void AsyncEngine::FinishCompute(uint32_t p, uint32_t epoch, uint64_t ops,
+                                uint64_t merge_ops, double residual) {
   Worker& w = workers_[p];
+  if (w.epoch != epoch) {
+    // The computing incarnation crashed mid-iteration: its results die with
+    // it (nothing was sent yet) and CrashWorker already freed the slot.
+    return;
+  }
   cluster_.ReleaseSlot(w.node, config_.slot_type);
   ++w.iterations;
   w.ops += ops;
@@ -186,8 +214,9 @@ void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, uint64_t merge_ops,
     total_bytes_ += bytes;
     auto payload = std::make_shared<UpdateBatch>(std::move(batch));
     cluster_.network().Transfer(
-        w.node, workers_[q].node, bytes,
-        [this, q, p, clock, payload] { OnBatchDelivered(q, p, clock, *payload); });
+        w.node, workers_[q].node, bytes, [this, q, p, clock, epoch, payload] {
+          OnBatchDelivered(q, p, clock, epoch, *payload);
+        });
   };
 
   const std::vector<uint32_t>& peers = send_peers_[p];
@@ -203,6 +232,11 @@ void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, uint64_t merge_ops,
     }
   }
 
+  if (snapshot_ && config_.checkpoint_interval > 0 &&
+      w.iterations % config_.checkpoint_interval == 0) {
+    TakeCheckpoint(p, /*free_write=*/false);
+  }
+
   w.phase = WorkerPhase::kIdle;
   if (residual >= config_.convergence_threshold || w.pending_input ||
       KeepaliveDue(w, p)) {
@@ -210,13 +244,24 @@ void AsyncEngine::FinishCompute(uint32_t p, uint64_t ops, uint64_t merge_ops,
   }
 }
 
-void AsyncEngine::OnBatchDelivered(uint32_t to, uint32_t from, uint32_t from_clock,
+void AsyncEngine::OnBatchDelivered(uint32_t to, uint32_t from,
+                                   uint32_t from_clock, uint32_t from_epoch,
                                    const UpdateBatch& batch) {
   Worker& w = workers_[to];
+  // Every delivery counts as received, applied or not: the sender counted it
+  // at send time, and the Safra proof needs the global sums to balance. The
+  // counters belong to the node runtime, not the (crashable) worker process.
   ++w.ledger.batches_received;
   w.ledger.dirty = true;
+  if (w.phase == WorkerPhase::kDown) return;  // process down: delivery lost
+  if (from_epoch != workers_[from].epoch) {
+    // In flight when its sender crashed. The replacement's trajectory
+    // supersedes this batch's content — and its delta filters do not know
+    // the batch was ever sent, so applying it could never be repaired.
+    return;
+  }
   if (!batch.empty()) {
-    apply_(to, from, from_clock, batch);
+    apply_(to, from, from_clock, from_epoch, batch);
     w.pending_input = true;
     w.unmerged_records += batch.records;
   }
@@ -228,6 +273,155 @@ void AsyncEngine::OnBatchDelivered(uint32_t to, uint32_t from, uint32_t from_clo
       (w.phase == WorkerPhase::kIdle && (w.pending_input || KeepaliveDue(w, to)))) {
     TryStartIteration(to);
   }
+}
+
+// --- checkpoint/replay -------------------------------------------------------
+
+void AsyncEngine::TakeCheckpoint(uint32_t p, bool free_write) {
+  Worker& w = workers_[p];
+  WorkerSnapshot snap;
+  snap.partition = p;
+  snap.epoch = w.epoch;
+  snap.iterations = w.iterations;
+  snap.unmerged_records = w.unmerged_records;
+  snap.last_residual = w.ledger.last_residual;
+  if (config_.staleness_bound != kUnboundedStaleness) {
+    snap.peer_clocks = clocks_[p].clock_values();
+  }
+  serde::Buffer app_state;
+  serde::Writer app_writer(app_state);
+  snapshot_(p, app_writer);
+  snap.app_state.assign(reinterpret_cast<const char*>(app_state.data()),
+                        app_state.size());
+
+  serde::Buffer encoded = serde::Encode(snap);
+  if (!free_write) {
+    ++w.checkpoints;
+    w.checkpoint_bytes += encoded.size();
+  }
+  checkpoints_.Write(p, std::move(encoded), cluster_.now(), free_write);
+}
+
+void AsyncEngine::ScheduleNextCrash(uint32_t p) {
+  const double delay = cluster_.NextWorkerCrashDelay();
+  if (!std::isfinite(delay)) return;
+  cluster_.queue().ScheduleAfter(delay, [this, p] {
+    if (finished_) return;  // breaks the timer chain so the queue drains
+    // A crash timer firing while the worker is already down hits the dead
+    // process: nothing further to kill.
+    if (workers_[p].phase != WorkerPhase::kDown) CrashWorker(p);
+    ScheduleNextCrash(p);
+  });
+}
+
+void AsyncEngine::CrashWorker(uint32_t p) {
+  Worker& w = workers_[p];
+  ++w.epoch;  // in-flight batches/grants/completions of the old epoch die
+  ++total_restarts_;
+  if (w.phase == WorkerPhase::kComputing) {
+    // Process death frees the slot immediately; the scheduled FinishCompute
+    // sees the epoch bump and drops out. A kWaitingSlot grant returns its
+    // slot when it fires (BeginCompute's epoch guard).
+    cluster_.ReleaseSlot(w.node, config_.slot_type);
+  }
+  w.phase = WorkerPhase::kDown;
+  w.pending_input = false;
+  w.force_iteration = false;
+  w.unmerged_records = 0;
+  w.ledger.dirty = true;  // taints any in-progress token circuit
+
+  const double now = cluster_.now();
+  checkpoints_.AbortPending(p, now);
+  const serde::Buffer* snapshot = checkpoints_.LatestDurable(p, now);
+  AMR_CHECK(snapshot != nullptr)
+      << "worker " << p << " crashed with no durable checkpoint (the engine "
+      << "writes a free initial snapshot at Run)";
+  const double delay = cluster_.spec().worker_restart_delay_s +
+                       checkpoints_.ReadSeconds(*snapshot);
+  recovery_seconds_ += delay;
+  AMR_LOG_DEBUG << "async worker " << p << " crashed at t=" << now
+                << "; restoring in " << delay << " s (epoch " << w.epoch << ")";
+  const uint32_t epoch = w.epoch;
+  cluster_.queue().ScheduleAfter(delay,
+                                 [this, p, epoch] { RestoreWorker(p, epoch); });
+}
+
+void AsyncEngine::RestoreWorker(uint32_t p, uint32_t epoch) {
+  if (finished_) return;
+  Worker& w = workers_[p];
+  if (w.epoch != epoch || w.phase != WorkerPhase::kDown) return;
+
+  // The crash froze the restore target (AbortPending dropped anything not
+  // yet durable, and nothing new was written while down).
+  const serde::Buffer* encoded = checkpoints_.LatestDurable(p, cluster_.now());
+  AMR_CHECK(encoded != nullptr);
+  auto snap = serde::Decode<WorkerSnapshot>(*encoded);
+  AMR_CHECK(snap.ok()) << "corrupt worker checkpoint: "
+                       << snap.status().ToString();
+  AMR_CHECK_EQ(snap.value().partition, p);
+
+  serde::Reader app_reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(snap.value().app_state.data()),
+      snap.value().app_state.size()));
+  restore_(p, app_reader);
+
+  w.iterations = snap.value().iterations;
+  w.unmerged_records = snap.value().unmerged_records;
+  w.ledger.last_residual = snap.value().last_residual;
+  w.ledger.dirty = true;
+  w.capped = false;  // recomputed against the rolled-back clock
+  // Force a full recompute whatever the snapshot held: input delivered after
+  // the checkpoint was lost with the process, and the re-announcements below
+  // arrive with arbitrary delay.
+  w.pending_input = true;
+  w.phase = WorkerPhase::kIdle;
+
+  if (config_.staleness_bound != kUnboundedStaleness) {
+    ClockTable& table = clocks_[p];
+    table.RestoreClockValues(snap.value().peer_clocks);
+    // Master-assisted refresh: the snapshot's view of peers may lag far
+    // enough that the SSP gate blocks on peers that converged and went
+    // silent (they only re-announce once — below — which advances their
+    // clock by a single tick), or may be INFLATED relative to a peer that
+    // itself rolled back since the snapshot was taken. The control plane
+    // knows every worker's true clock, so set (not monotone-observe) each
+    // entry; a real implementation would fetch these from the master on
+    // restart. A peer that is currently down still reads as its pre-crash
+    // clock here — its own restore resets everyone's view of it below.
+    for (uint32_t q : table.peers()) table.Reset(q, workers_[q].iterations);
+  }
+
+  // Peers: their gating view of p must reflect the rollback, their app-level
+  // view of p's dead epochs must be dropped/re-announced, and each sender to
+  // p takes one forced iteration so the re-announcement actually flows even
+  // if it had converged and parked — or capped out (force_iteration bypasses
+  // the cap once; a capped worker that stays silent would leave p computing
+  // against permanently stale input). A sender that is itself down is
+  // skipped: its own restore re-announces to every peer anyway.
+  for (uint32_t q : senders_to_[p]) {
+    if (config_.staleness_bound != kUnboundedStaleness) {
+      clocks_[q].Reset(p, w.iterations);
+    }
+    if (on_peer_restart_) on_peer_restart_(q, p);
+    Worker& wq = workers_[q];
+    if (wq.phase == WorkerPhase::kDown) continue;
+    wq.pending_input = true;
+    wq.ledger.dirty = true;
+    if (wq.capped) {
+      // Un-cap for the forced re-announce iteration (also keeps the worker
+      // non-quiescent until it flows); TryStartIteration re-caps afterwards.
+      wq.capped = false;
+      wq.force_iteration = true;
+    }
+    if (wq.phase == WorkerPhase::kIdle || wq.phase == WorkerPhase::kBlocked) {
+      TryStartIteration(q);
+    }
+  }
+
+  AMR_LOG_DEBUG << "async worker " << p << " restored at t=" << cluster_.now()
+                << " to iteration " << w.iterations << " (epoch " << w.epoch
+                << ")";
+  TryStartIteration(p);
 }
 
 // --- termination token -------------------------------------------------------
@@ -271,6 +465,7 @@ void AsyncEngine::HandleTokenAt(uint32_t position, ProgressToken token) {
   }
   token.sent += w.ledger.batches_sent;
   token.received += w.ledger.batches_received;
+  token.restarts += w.epoch;
   if (w.ledger.dirty) token.tainted = true;
   w.ledger.dirty = false;
   if (!QuiescentForTermination(w.phase, w.capped, w.pending_input)) {
@@ -288,7 +483,12 @@ void AsyncEngine::HandleTokenAt(uint32_t position, ProgressToken token) {
 
 void AsyncEngine::CompleteCircuit(const ProgressToken& token) {
   ++token_circuits_;
-  if (token.ProvesTermination()) {
+  // A token that observed fewer restarts than have happened visited some
+  // worker before it crashed: that quiescence observation is stale, so the
+  // circuit is tainted and re-circulates (restart-count monotonicity makes
+  // this exact — epochs only grow, and a crash after the visit is precisely
+  // a sum mismatch at completion).
+  if (token.ProvesTermination() && token.restarts == total_restarts_) {
     // An unknown residual (some worker never iterated) can terminate — the
     // workers are provably done — but never *converged*.
     Finish(token.residual_known &&
@@ -318,11 +518,27 @@ AsyncResult AsyncEngine::Run() {
   AMR_CHECK(apply_) << "async engine needs an apply callback";
   AMR_CHECK(!running_) << "async engine is single-use";
   running_ = true;
+  const bool crashes = cluster_.spec().worker_crash_rate > 0.0;
+  AMR_CHECK(!crashes || (snapshot_ && restore_))
+      << "worker crash injection requires snapshot and restore callbacks "
+      << "(checkpoint/replay is the async engine's only recovery path)";
 
   BuildTopology();
   RegisterTokenHandlers();
+  checkpoints_.ResetPartitions(num_partitions_);
+  if (snapshot_) {
+    // The free iteration-0 snapshot: the staged input, durable before the
+    // run starts, so a worker crashing before its first checkpoint interval
+    // still has a restore target.
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      TakeCheckpoint(p, /*free_write=*/true);
+    }
+  }
   start_time_ = cluster_.now();
   for (uint32_t p = 0; p < num_partitions_; ++p) TryStartIteration(p);
+  if (crashes) {
+    for (uint32_t p = 0; p < num_partitions_; ++p) ScheduleNextCrash(p);
+  }
   StartCircuit();
   cluster_.RunUntilIdle();
   AMR_CHECK(finished_)
@@ -338,6 +554,12 @@ AsyncResult AsyncEngine::Run() {
   result.update_batches = total_batches_;
   result.update_records = total_records_;
   result.bytes_sent = total_bytes_;
+  result.worker_restarts = total_restarts_;
+  result.checkpoints_written =
+      static_cast<uint32_t>(checkpoints_.stats().checkpoints_written);
+  result.checkpoint_bytes = checkpoints_.stats().bytes_written;
+  result.checkpoint_write_seconds = checkpoints_.stats().write_seconds;
+  result.recovery_seconds = recovery_seconds_;
   result.workers.reserve(num_partitions_);
   for (const Worker& w : workers_) {
     WorkerStats stats;
@@ -347,6 +569,9 @@ AsyncResult AsyncEngine::Run() {
     stats.batches_sent = w.ledger.batches_sent;
     stats.batches_received = w.ledger.batches_received;
     stats.records_sent = w.records_sent;
+    stats.restarts = w.epoch;
+    stats.checkpoints = w.checkpoints;
+    stats.checkpoint_bytes = w.checkpoint_bytes;
     stats.residual_known = w.iterations > 0;
     stats.last_residual = stats.residual_known ? w.ledger.last_residual : 0.0;
     result.workers.push_back(stats);

@@ -35,8 +35,30 @@
 // Termination is detected without a barrier by the Safra-style residual token
 // of progress.hpp circulating on the RPC layer.
 //
+// Fault tolerance (checkpoint/replay — see checkpoint.hpp): when the cluster
+// spec sets worker_crash_rate > 0, workers crash at Poisson times. A crashed
+// worker loses its in-memory state and, after the spec's restart delay plus
+// the checkpoint read time, resumes from its last durable WorkerSnapshot
+// with a bumped *epoch*. Every outgoing batch is stamped with the sender's
+// epoch; deliveries from a dead epoch — in flight when the sender died — are
+// dropped, as are deliveries to a worker that is down (both still count as
+// received so the Safra sent == received proof stays balanced; the per-batch
+// counters live in the node runtime, not the crashed process). On restore
+// the engine resets peers' gating view of the worker's rolled-back clock,
+// refreshes the worker's own gating view from current clocks (master-
+// assisted, or the SSP gate could deadlock on peers that converged and went
+// silent), and notifies every worker that sends to the restarted one so apps
+// drop dead-epoch state and force their delta filters to re-announce — the
+// recovery analogue of the initial seeding pass. A token circuit that missed
+// a restart (the crash happened after its visit) is tainted by the token's
+// restart count trailing the engine's, so the termination proof stays sound.
+//
 // Everything is scheduled on the cluster's deterministic DES event queue:
-// two runs with the same seed are bit-identical.
+// two runs with the same seed are bit-identical, crashes included; with
+// crash rate 0 the engine draws nothing extra and checkpoint writes are
+// write-behind, so results and the event timeline are bit-identical to a run
+// with checkpointing disabled — the checkpoint cost surfaces in the
+// AsyncResult accounting and in recovery time when crashes do happen.
 #pragma once
 
 #include <algorithm>
@@ -45,6 +67,7 @@
 #include <string>
 #include <vector>
 
+#include "async/checkpoint.hpp"
 #include "async/progress.hpp"
 #include "async/state_store.hpp"
 #include "cluster/cluster.hpp"
@@ -124,15 +147,27 @@ struct AsyncConfig {
   double compute_time_scale = 1.0;
   /// Pause between termination-token circuits that fail to prove termination.
   double token_backoff_s = 0.25;
+  /// Completed iterations between worker checkpoints (0 = only the free
+  /// initial snapshot). Checkpoints are taken only when a snapshot callback
+  /// is installed; crash injection (ClusterSpec::worker_crash_rate > 0)
+  /// requires both snapshot and restore callbacks. Writes are write-behind
+  /// (see checkpoint.hpp): they never perturb the failure-free timeline, but
+  /// a crash can only restore a snapshot whose DFS write had completed.
+  uint32_t checkpoint_interval = 8;
   cluster::SlotType slot_type = cluster::SlotType::kMap;
   std::string name = "async";
 };
 
 /// Worker lifecycle phase, exposed for the termination predicate below.
-enum class WorkerPhase { kIdle, kBlocked, kWaitingSlot, kComputing };
+/// kDown = crashed and awaiting checkpoint restore.
+enum class WorkerPhase { kIdle, kBlocked, kWaitingSlot, kComputing, kDown };
 
 /// Safra-visit quiescence: may the termination token count this worker as
-/// done? A capped worker never iterates again, whatever input it holds —
+/// done? A worker mid-restart (kDown) never is — its restored state WILL
+/// recompute, whatever the rest of the ring looks like, so a circuit that
+/// counted it done could prove "termination" out from under the recovery
+/// (even a capped worker restores to a rolled-back, un-capped clock). A
+/// capped live worker never iterates again, whatever input it holds —
 /// counting it non-quiescent would circulate the token forever. Any other
 /// worker is quiescent only when parked (idle or gate-blocked) with NO
 /// unconsumed input: a blocked worker with pending_input WILL recompute once
@@ -141,6 +176,7 @@ enum class WorkerPhase { kIdle, kBlocked, kWaitingSlot, kComputing };
 /// unapplied.
 constexpr bool QuiescentForTermination(WorkerPhase phase, bool capped,
                                        bool pending_input) {
+  if (phase == WorkerPhase::kDown) return false;
   if (capped) return true;
   return (phase == WorkerPhase::kIdle || phase == WorkerPhase::kBlocked) &&
          !pending_input;
@@ -202,6 +238,11 @@ struct WorkerStats {
   uint64_t batches_sent = 0;
   uint64_t batches_received = 0;
   uint64_t records_sent = 0;
+  /// Crash/recovery cycles this worker went through (== final epoch).
+  uint32_t restarts = 0;
+  /// Checkpoints written after the free initial snapshot, and their bytes.
+  uint32_t checkpoints = 0;
+  uint64_t checkpoint_bytes = 0;
   /// Residual of the last completed iteration. Meaningless (0.0) when
   /// residual_known is false — the worker terminated before completing a
   /// single iteration, so it never measured one.
@@ -222,6 +263,16 @@ struct AsyncResult {
   uint64_t update_records = 0;
   uint64_t bytes_sent = 0;
   uint32_t token_circuits = 0;
+  /// Fault-tolerance accounting. Checkpoint writes are write-behind, so
+  /// checkpoint_write_seconds is background DFS time (it bounds snapshot
+  /// freshness, not the failure-free critical path); recovery_seconds IS
+  /// critical-path virtual time — restart delay + checkpoint reads — paid by
+  /// crashed workers.
+  uint32_t worker_restarts = 0;
+  uint32_t checkpoints_written = 0;
+  uint64_t checkpoint_bytes = 0;
+  double checkpoint_write_seconds = 0.0;
+  double recovery_seconds = 0.0;
   /// Max last-iteration residual across workers that completed at least one
   /// iteration. When residual_known is false some worker never iterated
   /// (e.g. max_iterations_per_worker = 0), the global residual is unknown,
@@ -240,13 +291,39 @@ class AsyncEngine {
   /// charged from ctx ops.
   using ComputeFn = std::function<void(uint32_t partition, AsyncContext& ctx)>;
   /// Merges a delivered batch into `partition`'s state. `from_clock` is the
-  /// sender's completed-iteration count when it emitted the batch. Decode
-  /// with ForEachUpdate<U> for the application's update type.
+  /// sender's completed-iteration count when it emitted the batch and
+  /// `from_epoch` its incarnation (bumped per restart) — replacement-
+  /// semantics apps pass both into StateStore::Put so a restarted sender's
+  /// (newer epoch, lower clock) records land. Decode with ForEachUpdate<U>
+  /// for the application's update type. The engine never delivers batches
+  /// from dead epochs or to a worker that is down.
   using ApplyFn = std::function<void(uint32_t partition, uint32_t from,
-                                     uint32_t from_clock, const UpdateBatch& batch)>;
+                                     uint32_t from_clock, uint32_t from_epoch,
+                                     const UpdateBatch& batch)>;
   /// Partitions that `partition` emits updates to (static topology; queried
   /// once at Run). Defaults to all-to-all.
   using OutPeersFn = std::function<std::vector<uint32_t>(uint32_t partition)>;
+  /// Serializes `partition`'s application state into a checkpoint. Must
+  /// capture everything the compute/apply callbacks mutate for that
+  /// partition; delta-filter caches may be skipped if RestoreFn forces a
+  /// re-announce (see below).
+  using SnapshotFn = std::function<void(uint32_t partition, serde::Writer& w)>;
+  /// Rebuilds `partition`'s application state from a checkpoint written by
+  /// SnapshotFn. Must also force the partition's outgoing delta filters to
+  /// re-announce EVERY boundary key on the next iteration: receivers hold
+  /// dead-epoch state this incarnation knows nothing about, and only a full
+  /// re-announcement (epoch-aware StateStore::Put replaces it) closes every
+  /// eps-sized delta-filter gap.
+  using RestoreFn = std::function<void(uint32_t partition, serde::Reader& r)>;
+  /// Notifies `partition` that `restarted_peer` (one of the partitions it
+  /// sends to) lost its in-memory state and resumed from a checkpoint: the
+  /// app must force its delta filter TOWARD that peer so the next iteration
+  /// re-announces every boundary key (the peer's restored view of this
+  /// partition is stale). Apps whose re-announcement cannot cover every key
+  /// can additionally drop the peer's dead-epoch state with
+  /// StateStore::DropPeer. The engine schedules the forced iteration itself.
+  using PeerRestartFn =
+      std::function<void(uint32_t partition, uint32_t restarted_peer)>;
 
   AsyncEngine(cluster::SimCluster& cluster, uint32_t num_partitions,
               AsyncConfig config);
@@ -258,6 +335,9 @@ class AsyncEngine {
   void set_compute(ComputeFn fn) { compute_ = std::move(fn); }
   void set_apply(ApplyFn fn) { apply_ = std::move(fn); }
   void set_out_peers(OutPeersFn fn) { out_peers_ = std::move(fn); }
+  void set_snapshot(SnapshotFn fn) { snapshot_ = std::move(fn); }
+  void set_restore(RestoreFn fn) { restore_ = std::move(fn); }
+  void set_on_peer_restart(PeerRestartFn fn) { on_peer_restart_ = std::move(fn); }
 
   /// Runs all workers to global termination (drains virtual time).
   AsyncResult Run();
@@ -274,10 +354,20 @@ class AsyncEngine {
     uint32_t iterations = 0;  // completed iterations == this worker's clock
     bool pending_input = false;
     bool capped = false;
+    /// One-shot cap bypass granted by RestoreWorker to senders-to-a-restarted
+    /// peer: the recovery re-announcement must flow even from a worker that
+    /// hit its iteration cap. Cleared when the iteration begins.
+    bool force_iteration = false;
+    /// Incarnation: bumped at every crash. Stamped into outgoing batches and
+    /// into in-flight engine callbacks (slot grants, compute completions) so
+    /// events belonging to a dead incarnation are recognized and dropped.
+    uint32_t epoch = 0;
     ProgressLedger ledger;
     uint64_t ops = 0;
     uint64_t merge_ops = 0;
     uint64_t records_sent = 0;
+    uint32_t checkpoints = 0;
+    uint64_t checkpoint_bytes = 0;
     /// Records delivered since the last BeginCompute; their merge cost is
     /// charged into the next iteration's virtual time.
     uint64_t unmerged_records = 0;
@@ -290,11 +380,28 @@ class AsyncEngine {
   void BuildTopology();
   bool KeepaliveDue(const Worker& w, uint32_t p) const;
   void TryStartIteration(uint32_t p);
-  void BeginCompute(uint32_t p);
-  void FinishCompute(uint32_t p, uint64_t ops, uint64_t merge_ops,
-                     double residual);
+  void BeginCompute(uint32_t p, uint32_t epoch);
+  void FinishCompute(uint32_t p, uint32_t epoch, uint64_t ops,
+                     uint64_t merge_ops, double residual);
   void OnBatchDelivered(uint32_t to, uint32_t from, uint32_t from_clock,
-                        const UpdateBatch& batch);
+                        uint32_t from_epoch, const UpdateBatch& batch);
+
+  // --- checkpoint/replay -----------------------------------------------------
+  /// Serializes worker `p`'s full state (engine record + app payload) into a
+  /// WorkerSnapshot and hands it to the checkpoint store. free_write marks
+  /// the iteration-0 snapshot (the staged input, already durable).
+  void TakeCheckpoint(uint32_t p, bool free_write);
+  /// Arms worker `p`'s next Poisson crash timer (no-op when injection is off).
+  void ScheduleNextCrash(uint32_t p);
+  /// Kills worker `p`: bumps its epoch, frees its slot if it held one, picks
+  /// the restore target among checkpoints durable *now* (aborting in-flight
+  /// writes), and schedules RestoreWorker after the restart delay plus the
+  /// checkpoint read time.
+  void CrashWorker(uint32_t p);
+  /// Rebuilds worker `p` from its checkpoint, resets peers' gating view of
+  /// its rolled-back clock, refreshes its own gating view from current
+  /// clocks, and forces every sender-to-`p` to re-announce.
+  void RestoreWorker(uint32_t p, uint32_t epoch);
 
   // --- termination token -----------------------------------------------------
   std::string TokenMethod() const { return "amr.async." + config_.name + ".token"; }
@@ -310,13 +417,22 @@ class AsyncEngine {
   ComputeFn compute_;
   ApplyFn apply_;
   OutPeersFn out_peers_;
+  SnapshotFn snapshot_;
+  RestoreFn restore_;
+  PeerRestartFn on_peer_restart_;
 
   std::vector<Worker> workers_;
   /// Per partition: peers it sends to each iteration (symmetrized under a
   /// bounded staleness window so clocks propagate everywhere they gate).
   std::vector<std::vector<uint32_t>> send_peers_;
+  /// Per partition p: the partitions q with p in send_peers_[q] — the
+  /// workers that must re-announce when p restarts.
+  std::vector<std::vector<uint32_t>> senders_to_;
   /// Per partition: observed peer clocks (gating view; bounded staleness only).
   std::vector<ClockTable> clocks_;
+  CheckpointStore checkpoints_;
+  uint32_t total_restarts_ = 0;
+  double recovery_seconds_ = 0.0;
 
   bool running_ = false;
   bool handlers_registered_ = false;

@@ -1,0 +1,55 @@
+#include "async/checkpoint.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace asyncmr::async {
+
+void CheckpointStore::Write(uint32_t p, serde::Buffer encoded, double now,
+                            bool free_write) {
+  AMR_CHECK(p < slots_.size()) << "checkpoint for unknown partition " << p;
+  auto& slots = slots_[p];
+
+  // Prune: among snapshots already durable, only the newest can ever be the
+  // restore target again (LatestDurable picks the newest durable one and
+  // durability only accrues with time).
+  size_t last_durable = slots.size();
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].durable_at <= now) last_durable = i;
+  }
+  if (last_durable != slots.size() && last_durable > 0) {
+    slots.erase(slots.begin(), slots.begin() + last_durable);
+  }
+
+  Slot slot;
+  const double write_s = free_write ? 0.0 : dfs_.EstimateWriteSeconds(encoded.size());
+  slot.durable_at = now + write_s;
+  if (!free_write) {
+    ++stats_.checkpoints_written;
+    stats_.bytes_written += encoded.size();
+    stats_.write_seconds += write_s;
+  }
+  slot.encoded = std::move(encoded);
+  slots.push_back(std::move(slot));
+}
+
+const serde::Buffer* CheckpointStore::LatestDurable(uint32_t p, double at) const {
+  AMR_CHECK(p < slots_.size()) << "checkpoint for unknown partition " << p;
+  const auto& slots = slots_[p];
+  for (size_t i = slots.size(); i > 0; --i) {
+    if (slots[i - 1].durable_at <= at) return &slots[i - 1].encoded;
+  }
+  return nullptr;
+}
+
+void CheckpointStore::AbortPending(uint32_t p, double at) {
+  AMR_CHECK(p < slots_.size()) << "checkpoint for unknown partition " << p;
+  auto& slots = slots_[p];
+  slots.erase(std::remove_if(slots.begin(), slots.end(),
+                             [at](const Slot& s) { return s.durable_at > at; }),
+              slots.end());
+}
+
+}  // namespace asyncmr::async

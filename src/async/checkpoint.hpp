@@ -1,0 +1,122 @@
+// Checkpoint/replay fault tolerance for the barrier-free async engine.
+//
+// The wave engines inherit MapReduce's fault tolerance for free: tasks are
+// pure, so a failed attempt is simply re-executed (deterministic replay,
+// charged in virtual time). The async engine's workers are long-lived and
+// stateful, so they recover the way asynchronous parameter-server systems do
+// instead: every worker's mutable state — app state, iteration clock, peer
+// clock table, unpaid merge ledger — is periodically captured behind
+// a serializable WorkerSnapshot and persisted; a crashed worker restarts
+// from its last *durable* snapshot with a bumped epoch.
+//
+// Persistence is write-behind: a worker snapshots synchronously (the record
+// is consistent as of the end of an iteration) but the DFS write streams in
+// the background, so checkpointing never blocks or reorders the failure-free
+// timeline — with crash rate 0 a run is bit-identical to one with
+// checkpointing disabled. The write is not free, though: its duration comes
+// from the DFS cost model (Dfs::EstimateWriteSeconds, the same closed-form
+// simplification the cluster applies to map input fetches), and a snapshot
+// only becomes restorable once that virtual-time horizon passes. A crash
+// aborts the dead incarnation's in-flight writes (HDFS drops a dying
+// writer's pipeline) and recovery pays the restart delay plus the checkpoint
+// read back through the same cost model — so checkpoint bytes are charged
+// into virtual time exactly where a real cluster pays them: on the recovery
+// path, and in the freshness of the state a replacement can resume from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfs/dfs.hpp"
+#include "serde/serde.hpp"
+
+namespace asyncmr::async {
+
+/// Everything a worker needs to resume: the engine-level record plus the
+/// application's opaque state payload (written by the app's snapshot
+/// callback through the same serde layer as its wire records). Delta-filter
+/// caches are deliberately NOT captured: a restored worker force-re-announces
+/// instead, which is always safe and also heals its peers' views of the dead
+/// epoch.
+struct WorkerSnapshot {
+  uint32_t partition = 0;
+  /// Incarnation that wrote the snapshot (== restarts at capture time).
+  uint32_t epoch = 0;
+  /// Completed-iteration clock at capture time.
+  uint32_t iterations = 0;
+  /// Delivered records whose merge cost was still unpaid at capture time.
+  /// (Batches are applied into app_state at delivery, so pending input is
+  /// already inside the app payload; restore forces a recompute regardless,
+  /// because input delivered after the capture died with the process.)
+  uint64_t unmerged_records = 0;
+  /// Ledger residual of the last completed iteration (+inf sentinel when the
+  /// worker had not iterated yet).
+  double last_residual = 0.0;
+  /// Observed peer clocks (gating view; empty under unbounded staleness).
+  std::vector<uint32_t> peer_clocks;
+  /// The application's serialized per-partition state.
+  std::string app_state;
+
+  AMR_SERDE_FIELDS(partition, epoch, iterations, unmerged_records,
+                   last_residual, peer_clocks, app_state)
+};
+
+/// Per-run checkpoint persistence with write-behind durability semantics.
+/// Holds each worker's encoded snapshots together with the virtual time at
+/// which their DFS write completes; crash recovery asks for the newest
+/// snapshot that was durable when the worker died.
+class CheckpointStore {
+ public:
+  struct Stats {
+    uint64_t checkpoints_written = 0;
+    uint64_t bytes_written = 0;
+    /// Total background write time charged by the DFS cost model. Not on the
+    /// failure-free critical path (write-behind), but it bounds snapshot
+    /// freshness and is reported so the cost is visible.
+    double write_seconds = 0.0;
+  };
+
+  explicit CheckpointStore(dfs::Dfs& dfs) : dfs_(dfs) {}
+
+  void ResetPartitions(uint32_t num_partitions) {
+    slots_.assign(num_partitions, {});
+  }
+
+  /// Persists `encoded` as partition `p`'s snapshot written at virtual time
+  /// `now`; it becomes restorable at now + EstimateWriteSeconds(bytes).
+  /// The initial iteration-0 snapshot passes free_write = true: it is the
+  /// staged job input, already durable in the DFS before the run starts.
+  void Write(uint32_t p, serde::Buffer encoded, double now, bool free_write);
+
+  /// The newest snapshot of `p` durable at time `at`; never null once the
+  /// initial snapshot is written. Returns encoded bytes (decode with
+  /// serde::Decode<WorkerSnapshot>).
+  const serde::Buffer* LatestDurable(uint32_t p, double at) const;
+
+  /// Drops `p`'s snapshots whose writes had not completed by `at`: the dying
+  /// incarnation's in-flight pipeline is aborted.
+  void AbortPending(uint32_t p, double at);
+
+  /// Read-back duration for `encoded` charged into a worker's recovery.
+  double ReadSeconds(const serde::Buffer& encoded) const {
+    return dfs_.EstimateReadSeconds(encoded.size());
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    serde::Buffer encoded;
+    double durable_at = 0.0;
+  };
+
+  dfs::Dfs& dfs_;
+  /// Per partition, ordered by write (and thus durable_at) time. Pruned on
+  /// write: only the newest already-durable snapshot plus pending ones are
+  /// ever restorable again.
+  std::vector<std::vector<Slot>> slots_;
+  Stats stats_;
+};
+
+}  // namespace asyncmr::async

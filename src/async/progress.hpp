@@ -10,7 +10,9 @@
 //   sent/recv  — cumulative update batches sent and received,
 //   tainted    — some visited worker changed state since the token's
 //                previous visit (Safra's "black machine"),
-//   quiescent  — every visited worker was idle or gated when visited.
+//   quiescent  — every visited worker was idle or gated when visited,
+//   restarts   — sum of visited workers' crash/recovery counts (a circuit
+//                that misses a restart is stale and must re-circulate).
 //
 // A circuit proves global termination when it returns untainted with all
 // workers quiescent and sent == received (no update in flight anywhere):
@@ -42,9 +44,14 @@ struct ProgressToken {
   /// the aggregate. A terminating circuit with residual_known == false ends
   /// the run converged = false (the residual cannot prove convergence).
   bool residual_known = true;
+  /// Sum of visited workers' restart counts (crash/recovery epochs). A
+  /// completed circuit whose sum trails the engine's total proves a worker
+  /// crashed *after* the token's visit — its quiescence observation is stale
+  /// — so the circuit is treated as tainted and re-circulates.
+  uint32_t restarts = 0;
 
   AMR_SERDE_FIELDS(position, circuit, residual, sent, received, tainted,
-                   all_quiescent, residual_known)
+                   all_quiescent, residual_known, restarts)
 
   /// Does this completed circuit prove global termination?
   bool ProvesTermination() const {

@@ -14,6 +14,15 @@
 //    late stale record must be rejected, or it would overwrite the fresher
 //    value and the sender's delta filter would never repair it.
 //
+// Both carry an *epoch* alongside the clock for checkpoint/replay fault
+// tolerance: a worker that crashes restarts from its last checkpoint with a
+// bumped epoch and an iteration clock that rolled BACK, so its re-sent
+// records carry (newer epoch, lower clock). Versions compare
+// lexicographically by (epoch, clock): a newer epoch always wins — the clock
+// guard alone would wrongly reject the restarted sender's fresh state as
+// stale — while a record from a dead epoch is rejected even if its clock is
+// higher, because the sender's post-restart trajectory supersedes it.
+//
 // Staleness semantics (SSP-style): with bound S, a worker may start its k-th
 // iteration (1-based) only once every tracked peer has completed at least
 // k - 1 - S iterations. The gate bounds *lag*, not *lead*: iteration k is
@@ -33,6 +42,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "serde/serde.hpp"
 
 namespace asyncmr::async {
 
@@ -81,6 +91,22 @@ class ClockTable {
     if (clock <= clocks_[i]) return false;
     clocks_[i] = clock;
     return true;
+  }
+
+  /// Forcibly sets `peer`'s clock, allowing a decrease: a crashed peer
+  /// resumed from a checkpoint at a lower iteration clock, and the staleness
+  /// gate must see the rollback or it would admit iterations the SSP lag
+  /// bound no longer justifies against that peer.
+  void Reset(uint32_t peer, uint32_t clock) { clocks_[IndexOf(peer)] = clock; }
+
+  /// Observed clocks, parallel to peers() — the mutable slice of this table,
+  /// captured into worker checkpoints.
+  const std::vector<uint32_t>& clock_values() const { return clocks_; }
+
+  /// Restores the observed clocks from a checkpoint (peer list must match).
+  void RestoreClockValues(const std::vector<uint32_t>& values) {
+    AMR_CHECK_EQ(values.size(), clocks_.size());
+    clocks_ = values;
   }
 
   uint32_t clock_of(uint32_t peer) const { return clocks_[IndexOf(peer)]; }
@@ -141,10 +167,11 @@ class StateStore {
  public:
   using Key = uint32_t;
 
-  /// A stored value plus the sender-iteration clock it was produced at.
+  /// A stored value plus the (epoch, clock) version it was produced at.
   struct Entry {
     V value;
     uint32_t clock = 0;
+    uint32_t epoch = 0;  // sender incarnation (bumped per restart)
   };
 
   /// Outcome of a Put: whether the write took effect (false = rejected as a
@@ -160,24 +187,42 @@ class StateStore {
       : clocks_(std::move(peers)), views_(clocks_.peers().size()) {}
 
   /// Records `value` as peer `from`'s state for `key`, produced at the
-  /// sender's iteration `clock`. A write older than the stored entry's clock
-  /// is rejected (see file comment); an equal clock is accepted (idempotent
-  /// redelivery).
-  PutResult Put(uint32_t from, Key key, V value, uint32_t clock) {
+  /// sender's iteration `clock` in its incarnation `epoch`. Versions order
+  /// lexicographically by (epoch, clock): a write older than the stored
+  /// entry's version is rejected (see file comment); an equal version is
+  /// accepted (idempotent redelivery), and a newer epoch is accepted even at
+  /// a lower clock (the sender restarted from a checkpoint).
+  PutResult Put(uint32_t from, Key key, V value, uint32_t clock,
+                uint32_t epoch = 0) {
     auto& view = views_[clocks_.IndexOf(from)];
     PutResult result;
     const auto it = view.find(key);
     if (it == view.end()) {
-      view.emplace(key, Entry{std::move(value), clock});
+      view.emplace(key, Entry{std::move(value), clock, epoch});
       result.applied = true;
       return result;
     }
-    if (clock < it->second.clock) return result;  // stale delivery
+    if (epoch < it->second.epoch ||
+        (epoch == it->second.epoch && clock < it->second.clock)) {
+      return result;  // stale delivery (out-of-order or dead-epoch)
+    }
     result.applied = true;
     result.replaced = std::move(it->second.value);
     it->second.value = std::move(value);
     it->second.clock = clock;
+    it->second.epoch = epoch;
     return result;
+  }
+
+  /// Removes every entry stored from `from`, calling fn(key, value) per
+  /// removed entry so callers can unwind incremental aggregates. Used when
+  /// `from` restarts: its stored state belongs to a dead epoch, and its
+  /// replacement re-announces from its restored checkpoint.
+  template <typename Fn>
+  void DropPeer(uint32_t from, Fn&& fn) {
+    auto& view = views_[clocks_.IndexOf(from)];
+    for (auto& [key, entry] : view) fn(key, entry.value);
+    view.clear();
   }
 
   void ObserveClock(uint32_t from, uint32_t clock) { clocks_.Observe(from, clock); }
@@ -196,6 +241,59 @@ class StateStore {
     size_t n = 0;
     for (const auto& view : views_) n += view.size();
     return n;
+  }
+
+  /// Serializes the mutable state (observed clocks + every per-peer view)
+  /// into a worker checkpoint. Entries are written in sorted key order so
+  /// the byte image — and thus the charged checkpoint size — is independent
+  /// of hash-map layout. Requires Serde<V>.
+  void SnapshotTo(serde::Writer& w) const {
+    serde::Serde<std::vector<uint32_t>>::Write(w, clocks_.clock_values());
+    std::vector<Key> keys;
+    for (const auto& view : views_) {
+      w.WriteVarU64(view.size());
+      keys.clear();
+      keys.reserve(view.size());
+      for (const auto& [key, entry] : view) keys.push_back(key);
+      std::sort(keys.begin(), keys.end());
+      for (Key key : keys) {
+        const Entry& entry = view.at(key);
+        w.WriteVarU64(key);
+        w.WriteVarU64(entry.clock);
+        w.WriteVarU64(entry.epoch);
+        serde::Serde<V>::Write(w, entry.value);
+      }
+    }
+  }
+
+  /// Restores the state written by SnapshotTo (the peer list is structural
+  /// and must already match).
+  Status RestoreFrom(serde::Reader& r) {
+    std::vector<uint32_t> clock_values;
+    AMR_RETURN_IF_ERROR(
+        serde::Serde<std::vector<uint32_t>>::Read(r, clock_values));
+    if (clock_values.size() != clocks_.peers().size()) {
+      return Status::DataLoss("state-store checkpoint peer count mismatch");
+    }
+    clocks_.RestoreClockValues(clock_values);
+    for (auto& view : views_) {
+      uint64_t n = 0;
+      AMR_RETURN_IF_ERROR(r.ReadVarU64(n));
+      view.clear();
+      view.reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t key = 0, clock = 0, epoch = 0;
+        AMR_RETURN_IF_ERROR(r.ReadVarU64(key));
+        AMR_RETURN_IF_ERROR(r.ReadVarU64(clock));
+        AMR_RETURN_IF_ERROR(r.ReadVarU64(epoch));
+        Entry entry;
+        entry.clock = static_cast<uint32_t>(clock);
+        entry.epoch = static_cast<uint32_t>(epoch);
+        AMR_RETURN_IF_ERROR(serde::Serde<V>::Read(r, entry.value));
+        view.emplace(static_cast<Key>(key), std::move(entry));
+      }
+    }
+    return Status::Ok();
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 
@@ -355,6 +356,13 @@ void SimCluster::ReleaseSlot(net::NodeId node, SlotType type) {
 
 uint32_t SimCluster::free_slots(net::NodeId node, SlotType type) const {
   return type == SlotType::kMap ? free_map_slots_[node] : free_reduce_slots_[node];
+}
+
+double SimCluster::NextWorkerCrashDelay() {
+  if (spec_.worker_crash_rate <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return rng_.NextExponential(1.0 / spec_.worker_crash_rate);
 }
 
 void SimCluster::RunWave(std::vector<TaskSpec> tasks, SlotType type,

@@ -68,6 +68,13 @@ class SimCluster {
   /// Free slots of a type on a node right now (visible for tests).
   uint32_t free_slots(net::NodeId node, SlotType type) const;
 
+  /// Samples the virtual-time delay until one long-lived worker's next crash:
+  /// exponential with rate spec().worker_crash_rate, +infinity when crash
+  /// injection is disabled (rate 0 — no RNG draw, preserving the stream).
+  /// Crash schedules come from the cluster RNG like task failures do, so the
+  /// same spec.seed reproduces the same crashes.
+  double NextWorkerCrashDelay();
+
  private:
   class WaveRunner;
 

@@ -46,6 +46,12 @@ std::string ClusterSpec::Describe() const {
      << total_reduce_slots() << " reduce slots, job overhead "
      << job_submit_overhead_s << " s, task startup " << task_startup_s
      << " s, heartbeat " << heartbeat_interval_s << " s";
+  if (task_failure_prob > 0.0) {
+    os << ", task failure prob " << task_failure_prob;
+  }
+  if (worker_crash_rate > 0.0) {
+    os << ", worker crash rate " << worker_crash_rate << "/s";
+  }
   return os.str();
 }
 

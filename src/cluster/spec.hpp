@@ -51,6 +51,19 @@ struct ClusterSpec {
   /// Probability an attempt fails partway (transient; Hadoop re-executes).
   double task_failure_prob = 0.0;
   uint32_t max_task_attempts = 4;
+  /// Poisson crash rate for the async engine's long-lived workers, in crashes
+  /// per worker per virtual second (0 = no worker crashes). Wave tasks get
+  /// fault tolerance from deterministic re-execution (task_failure_prob
+  /// above); async workers instead restart from their last durable checkpoint
+  /// (see src/async/checkpoint.hpp). Shares the cluster seed discipline:
+  /// rate 0 draws nothing from the RNG, so failure-free runs are bit-identical
+  /// to runs of a build without crash injection.
+  double worker_crash_rate = 0.0;
+  /// Downtime between an async worker's crash and the start of its
+  /// checkpoint restore: replacement process spawn + re-localization, the
+  /// long-lived-worker analogue of task_startup_s. The checkpoint read is
+  /// charged on top from the DFS cost model.
+  double worker_restart_delay_s = 3.0;
 
   // --- speculative execution -------------------------------------------------
   /// Re-launch a running task elsewhere once its elapsed time exceeds this

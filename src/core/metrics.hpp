@@ -19,6 +19,7 @@ struct RoundTrace {
   uint64_t shuffle_bytes = 0;     // bytes through the network (global sync)
   uint64_t map_output_bytes = 0;
   uint32_t local_iterations = 0;  // partial syncs across all gmaps (0 = general)
+  uint32_t failed_attempts = 0;   // task attempts lost to injected failures
   double residual = 0.0;          // convergence measure after this round
 
   double seconds() const { return end_seconds - start_seconds; }
@@ -64,6 +65,14 @@ class RunTrace {
   uint64_t total_shuffle_bytes() const {
     uint64_t sum = 0;
     for (const auto& r : rounds_) sum += r.shuffle_bytes;
+    return sum;
+  }
+
+  /// Task attempts lost to fault injection across the run — the retry count
+  /// deterministic replay pays for (ClusterSpec::task_failure_prob).
+  uint64_t total_failed_attempts() const {
+    uint64_t sum = 0;
+    for (const auto& r : rounds_) sum += r.failed_attempts;
     return sum;
   }
 

@@ -181,6 +181,23 @@ void Dfs::ReadFile(net::NodeId reader, const std::string& path,
   });
 }
 
+double Dfs::EstimateAccessSeconds(uint64_t bytes) const {
+  const uint64_t nblocks =
+      std::max<uint64_t>(1, (bytes + config_.block_size_bytes - 1) /
+                                config_.block_size_bytes);
+  return config_.namenode_latency_s +
+         static_cast<double>(nblocks) * config_.block_setup_latency_s +
+         DiskSeconds(bytes);
+}
+
+double Dfs::EstimateWriteSeconds(uint64_t bytes) const {
+  return EstimateAccessSeconds(bytes);
+}
+
+double Dfs::EstimateReadSeconds(uint64_t bytes) const {
+  return EstimateAccessSeconds(bytes);
+}
+
 Status Dfs::Delete(const std::string& path) {
   AMR_RETURN_IF_ERROR(namenode_.Delete(path));
   storage_.erase(path);

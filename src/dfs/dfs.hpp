@@ -74,6 +74,19 @@ class Dfs {
     return namenode_.CorruptReplica(path, replica_index);
   }
 
+  /// Closed-form duration of writing `bytes` through the replication
+  /// pipeline: namenode round trip, per-block pipeline setup, and disk
+  /// streaming (the replica hops overlap HDFS-style, so disk time counts
+  /// once). Used for write-behind persistence — async worker checkpoints —
+  /// that must be costed without scheduling flows, the same simplification
+  /// the cluster applies to map input fetches.
+  double EstimateWriteSeconds(uint64_t bytes) const;
+
+  /// Closed-form duration of reading `bytes` back (namenode round trip,
+  /// per-block setup, one disk pass). The async engine charges this into a
+  /// crashed worker's recovery time.
+  double EstimateReadSeconds(uint64_t bytes) const;
+
   const DfsConfig& config() const { return config_; }
   const DfsStats& stats() const { return stats_; }
 
@@ -85,6 +98,11 @@ class Dfs {
   double DiskSeconds(uint64_t bytes) const {
     return static_cast<double>(bytes) / config_.disk_bandwidth_Bps;
   }
+
+  /// Shared body of the write/read estimates (today reads and writes cost
+  /// the same: metadata round trip + per-block setup + one disk pass; the
+  /// public names exist so the two can diverge without touching callers).
+  double EstimateAccessSeconds(uint64_t bytes) const;
 
   /// Picks the cheapest healthy replica for a reader; nullopt if all corrupt.
   static std::optional<uint32_t> PickReplica(const BlockMeta& block,

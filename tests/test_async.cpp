@@ -12,7 +12,9 @@
 #include "apps/kmeans.hpp"
 #include "apps/pagerank.hpp"
 #include "apps/sssp.hpp"
+#include "async/checkpoint.hpp"
 #include "async/state_store.hpp"
+#include "common/rng.hpp"
 #include "graph/generator.hpp"
 #include "graph/partitioner.hpp"
 
@@ -98,6 +100,67 @@ TEST(StateStore, PutReturnsReplacedValue) {
             std::nullopt);  // per-peer views
   EXPECT_EQ(store.view(0).at(42).value, 2.5);
   EXPECT_EQ(store.total_entries(), 2u);
+}
+
+TEST(StateStore, EpochAwareVersioningForRestartedSenders) {
+  // A crashed worker restarts from a checkpoint with a bumped epoch and a
+  // rolled-back clock. Its re-sent records (newer epoch, LOWER clock) must
+  // land — the clock guard alone would reject them as stale — while records
+  // from its dead epoch (in flight at the crash) must be rejected even with
+  // a HIGHER clock: the restarted trajectory supersedes them, and the reborn
+  // delta filter could never repair an overwrite it does not know about.
+  async::StateStore<double> store({0});
+  EXPECT_TRUE(store.Put(0, 7, 1.0, /*clock=*/9, /*epoch=*/0).applied);
+  // Restarted sender: epoch 1, clock rolled back to 3.
+  const auto reborn = store.Put(0, 7, 2.0, /*clock=*/3, /*epoch=*/1);
+  EXPECT_TRUE(reborn.applied);
+  EXPECT_EQ(reborn.replaced, std::optional<double>(1.0));
+  EXPECT_EQ(store.view(0).at(7).epoch, 1u);
+  EXPECT_EQ(store.view(0).at(7).clock, 3u);
+  // Dead-epoch straggler with a high clock: rejected.
+  const auto stale = store.Put(0, 7, 9.0, /*clock=*/42, /*epoch=*/0);
+  EXPECT_FALSE(stale.applied);
+  EXPECT_EQ(store.view(0).at(7).value, 2.0);
+  // Within the new epoch the clock guard works as before.
+  EXPECT_FALSE(store.Put(0, 7, 9.0, /*clock=*/2, /*epoch=*/1).applied);
+  EXPECT_TRUE(store.Put(0, 7, 4.0, /*clock=*/4, /*epoch=*/1).applied);
+}
+
+TEST(StateStore, DropPeerUnwindsEntries) {
+  async::StateStore<double> store({3, 8});
+  store.Put(3, 1, 0.5, 1);
+  store.Put(3, 2, 1.5, 1);
+  store.Put(8, 1, 7.0, 1);
+  double dropped = 0.0;
+  store.DropPeer(3, [&](uint32_t /*key*/, double value) { dropped += value; });
+  EXPECT_EQ(dropped, 2.0);
+  EXPECT_EQ(store.view(3).size(), 0u);
+  EXPECT_EQ(store.view(8).size(), 1u);  // other peers untouched
+}
+
+TEST(StateStore, SnapshotRestoreRoundTrip) {
+  async::StateStore<double> store({2, 5});
+  store.Put(2, 10, 1.25, /*clock=*/3, /*epoch=*/1);
+  store.Put(2, 11, -4.0, /*clock=*/2);
+  store.Put(5, 10, 9.5, /*clock=*/7);
+  store.ObserveClock(5, 7);
+
+  serde::Buffer buf;
+  serde::Writer w(buf);
+  store.SnapshotTo(w);
+
+  async::StateStore<double> restored({2, 5});
+  restored.Put(2, 99, 123.0, 1);  // overwritten state must not survive
+  serde::Reader r(buf);
+  ASSERT_TRUE(restored.RestoreFrom(r).ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.total_entries(), 3u);
+  EXPECT_EQ(restored.view(2).at(10).value, 1.25);
+  EXPECT_EQ(restored.view(2).at(10).epoch, 1u);
+  EXPECT_EQ(restored.view(2).at(11).clock, 2u);
+  EXPECT_EQ(restored.view(5).at(10).value, 9.5);
+  EXPECT_EQ(restored.clocks().clock_of(5), 7u);
+  EXPECT_EQ(restored.view(2).count(99), 0u);
 }
 
 TEST(StateStore, RejectsStaleOutOfOrderWrites) {
@@ -216,6 +279,229 @@ TEST(QuiescentForTermination, BlockedWorkerWithPendingInputIsNotQuiescent) {
   EXPECT_TRUE(QuiescentForTermination(WorkerPhase::kBlocked, true, true));
 }
 
+TEST(QuiescentForTermination, WorkerMidRestartIsNotQuiescent) {
+  using async::QuiescentForTermination;
+  using async::WorkerPhase;
+  // A crashed worker awaiting its checkpoint restore WILL recompute once it
+  // resumes — a token circuit that counted it done could prove "termination"
+  // out from under the recovery. This holds even for a worker that was
+  // capped when it died: it restores to a rolled-back, un-capped clock.
+  EXPECT_FALSE(QuiescentForTermination(WorkerPhase::kDown,
+                                       /*capped=*/false, /*pending_input=*/false));
+  EXPECT_FALSE(QuiescentForTermination(WorkerPhase::kDown, false, true));
+  EXPECT_FALSE(QuiescentForTermination(WorkerPhase::kDown, true, false));
+  EXPECT_FALSE(QuiescentForTermination(WorkerPhase::kDown, true, true));
+}
+
+// --- checkpoint/replay -------------------------------------------------------
+
+TEST(WorkerSnapshot, SerdeRoundTrip) {
+  async::WorkerSnapshot snap;
+  snap.partition = 5;
+  snap.epoch = 2;
+  snap.iterations = 17;
+  snap.unmerged_records = 321;
+  snap.last_residual = 0.125;
+  snap.peer_clocks = {4, 17, 0};
+  snap.app_state = std::string("\x01\x00\xff payload", 11);
+
+  const auto decoded = serde::Decode<async::WorkerSnapshot>(serde::Encode(snap));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().partition, 5u);
+  EXPECT_EQ(decoded.value().epoch, 2u);
+  EXPECT_EQ(decoded.value().iterations, 17u);
+  EXPECT_EQ(decoded.value().unmerged_records, 321u);
+  EXPECT_EQ(decoded.value().last_residual, 0.125);
+  EXPECT_EQ(decoded.value().peer_clocks, snap.peer_clocks);
+  EXPECT_EQ(decoded.value().app_state, snap.app_state);
+}
+
+TEST(CheckpointStore, WriteBehindDurabilityAndAbort) {
+  cluster::SimCluster sim(QuietSpec());
+  async::CheckpointStore store(sim.dfs());
+  store.ResetPartitions(1);
+
+  serde::Buffer initial;
+  initial.AppendByte(1);
+  store.Write(0, std::move(initial), /*now=*/0.0, /*free_write=*/true);
+  // The free initial snapshot is durable immediately.
+  ASSERT_NE(store.LatestDurable(0, 0.0), nullptr);
+  EXPECT_EQ(store.stats().checkpoints_written, 0u);
+
+  serde::Buffer big;
+  for (int i = 0; i < 4096; ++i) big.AppendByte(2);
+  store.Write(0, std::move(big), /*now=*/10.0, /*free_write=*/false);
+  EXPECT_EQ(store.stats().checkpoints_written, 1u);
+  EXPECT_EQ(store.stats().bytes_written, 4096u);
+  EXPECT_GT(store.stats().write_seconds, 0.0);
+
+  // Until the write-behind horizon passes, recovery still sees the initial
+  // snapshot; afterwards the new one.
+  const serde::Buffer* at_write = store.LatestDurable(0, 10.0);
+  ASSERT_NE(at_write, nullptr);
+  EXPECT_EQ(at_write->size(), 1u);
+  const double durable_at = 10.0 + sim.dfs().EstimateWriteSeconds(4096);
+  const serde::Buffer* later = store.LatestDurable(0, durable_at + 1e-9);
+  ASSERT_NE(later, nullptr);
+  EXPECT_EQ(later->size(), 4096u);
+
+  // A crash mid-write aborts the dying incarnation's pipeline.
+  serde::Buffer pending;
+  pending.AppendByte(3);
+  pending.AppendByte(3);
+  store.Write(0, std::move(pending), /*now=*/durable_at + 1.0, /*free_write=*/false);
+  store.AbortPending(0, durable_at + 1.0);
+  const serde::Buffer* after_abort = store.LatestDurable(0, 1e18);
+  ASSERT_NE(after_abort, nullptr);
+  EXPECT_EQ(after_abort->size(), 4096u);
+}
+
+TEST(AsyncPageRank, CheckpointingOffTheCriticalPathAtCrashRateZero) {
+  // The acceptance bar: with crash rate 0 and checkpointing enabled, results
+  // AND the virtual-time trace are bit-identical to checkpointing disabled —
+  // checkpoint writes are write-behind, so their cost shows up only in the
+  // explicit accounting (and in recovery when crashes actually happen).
+  const auto g = TestGraph(1500, 23);
+  const auto part = graph::MultilevelPartition(g, 8);
+  auto run = [&](uint32_t interval, async::AsyncResult* stats, uint64_t* fired) {
+    apps::PageRankConfig config;
+    config.async_checkpoint_interval = interval;
+    cluster::SimCluster sim(QuietSpec());
+    auto result =
+        apps::AsyncPageRank(sim, g, part, config, async::kUnboundedStaleness, stats);
+    *fired = sim.queue().fired_count();
+    return result;
+  };
+  async::AsyncResult with_stats, without_stats;
+  uint64_t with_fired = 0, without_fired = 0;
+  const auto with = run(4, &with_stats, &with_fired);
+  const auto without = run(0, &without_stats, &without_fired);
+
+  EXPECT_EQ(MaxDiff(with.ranks, without.ranks), 0.0);
+  EXPECT_EQ(with_fired, without_fired);
+  EXPECT_DOUBLE_EQ(with_stats.end_seconds, without_stats.end_seconds);
+  EXPECT_EQ(with_stats.total_iterations, without_stats.total_iterations);
+  EXPECT_EQ(with_stats.update_batches, without_stats.update_batches);
+  // The cost is explicitly charged, not hidden: checkpoints were written and
+  // their background DFS time accounted.
+  EXPECT_EQ(with_stats.worker_restarts, 0u);
+  EXPECT_GT(with_stats.checkpoints_written, 0u);
+  EXPECT_GT(with_stats.checkpoint_bytes, 0u);
+  EXPECT_GT(with_stats.checkpoint_write_seconds, 0.0);
+  EXPECT_EQ(with_stats.recovery_seconds, 0.0);
+  EXPECT_EQ(without_stats.checkpoints_written, 0u);
+}
+
+cluster::ClusterSpec CrashySpec(double rate) {
+  auto spec = QuietSpec();
+  spec.worker_crash_rate = rate;
+  // Test-scale runs converge in under a virtual second, so the default 3 s
+  // respawn would make every crash an extinction-level event (recovery
+  // windows spawn more crashes than they retire). A short respawn keeps the
+  // crash/recovery dynamics observable AND terminating at rates high enough
+  // to actually fire within the run.
+  spec.worker_restart_delay_s = 0.5;
+  return spec;
+}
+
+TEST(AsyncPageRank, CrashRecoveryConvergesToOracle) {
+  // The acceptance bar: a run with >= 1 injected crash still terminates (no
+  // hung Safra circuit — Run() returning at all proves the token circuit
+  // drained) and converges to the serial oracle.
+  const auto g = TestGraph(1500);
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::PageRankConfig config;
+  config.async_checkpoint_interval = 4;
+  cluster::SimCluster sim(CrashySpec(0.6));
+  async::AsyncResult stats;
+  const auto result =
+      apps::AsyncPageRank(sim, g, part, config, async::kUnboundedStaleness, &stats);
+  EXPECT_GE(stats.worker_restarts, 1u);
+  EXPECT_GT(stats.recovery_seconds, 0.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(stats.residual_known);
+  EXPECT_LT(MaxDiff(result.ranks, apps::SerialPageRank(g, config)), 1e-3);
+}
+
+TEST(AsyncPageRank, CrashRecoveryUnderBoundedStalenessConvergesToOracle) {
+  // Bounded window + crashes exercises the clock rollback machinery: peers'
+  // gating views are Reset to the restored clock and the restarted worker's
+  // own view is refreshed, or the SSP gate would deadlock against peers that
+  // converged and went silent.
+  const auto g = TestGraph(1500, 21);
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::PageRankConfig config;
+  config.async_checkpoint_interval = 4;
+  cluster::SimCluster sim(CrashySpec(0.6));
+  async::AsyncResult stats;
+  const auto result = apps::AsyncPageRank(sim, g, part, config, /*staleness=*/2,
+                                          &stats);
+  EXPECT_GE(stats.worker_restarts, 1u);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(MaxDiff(result.ranks, apps::SerialPageRank(g, config)), 1e-3);
+}
+
+TEST(AsyncPageRank, CrashScheduleIsDeterministic) {
+  const auto g = TestGraph(1200, 9);
+  const auto part = graph::MultilevelPartition(g, 6);
+  apps::PageRankConfig config;
+  config.async_checkpoint_interval = 4;
+  auto run = [&](async::AsyncResult* stats, uint64_t* fired) {
+    cluster::SimCluster sim(CrashySpec(0.6));
+    auto result = apps::AsyncPageRank(sim, g, part, config,
+                                      async::kUnboundedStaleness, stats);
+    *fired = sim.queue().fired_count();
+    return result;
+  };
+  async::AsyncResult a_stats, b_stats;
+  uint64_t a_fired = 0, b_fired = 0;
+  const auto a = run(&a_stats, &a_fired);
+  const auto b = run(&b_stats, &b_fired);
+  EXPECT_GE(a_stats.worker_restarts, 1u);
+  EXPECT_EQ(a_stats.worker_restarts, b_stats.worker_restarts);
+  EXPECT_EQ(MaxDiff(a.ranks, b.ranks), 0.0);
+  EXPECT_EQ(a_fired, b_fired);
+  EXPECT_DOUBLE_EQ(a_stats.end_seconds, b_stats.end_seconds);
+}
+
+TEST(AsyncSssp, CrashRecoveryMatchesDijkstra) {
+  // Monotone min-combine under crashes: rolled-back distances re-relax from
+  // the in-peers' forced re-announcements.
+  const auto g =
+      graph::WithRandomWeights(TestGraph(2000, 13), 1.0, 10.0, /*seed=*/99);
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::SsspConfig config;
+  config.async_checkpoint_interval = 4;
+  cluster::SimCluster sim(CrashySpec(0.6));
+  async::AsyncResult stats;
+  const auto result =
+      apps::AsyncSssp(sim, g, part, config, async::kUnboundedStaleness, &stats);
+  EXPECT_GE(stats.worker_restarts, 1u);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(MaxDiff(result.distances, apps::SerialDijkstra(g, config.source)), 1e-9);
+}
+
+TEST(AsyncJacobi, CrashRecoveryConvergesToSolution) {
+  // Replacement semantics with near-zero boundary row sums: the
+  // re-announcement must be unconditional (a cleared delta filter would stay
+  // silent within send_eps while the restored peer holds dead-epoch state).
+  const auto g = apps::Symmetrized(TestGraph(1500, 31));
+  std::vector<double> b(g.num_vertices());
+  Rng rng(77);
+  for (double& v : b) v = rng.NextDouble(-1.0, 1.0);
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::JacobiConfig config;
+  config.tolerance = 1e-6;
+  config.async_checkpoint_interval = 4;
+  cluster::SimCluster sim(CrashySpec(0.6));
+  async::AsyncResult stats;
+  const auto result = apps::AsyncJacobi(sim, g, b, part, config,
+                                        async::kUnboundedStaleness, &stats);
+  EXPECT_GE(stats.worker_restarts, 1u);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.residual_inf, 1e-4);
+}
+
 TEST(AsyncEngine, ZeroIterationCapReportsResidualUnknown) {
   // max_iterations_per_worker = 0: every worker caps before its first
   // iteration, so no residual is ever measured. The run must terminate
@@ -229,7 +515,8 @@ TEST(AsyncEngine, ZeroIterationCapReportsResidualUnknown) {
   engine.set_compute([](uint32_t, async::AsyncContext& ctx) {
     ctx.set_residual(1.0);
   });
-  engine.set_apply([](uint32_t, uint32_t, uint32_t, const async::UpdateBatch&) {});
+  engine.set_apply(
+      [](uint32_t, uint32_t, uint32_t, uint32_t, const async::UpdateBatch&) {});
   const auto result = engine.Run();
   EXPECT_FALSE(result.converged);
   EXPECT_FALSE(result.residual_known);
@@ -269,7 +556,7 @@ TEST(AsyncEngine, MergeCostIsChargedIntoReceiverVirtualTime) {
       ctx.set_residual(1.0);  // never converges; the cap terminates the run
       ctx.Emit(1 - p, PingUpdate{ctx.iteration()});
     });
-    engine.set_apply([](uint32_t, uint32_t, uint32_t,
+    engine.set_apply([](uint32_t, uint32_t, uint32_t, uint32_t,
                         const async::UpdateBatch& batch) {
       EXPECT_GT(async::DecodeBatch<PingUpdate>(batch).size(), 0u);
     });

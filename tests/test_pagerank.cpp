@@ -72,6 +72,44 @@ TEST(GeneralPageRank, MatchesSerialOracle) {
   EXPECT_EQ(result.trace.total_local_iterations(), 0u);  // no partial syncs
 }
 
+TEST(GeneralPageRank, FaultInjectionIsDeterministic) {
+  // The wave path's fault-tolerance story is deterministic replay: a failed
+  // attempt re-runs the same pure task, so the same spec.seed must reproduce
+  // the same failures, the same retry counts, the same virtual timeline, and
+  // bit-identical output. (Regression guard for the seed discipline the
+  // async engine's crash injection shares.)
+  const auto g = TestGraph(1500, 17);
+  const auto part = graph::MultilevelPartition(g, 8);
+  PageRankConfig config;
+  config.max_global_iterations = 12;  // bounded run; convergence not the point
+  auto run = [&](uint64_t* fired) {
+    auto spec = cluster::ClusterSpec::Ec2Large8();
+    spec.task_failure_prob = 0.1;
+    spec.seed = 1234;
+    cluster::SimCluster sim(spec);
+    auto result = GeneralPageRank(sim, g, part, config);
+    *fired = sim.queue().fired_count();
+    return result;
+  };
+  uint64_t a_fired = 0;
+  uint64_t b_fired = 0;
+  const auto a = run(&a_fired);
+  const auto b = run(&b_fired);
+  // Failures actually fired, and identically so.
+  EXPECT_GT(a.trace.total_failed_attempts(), 0u);
+  EXPECT_EQ(a.trace.total_failed_attempts(), b.trace.total_failed_attempts());
+  ASSERT_EQ(a.trace.rounds().size(), b.trace.rounds().size());
+  for (size_t i = 0; i < a.trace.rounds().size(); ++i) {
+    EXPECT_EQ(a.trace.rounds()[i].failed_attempts,
+              b.trace.rounds()[i].failed_attempts);
+  }
+  // Bit-identical output and timeline.
+  EXPECT_EQ(MaxDiff(a.ranks, b.ranks), 0.0);
+  EXPECT_DOUBLE_EQ(a.trace.total_seconds(), b.trace.total_seconds());
+  EXPECT_EQ(a_fired, b_fired);
+  EXPECT_GT(a_fired, 0u);
+}
+
 TEST(EagerPageRank, MatchesSerialOracle) {
   const auto g = TestGraph();
   const auto part = graph::MultilevelPartition(g, 8);
