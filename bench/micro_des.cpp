@@ -19,10 +19,18 @@
 //    "churn_events_per_sec":E,"churn_legacy_events_per_sec":E,
 //    "cancel_events_per_sec":E,"cancel_legacy_events_per_sec":E,
 //    "queue_speedup":X,
+//    "net_churn_events_per_sec":E,"net_churn_reference_events_per_sec":E,
+//    "net_rebalance_speedup":X,
 //    "async_pagerank_wall_s":T,"wave_pagerank_wall_s":T,
 //    "async_virtual_s":T,"async_total_iterations":N}
 //
+// The net_churn_* fields measure the fluid network itself: start/complete N
+// overlapping flows on a 64-node topology and count flow events (starts +
+// completions) per wall-second, for the incremental endpoint-local
+// rebalancer vs the retained O(F) full-reference rebalancer.
+//
 // Honours AMR_SCALE / AMR_SEED like the figure benches.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -34,6 +42,7 @@
 #include "apps/pagerank.hpp"
 #include "bench_common.hpp"
 #include "graph/partitioner.hpp"
+#include "net/network.hpp"
 #include "sim/event_queue.hpp"
 
 using namespace asyncmr;
@@ -228,6 +237,42 @@ double CancelEventsPerSec(uint64_t total_events, uint32_t width) {
   return static_cast<double>(state.processed) / wall;
 }
 
+/// Network churn: `lanes` concurrent flow chains over a 64-node cloud-ish
+/// topology. Each lane keeps exactly one flow in the fluid model (the next
+/// starts when the previous completes), so the active population holds at
+/// ~lanes while starts and completions continuously churn the rebalancer —
+/// the access pattern a large async-engine run produces. Endpoints and sizes
+/// come from a deterministic hash, identical across modes. Returns flow
+/// events (starts + completions) per wall-second.
+double NetChurnEventsPerSec(net::RebalanceMode mode, uint64_t total_flows,
+                            uint32_t lanes) {
+  net::TopologyConfig cfg;
+  cfg.num_nodes = 64;
+  cfg.nodes_per_rack = 8;
+  sim::EventQueue q;
+  net::Network net(q, net::Topology(cfg), mode);
+  uint64_t remaining = total_flows;
+  std::function<void(uint32_t)> next = [&](uint32_t lane) {
+    if (remaining == 0) return;
+    --remaining;
+    uint64_t h = (remaining + 1) * 0x9E3779B97F4A7C15ull + lane;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    const auto src = static_cast<net::NodeId>(h % cfg.num_nodes);
+    const auto dst = static_cast<net::NodeId>((h >> 8) % cfg.num_nodes);
+    const uint64_t bytes = 200'000 + (h >> 16) % 4'000'000;
+    net.Transfer(src, dst, bytes, [&next, lane] { next(lane); });
+  };
+  const double wall = WallSeconds([&] {
+    for (uint32_t lane = 0; lane < lanes; ++lane) next(lane);
+    q.RunUntilEmpty();
+  });
+  return static_cast<double>(net.stats().flows_started +
+                             net.stats().flows_completed) /
+         wall;
+}
+
 }  // namespace
 
 int main() {
@@ -257,6 +302,30 @@ int main() {
                churn, churn_legacy, churn / churn_legacy);
   std::fprintf(stderr, "cancel: %12.0f op/s   (legacy %12.0f op/s, %.2fx)\n",
                cancel, cancel_legacy, cancel / cancel_legacy);
+
+  // --- fluid-network churn micro --------------------------------------------
+  // ~1024 flows concurrently active on 64 nodes: the full-reference
+  // rebalancer touches all of them on every start/completion, the
+  // incremental one only the two endpoints' incident lists (~32 flows).
+  const uint64_t n_net_flows =
+      static_cast<uint64_t>(opts.Scaled(200'000, 20'000));
+  const uint32_t net_lanes =
+      static_cast<uint32_t>(GetEnvInt("AMR_NET_LANES", 1024));
+  const double net_churn =
+      NetChurnEventsPerSec(net::RebalanceMode::kIncremental, n_net_flows,
+                           net_lanes);
+  // Throughput is a steady-state measure, so the O(F^2) reference gets the
+  // same active population but far fewer total flows — at 1024 active flows
+  // it runs two orders of magnitude slower, and equal totals would make the
+  // reference leg dominate the whole bench's wall time.
+  const uint64_t n_ref_flows =
+      std::max<uint64_t>(4 * net_lanes, n_net_flows / 50);
+  const double net_churn_ref = NetChurnEventsPerSec(
+      net::RebalanceMode::kFullReference, n_ref_flows, net_lanes);
+  std::fprintf(stderr,
+               "net:    %12.0f ev/s   (O(F) ref %12.0f ev/s, %.2fx) at %u "
+               "active flows\n",
+               net_churn, net_churn_ref, net_churn / net_churn_ref, net_lanes);
 
   // --- end-to-end anchors ----------------------------------------------------
   // The ablation_async graph scenario, built by the shared helper so this
@@ -293,11 +362,14 @@ int main() {
       "\"churn_events_per_sec\":%.0f,\"churn_legacy_events_per_sec\":%.0f,"
       "\"cancel_events_per_sec\":%.0f,\"cancel_legacy_events_per_sec\":%.0f,"
       "\"queue_speedup\":%.3f,"
+      "\"net_churn_events_per_sec\":%.0f,"
+      "\"net_churn_reference_events_per_sec\":%.0f,"
+      "\"net_rebalance_speedup\":%.3f,"
       "\"async_pagerank_wall_s\":%.4f,\"wave_pagerank_wall_s\":%.4f,"
       "\"async_virtual_s\":%.4f,\"async_total_iterations\":%llu}\n",
       opts.scale, static_cast<unsigned long long>(opts.seed), churn,
-      churn_legacy, cancel, cancel_legacy, speedup, async_wall, wave_wall,
-      async_stats.seconds(),
+      churn_legacy, cancel, cancel_legacy, speedup, net_churn, net_churn_ref,
+      net_churn / net_churn_ref, async_wall, wave_wall, async_stats.seconds(),
       static_cast<unsigned long long>(async_stats.total_iterations));
   return 0;
 }

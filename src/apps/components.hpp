@@ -21,6 +21,9 @@ struct ComponentsConfig {
   uint32_t num_reducers = 16;
   /// Async: worker iterations between checkpoints (see AsyncConfig).
   uint32_t async_checkpoint_interval = 8;
+  /// Async: transport/termination knobs forwarded to the engine (batch
+  /// coalescing, adaptive token backoff) — see async::EngineTuning.
+  async::EngineTuning async_tuning;
   std::string job_prefix = "cc";
 };
 

@@ -32,6 +32,9 @@ struct JacobiConfig {
   double gmap_time_scale = 1.0;
   /// Async: worker iterations between checkpoints (see AsyncConfig).
   uint32_t async_checkpoint_interval = 8;
+  /// Async: transport/termination knobs forwarded to the engine (batch
+  /// coalescing, adaptive token backoff) — see async::EngineTuning.
+  async::EngineTuning async_tuning;
   std::string job_prefix = "jac";
 };
 

@@ -41,6 +41,9 @@ struct KMeansConfig {
   double gmap_time_scale = 1.0;
   /// Async: worker iterations between checkpoints (see AsyncConfig).
   uint32_t async_checkpoint_interval = 8;
+  /// Async: transport/termination knobs forwarded to the engine (batch
+  /// coalescing, adaptive token backoff) — see async::EngineTuning.
+  async::EngineTuning async_tuning;
   uint64_t seed = 1234;                // initial centroids + reshuffles
   std::string job_prefix = "km";
 };

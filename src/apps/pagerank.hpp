@@ -50,6 +50,9 @@ struct PageRankConfig {
   /// Async: worker iterations between checkpoints (see AsyncConfig); crash
   /// recovery restores from the last durable one.
   uint32_t async_checkpoint_interval = 8;
+  /// Async: transport/termination knobs forwarded to the engine (batch
+  /// coalescing, adaptive token backoff) — see async::EngineTuning.
+  async::EngineTuning async_tuning;
   std::string job_prefix = "pr";
 };
 

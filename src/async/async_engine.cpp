@@ -83,6 +83,9 @@ void AsyncEngine::BuildTopology() {
 
   for (uint32_t p = 0; p < num_partitions_; ++p) {
     workers_[p].out.assign(send_peers_[p].size(), UpdateBatch{});
+    if (config_.coalesce_batches) {
+      workers_[p].links.assign(send_peers_[p].size(), Worker::PeerLink{});
+    }
   }
 }
 
@@ -203,32 +206,19 @@ void AsyncEngine::FinishCompute(uint32_t p, uint32_t epoch, uint64_t ops,
   // Batches sit in w.out, index-aligned with the sorted send_peers_[p] (so
   // send order — and thus the DES trace — is deterministic, ascending by
   // peer as before). Each non-empty batch is moved, not copied, into its
-  // network payload; the emptied slots are reused next iteration.
+  // network payload (or merged into the edge's pending batch when
+  // coalescing); the emptied slots are reused next iteration.
   const uint32_t clock = w.iterations;
-  auto send = [&](uint32_t q, UpdateBatch batch) {
-    ++w.ledger.batches_sent;
-    ++total_batches_;
-    w.records_sent += batch.records;
-    total_records_ += batch.records;
-    const uint64_t bytes = config_.update_envelope_bytes + batch.payload.size();
-    total_bytes_ += bytes;
-    auto payload = std::make_shared<UpdateBatch>(std::move(batch));
-    cluster_.network().Transfer(
-        w.node, workers_[q].node, bytes, [this, q, p, clock, epoch, payload] {
-          OnBatchDelivered(q, p, clock, epoch, *payload);
-        });
-  };
-
   const std::vector<uint32_t>& peers = send_peers_[p];
   if (config_.staleness_bound != kUnboundedStaleness) {
     // Bounded window: every peer edge carries the new clock each iteration,
     // with an empty batch when there is no payload.
     for (size_t i = 0; i < peers.size(); ++i) {
-      send(peers[i], std::move(w.out[i]));
+      EmitBatch(p, i, std::move(w.out[i]), clock);
     }
   } else {
     for (size_t i = 0; i < peers.size(); ++i) {
-      if (!w.out[i].empty()) send(peers[i], std::move(w.out[i]));
+      if (!w.out[i].empty()) EmitBatch(p, i, std::move(w.out[i]), clock);
     }
   }
 
@@ -273,6 +263,72 @@ void AsyncEngine::OnBatchDelivered(uint32_t to, uint32_t from,
       (w.phase == WorkerPhase::kIdle && (w.pending_input || KeepaliveDue(w, to)))) {
     TryStartIteration(to);
   }
+}
+
+void AsyncEngine::EmitBatch(uint32_t p, size_t peer_index, UpdateBatch batch,
+                            uint32_t clock) {
+  Worker& w = workers_[p];
+  if (config_.coalesce_batches) {
+    Worker::PeerLink& link = w.links[peer_index];
+    if (link.in_flight) {
+      // A flow to this peer is still in the pipe: append to the pending
+      // batch instead of opening another flow. Records keep emission order,
+      // so a receiver applying the merged batch sees the same sequence of
+      // Put()s; the merged batch carries the newest clock (Observe is a max,
+      // and equal-version Puts are accepted, so skipping intermediate clock
+      // stamps loses nothing).
+      link.pending.payload.Append(batch.payload.data(), batch.payload.size());
+      link.pending.records += batch.records;
+      link.pending_clock = clock;
+      link.has_pending = true;
+      ++w.coalesced_batches;
+      ++total_coalesced_;
+      w.coalesced_bytes_saved += config_.update_envelope_bytes;
+      total_coalesced_bytes_saved_ += config_.update_envelope_bytes;
+      return;
+    }
+    link.in_flight = true;
+  }
+  LaunchBatch(p, peer_index, std::move(batch), clock);
+}
+
+void AsyncEngine::LaunchBatch(uint32_t p, size_t peer_index, UpdateBatch batch,
+                              uint32_t clock) {
+  Worker& w = workers_[p];
+  const uint32_t q = send_peers_[p][peer_index];
+  const uint32_t epoch = w.epoch;
+  ++w.ledger.batches_sent;
+  ++total_batches_;
+  w.records_sent += batch.records;
+  total_records_ += batch.records;
+  const uint64_t bytes = config_.update_envelope_bytes + batch.payload.size();
+  total_bytes_ += bytes;
+  auto payload = std::make_shared<UpdateBatch>(std::move(batch));
+  cluster_.network().Transfer(
+      w.node, workers_[q].node, bytes,
+      [this, q, p, peer_index, clock, epoch, payload] {
+        OnBatchDelivered(q, p, clock, epoch, *payload);
+        OnFlowDelivered(p, peer_index, epoch);
+      });
+}
+
+void AsyncEngine::OnFlowDelivered(uint32_t p, size_t peer_index,
+                                  uint32_t epoch) {
+  if (!config_.coalesce_batches) return;
+  Worker& w = workers_[p];
+  if (w.epoch != epoch) return;  // sender restarted; CrashWorker reset links
+  Worker::PeerLink& link = w.links[peer_index];
+  link.in_flight = false;
+  if (!link.has_pending || finished_) return;
+  // The pending batch was never counted sent, so the Safra sums stayed
+  // balanced around it; launching it here (same event as the delivery that
+  // balanced the previous flow) re-opens the sent > received window before
+  // any token hop can observe the gap.
+  UpdateBatch batch = std::move(link.pending);
+  link.pending.clear();
+  link.has_pending = false;
+  link.in_flight = true;
+  LaunchBatch(p, peer_index, std::move(batch), link.pending_clock);
 }
 
 // --- checkpoint/replay -------------------------------------------------------
@@ -329,6 +385,15 @@ void AsyncEngine::CrashWorker(uint32_t p) {
   w.force_iteration = false;
   w.unmerged_records = 0;
   w.ledger.dirty = true;  // taints any in-progress token circuit
+  // Coalescing state dies with the process: pending batches were never
+  // counted sent (the recovery re-announcement supersedes them), and the
+  // in-flight flags belong to dead-epoch flows whose landing callbacks will
+  // see the epoch bump and leave the restored links alone.
+  for (Worker::PeerLink& link : w.links) {
+    link.in_flight = false;
+    link.has_pending = false;
+    link.pending.clear();
+  }
 
   const double now = cluster_.now();
   checkpoints_.AbortPending(p, now);
@@ -444,6 +509,7 @@ void AsyncEngine::RegisterTokenHandlers() {
 }
 
 void AsyncEngine::StartCircuit() {
+  circuit_start_time_ = cluster_.now();
   ProgressToken token;
   token.circuit = token_circuits_;
   token.position = 0;
@@ -496,7 +562,16 @@ void AsyncEngine::CompleteCircuit(const ProgressToken& token) {
            token.residual, token.residual_known);
     return;
   }
-  cluster_.queue().ScheduleAfter(config_.token_backoff_s, [this] {
+  double backoff = config_.token_backoff_s;
+  if (config_.adaptive_token_backoff) {
+    // Pause for as long as the failed circuit itself took (P RPC hops plus
+    // worker-visit latencies), so token traffic stays a bounded fraction of
+    // the control plane at any partition count.
+    backoff = std::clamp(
+        cluster_.now() - circuit_start_time_, config_.token_backoff_s,
+        std::max(config_.token_backoff_s, config_.token_backoff_max_s));
+  }
+  cluster_.queue().ScheduleAfter(backoff, [this] {
     if (!finished_) StartCircuit();
   });
 }
@@ -554,6 +629,8 @@ AsyncResult AsyncEngine::Run() {
   result.update_batches = total_batches_;
   result.update_records = total_records_;
   result.bytes_sent = total_bytes_;
+  result.coalesced_batches = total_coalesced_;
+  result.coalesced_bytes_saved = total_coalesced_bytes_saved_;
   result.worker_restarts = total_restarts_;
   result.checkpoints_written =
       static_cast<uint32_t>(checkpoints_.stats().checkpoints_written);
@@ -569,6 +646,8 @@ AsyncResult AsyncEngine::Run() {
     stats.batches_sent = w.ledger.batches_sent;
     stats.batches_received = w.ledger.batches_received;
     stats.records_sent = w.records_sent;
+    stats.coalesced_batches = w.coalesced_batches;
+    stats.coalesced_bytes_saved = w.coalesced_bytes_saved;
     stats.restarts = w.epoch;
     stats.checkpoints = w.checkpoints;
     stats.checkpoint_bytes = w.checkpoint_bytes;

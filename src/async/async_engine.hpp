@@ -125,6 +125,22 @@ std::vector<U> DecodeBatch(const UpdateBatch& batch) {
   return out;
 }
 
+/// The engine knobs applications expose to callers without replicating the
+/// whole AsyncConfig (apps own most AsyncConfig fields — thresholds, caps,
+/// names — but these are pure transport/termination tuning): see
+/// AsyncConfig::ApplyTuning. Benches sweep them for the P >> slots regime.
+struct EngineTuning {
+  /// Merge emissions to a peer into one pending batch while a flow to that
+  /// peer is already in flight, instead of opening a new flow per iteration
+  /// (see AsyncConfig::coalesce_batches).
+  bool coalesce_batches = false;
+  /// Scale the pause between termination-token circuits to the measured
+  /// circuit duration (see AsyncConfig::adaptive_token_backoff).
+  bool adaptive_token_backoff = false;
+  /// Base (and, in adaptive mode, minimum) inter-circuit pause.
+  double token_backoff_s = 0.25;
+};
+
 struct AsyncConfig {
   /// Staleness window S (see file comment). 0 = lockstep, kUnboundedStaleness
   /// = pure async.
@@ -147,6 +163,33 @@ struct AsyncConfig {
   double compute_time_scale = 1.0;
   /// Pause between termination-token circuits that fail to prove termination.
   double token_backoff_s = 0.25;
+  /// Adaptive inter-circuit pause: back off by the previous circuit's own
+  /// (virtual) duration, clamped to [token_backoff_s, token_backoff_max_s].
+  /// A circuit is P sequential RPC hops, so at P in the thousands a fixed
+  /// small backoff keeps the ring saturated with control traffic; scaling
+  /// the pause to the measured circuit time bounds token overhead at ~50%
+  /// of the RPC path regardless of P, deterministically (virtual time only).
+  bool adaptive_token_backoff = false;
+  double token_backoff_max_s = 30.0;
+  /// Per-peer update-batch coalescing: while a flow to a peer is in flight,
+  /// merge subsequent emissions to that peer into one pending batch (records
+  /// appended in emission order, so replacement semantics are preserved) and
+  /// launch it when the in-flight flow lands — at most one flow per
+  /// (worker, peer) edge plus one pending batch, instead of a flow per
+  /// iteration. This is what keeps the active-flow population bounded when
+  /// workers iterate faster than the network drains (P >> slots, broadcast
+  /// apps). Batches merged into a pending batch are counted in
+  /// coalesced_batches / coalesced_bytes_saved, not in update_batches. The
+  /// Safra proof is unaffected: a pending batch exists only while its edge
+  /// has a flow in flight, which already holds sent > received.
+  bool coalesce_batches = false;
+
+  /// Copies the caller-exposed tuning knobs (see EngineTuning).
+  void ApplyTuning(const EngineTuning& t) {
+    coalesce_batches = t.coalesce_batches;
+    adaptive_token_backoff = t.adaptive_token_backoff;
+    token_backoff_s = t.token_backoff_s;
+  }
   /// Completed iterations between worker checkpoints (0 = only the free
   /// initial snapshot). Checkpoints are taken only when a snapshot callback
   /// is installed; crash injection (ClusterSpec::worker_crash_rate > 0)
@@ -238,6 +281,10 @@ struct WorkerStats {
   uint64_t batches_sent = 0;
   uint64_t batches_received = 0;
   uint64_t records_sent = 0;
+  /// Emissions merged into an already-pending batch instead of opening a new
+  /// flow, and the envelope bytes that saved (coalesce_batches only).
+  uint64_t coalesced_batches = 0;
+  uint64_t coalesced_bytes_saved = 0;
   /// Crash/recovery cycles this worker went through (== final epoch).
   uint32_t restarts = 0;
   /// Checkpoints written after the free initial snapshot, and their bytes.
@@ -262,6 +309,12 @@ struct AsyncResult {
   uint64_t update_batches = 0;
   uint64_t update_records = 0;
   uint64_t bytes_sent = 0;
+  /// Coalescing savings: emissions that rode an already-pending batch (each
+  /// is one network flow NOT opened) and the envelope bytes avoided.
+  /// update_records counts every record delivered either way; update_batches
+  /// and bytes_sent count only what actually hit the wire.
+  uint64_t coalesced_batches = 0;
+  uint64_t coalesced_bytes_saved = 0;
   uint32_t token_circuits = 0;
   /// Fault-tolerance accounting. Checkpoint writes are write-behind, so
   /// checkpoint_write_seconds is background DFS time (it bounds snapshot
@@ -375,6 +428,20 @@ class AsyncEngine {
     /// Cleared (capacity kept) at BeginCompute, filled via AsyncContext, and
     /// moved into network payloads at FinishCompute.
     std::vector<UpdateBatch> out;
+    /// Per-out-peer coalescing state (coalesce_batches only), index-aligned
+    /// with send_peers_[p]: one flow in flight per edge at most, subsequent
+    /// emissions merge into `pending` until the flow lands. Pending data
+    /// dies with the process on a crash (it was never counted sent); the
+    /// recovery re-announcement repairs it.
+    struct PeerLink {
+      bool in_flight = false;
+      bool has_pending = false;
+      uint32_t pending_clock = 0;
+      UpdateBatch pending;
+    };
+    std::vector<PeerLink> links;
+    uint64_t coalesced_batches = 0;
+    uint64_t coalesced_bytes_saved = 0;
   };
 
   void BuildTopology();
@@ -385,6 +452,17 @@ class AsyncEngine {
                      uint64_t merge_ops, double residual);
   void OnBatchDelivered(uint32_t to, uint32_t from, uint32_t from_clock,
                         uint32_t from_epoch, const UpdateBatch& batch);
+  /// Routes one emission from `p` to send_peers_[p][peer_index]: merges into
+  /// the edge's pending batch when coalescing and a flow is in flight,
+  /// otherwise launches a flow (LaunchBatch).
+  void EmitBatch(uint32_t p, size_t peer_index, UpdateBatch batch,
+                 uint32_t clock);
+  /// Opens the network flow for one batch and books the send accounting.
+  void LaunchBatch(uint32_t p, size_t peer_index, UpdateBatch batch,
+                   uint32_t clock);
+  /// Sender-side flow-landed hook (coalescing): frees the edge and launches
+  /// the pending batch, if any.
+  void OnFlowDelivered(uint32_t p, size_t peer_index, uint32_t epoch);
 
   // --- checkpoint/replay -----------------------------------------------------
   /// Serializes worker `p`'s full state (engine record + app payload) into a
@@ -443,9 +521,12 @@ class AsyncEngine {
   double start_time_ = 0.0;
   double end_time_ = 0.0;
   uint32_t token_circuits_ = 0;
+  double circuit_start_time_ = 0.0;  // adaptive backoff: current circuit launch
   uint64_t total_batches_ = 0;
   uint64_t total_records_ = 0;
   uint64_t total_bytes_ = 0;
+  uint64_t total_coalesced_ = 0;
+  uint64_t total_coalesced_bytes_saved_ = 0;
 };
 
 }  // namespace asyncmr::async

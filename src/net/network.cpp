@@ -1,27 +1,76 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
 namespace asyncmr::net {
 
+uint32_t Network::AllocSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<uint32_t>(slab_.size() - 1);
+}
+
+void Network::FreeSlot(uint32_t slot) {
+  Flow& f = slab_[slot];
+  f.on_complete = nullptr;
+  f.active = false;
+  f.completion_event = 0;
+  free_slots_.push_back(slot);
+}
+
+void Network::LinkAt(NodeId node, uint32_t slot, int role) {
+  Flow& f = slab_[slot];
+  f.prev[role] = kNil;
+  f.next[role] = head_at_node_[node];
+  if (head_at_node_[node] != kNil) {
+    Flow& head = slab_[head_at_node_[node]];
+    head.prev[RoleAt(head, node)] = slot;
+  }
+  head_at_node_[node] = slot;
+}
+
+void Network::UnlinkAt(NodeId node, uint32_t slot, int role) {
+  Flow& f = slab_[slot];
+  if (f.prev[role] != kNil) {
+    Flow& p = slab_[f.prev[role]];
+    p.next[RoleAt(p, node)] = f.next[role];
+  } else {
+    head_at_node_[node] = f.next[role];
+  }
+  if (f.next[role] != kNil) {
+    Flow& n = slab_[f.next[role]];
+    n.prev[RoleAt(n, node)] = f.prev[role];
+  }
+  f.next[role] = f.prev[role] = kNil;
+}
+
 FlowId Network::Transfer(NodeId src, NodeId dst, uint64_t bytes,
                          std::function<void()> on_complete) {
   AMR_CHECK(src < topology_.num_nodes() && dst < topology_.num_nodes());
   const FlowId id = next_flow_id_++;
-  Flow flow;
+  // Stage the flow in its slab slot immediately so the latency-delay event
+  // captures only {this, slot} (inline in the event queue's slab — no
+  // per-transfer std::function allocation beyond the flow's own callback).
+  const uint32_t slot = AllocSlot();
+  Flow& flow = slab_[slot];
   flow.src = src;
   flow.dst = dst;
   flow.remaining_bytes = static_cast<double>(bytes);
+  flow.rate_Bps = 0.0;
   flow.total_bytes = bytes;
   flow.on_complete = std::move(on_complete);
+  flow.active = false;
 
   // The payload enters the pipe after one propagation latency.
   const double latency = topology_.Latency(src, dst);
-  queue_.ScheduleAfter(latency, [this, id, flow = std::move(flow)]() mutable {
-    StartFlow(id, std::move(flow));
-  });
+  queue_.ScheduleAfter(latency, [this, slot] { StartFlow(slot); });
   return id;
 }
 
@@ -41,50 +90,83 @@ double Network::IdealTransferSeconds(NodeId src, NodeId dst, uint64_t bytes) con
   return topology_.Latency(src, dst) + static_cast<double>(bytes) / rate;
 }
 
-void Network::StartFlow(FlowId id, Flow flow) {
-  flow.last_update = queue_.now();
-  flow.start_time = queue_.now();
+void Network::StartFlow(uint32_t slot) {
+  Flow& flow = slab_[slot];
+  const double now = queue_.now();
+  flow.last_update = now;
   ++stats_.flows_started;
   if (flow.remaining_bytes <= 0.0) {
     // Latency already paid; finish immediately.
     ++stats_.flows_completed;
-    if (flow.on_complete) flow.on_complete();
+    std::function<void()> done = std::move(flow.on_complete);
+    FreeSlot(slot);
+    if (done) done();
     return;
   }
-  flows_.emplace(id, std::move(flow));
-  Rebalance();
+
+  flow.active = true;
+  if (active_flows_ == 0) busy_since_ = now;
+  ++active_flows_;
+  ++flows_at_node_[flow.src];
+  LinkAt(flow.src, slot, 0);
+  if (flow.dst != flow.src) {
+    ++flows_at_node_[flow.dst];
+    LinkAt(flow.dst, slot, 1);
+  }
+  Rebalance(flow.src, flow.dst);
+  // Under a rate tolerance the start may not have tripped either endpoint's
+  // walk; the new flow itself must still be rated exactly once.
+  Flow& started = slab_[slot];
+  if (started.completion_event == 0) {
+    started.rate_Bps = FlowRate(started);
+    AMR_CHECK(started.rate_Bps > 0);
+    ++stats_.flow_rate_updates;
+    started.completion_event =
+        queue_.Schedule(now + started.remaining_bytes / started.rate_Bps,
+                        [this, slot] { CompleteFlow(slot); });
+  }
 }
 
-void Network::CompleteFlow(FlowId id) {
-  auto it = flows_.find(id);
-  AMR_CHECK(it != flows_.end());
-  Flow flow = std::move(it->second);
-  flows_.erase(it);
+void Network::CompleteFlow(uint32_t slot) {
+  Flow& flow = slab_[slot];
+  AMR_CHECK(flow.active);
+  const double now = queue_.now();
+
+  UnlinkAt(flow.src, slot, 0);
+  --flows_at_node_[flow.src];
+  if (flow.dst != flow.src) {
+    UnlinkAt(flow.dst, slot, 1);
+    --flows_at_node_[flow.dst];
+  }
+  flow.active = false;
+  --active_flows_;
+  if (active_flows_ == 0) stats_.busy_seconds += now - busy_since_;
 
   ++stats_.flows_completed;
   stats_.bytes_transferred += flow.total_bytes;
   if (!topology_.SameRack(flow.src, flow.dst)) {
     stats_.bytes_cross_rack += flow.total_bytes;
   }
-  stats_.busy_seconds += queue_.now() - flow.start_time;
 
-  Rebalance();
-  if (flow.on_complete) flow.on_complete();
+  const NodeId src = flow.src;
+  const NodeId dst = flow.dst;
+  std::function<void()> done = std::move(flow.on_complete);
+  FreeSlot(slot);
+  Rebalance(src, dst);
+  if (done) done();
 }
 
-double Network::FlowRate(
-    const Flow& flow,
-    const std::unordered_map<NodeId, uint32_t>& flows_at_node) const {
+double Network::FlowRate(const Flow& flow) const {
   const auto& cfg = topology_.config();
   if (flow.src == flow.dst) {
-    // Loopback: shared among this node's loopback flows only, at memory rate.
+    // Loopback: shared among this node's flows only, at memory rate.
     return cfg.loopback_bandwidth_Bps /
-           std::max<uint32_t>(1, flows_at_node.at(flow.src));
+           std::max<uint32_t>(1, flows_at_node_[flow.src]);
   }
   const double src_share =
-      cfg.node_bandwidth_Bps / std::max<uint32_t>(1, flows_at_node.at(flow.src));
+      cfg.node_bandwidth_Bps / std::max<uint32_t>(1, flows_at_node_[flow.src]);
   const double dst_share =
-      cfg.node_bandwidth_Bps / std::max<uint32_t>(1, flows_at_node.at(flow.dst));
+      cfg.node_bandwidth_Bps / std::max<uint32_t>(1, flows_at_node_[flow.dst]);
   double rate = std::min(src_share, dst_share);
   if (!topology_.SameRack(flow.src, flow.dst)) {
     rate *= cfg.inter_rack_bandwidth_factor;
@@ -92,35 +174,95 @@ double Network::FlowRate(
   return rate;
 }
 
-void Network::Rebalance() {
+void Network::Rebalance(NodeId a, NodeId b) {
+  ++stats_.rebalances;
+  if (mode_ == RebalanceMode::kFullReference) {
+    RebalanceAllReference();
+    return;
+  }
+  const double now = queue_.now();
+  MaybeReRateNode(a, now);
+  // Flows incident to both nodes were already re-rated from a's list (the
+  // second rate computation would find no change), but the list itself must
+  // still be walked: b's other flows changed share too.
+  if (b != a) MaybeReRateNode(b, now);
+}
+
+void Network::MaybeReRateNode(NodeId node, double now) {
+  const uint32_t count = flows_at_node_[node];
+  if (count == 0) {
+    published_share_[node] = 0.0;
+    return;
+  }
+  // The share proxy scales as 1/count for NIC and loopback flows alike, so
+  // one relative-drift test covers both kinds on this node's list.
+  const double share = topology_.config().node_bandwidth_Bps / count;
+  const double tolerance = topology_.config().fluid_rate_tolerance;
+  if (tolerance > 0.0 && published_share_[node] > 0.0 &&
+      std::abs(share - published_share_[node]) <=
+          tolerance * published_share_[node]) {
+    return;  // within tolerance: incident rates stay (boundedly) stale
+  }
+  published_share_[node] = share;
+  ReRateNode(node, now);
+}
+
+void Network::ReRateNode(NodeId node, double now) {
+  for (uint32_t slot = head_at_node_[node]; slot != kNil;) {
+    Flow& f = slab_[slot];
+    const uint32_t next = f.next[RoleAt(f, node)];
+    const double rate = FlowRate(f);
+    if (rate != f.rate_Bps) {
+      // Lazy advance: remaining_bytes was exact at last_update and the rate
+      // was constant since, so progress is recovered only now that the rate
+      // changes.
+      const double elapsed = now - f.last_update;
+      if (elapsed > 0 && f.rate_Bps > 0) {
+        f.remaining_bytes =
+            std::max(0.0, f.remaining_bytes - elapsed * f.rate_Bps);
+      }
+      f.last_update = now;
+      f.rate_Bps = rate;
+      AMR_CHECK(rate > 0);
+      ++stats_.flow_rate_updates;
+      const double finish_at = now + f.remaining_bytes / rate;
+      if (f.completion_event != 0) {
+        f.completion_event = queue_.Reschedule(f.completion_event, finish_at);
+        AMR_CHECK(f.completion_event != 0);
+      } else {
+        f.completion_event =
+            queue_.Schedule(finish_at, [this, slot] { CompleteFlow(slot); });
+      }
+    }
+    slot = next;
+  }
+}
+
+void Network::RebalanceAllReference() {
   const double now = queue_.now();
 
-  // 1. Advance progress under the old rates.
-  for (auto& [id, flow] : flows_) {
-    const double elapsed = now - flow.last_update;
-    if (elapsed > 0 && flow.rate_Bps > 0) {
-      flow.remaining_bytes =
-          std::max(0.0, flow.remaining_bytes - elapsed * flow.rate_Bps);
+  // 1. Advance progress of every flow under the old rates.
+  for (Flow& f : slab_) {
+    if (!f.active) continue;
+    const double elapsed = now - f.last_update;
+    if (elapsed > 0 && f.rate_Bps > 0) {
+      f.remaining_bytes = std::max(0.0, f.remaining_bytes - elapsed * f.rate_Bps);
     }
-    flow.last_update = now;
+    f.last_update = now;
   }
 
-  // 2. Count active flows per node (a flow occupies both endpoints).
-  std::unordered_map<NodeId, uint32_t> flows_at_node;
-  for (const auto& [id, flow] : flows_) {
-    flows_at_node[flow.src]++;
-    if (flow.dst != flow.src) flows_at_node[flow.dst]++;
-  }
-
-  // 3. Recompute rates and reschedule completions.
-  for (auto& [id, flow] : flows_) {
-    flow.rate_Bps = FlowRate(flow, flows_at_node);
-    AMR_CHECK(flow.rate_Bps > 0);
-    if (flow.completion_event != 0) queue_.Cancel(flow.completion_event);
-    const double finish_in = flow.remaining_bytes / flow.rate_Bps;
-    const FlowId fid = id;
-    flow.completion_event =
-        queue_.ScheduleAfter(finish_in, [this, fid] { CompleteFlow(fid); });
+  // 2. Recompute every rate from the per-node counts and reschedule every
+  // completion event, changed or not — the original O(F) behaviour.
+  for (uint32_t slot = 0; slot < slab_.size(); ++slot) {
+    Flow& f = slab_[slot];
+    if (!f.active) continue;
+    f.rate_Bps = FlowRate(f);
+    AMR_CHECK(f.rate_Bps > 0);
+    ++stats_.flow_rate_updates;
+    if (f.completion_event != 0) queue_.Cancel(f.completion_event);
+    const double finish_in = f.remaining_bytes / f.rate_Bps;
+    f.completion_event =
+        queue_.ScheduleAfter(finish_in, [this, slot] { CompleteFlow(slot); });
   }
 }
 

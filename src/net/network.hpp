@@ -4,15 +4,32 @@
 // max-min style at flow granularity: a flow's rate is the minimum of its
 // source and destination fair shares (NIC bandwidth / active flows at that
 // node), times an inter-rack oversubscription factor when it crosses racks.
-// Whenever the flow set changes, all remaining byte counts are advanced and
-// completion events rescheduled. This reproduces the behaviour the paper
-// leans on: shuffles and DFS writes contend for the network, so global
-// synchronizations cost far more than node-local work.
+// This reproduces the behaviour the paper leans on: shuffles and DFS writes
+// contend for the network, so global synchronizations cost far more than
+// node-local work.
+//
+// Rebalancing is incremental: because a flow's rate depends only on the
+// active-flow counts at its two endpoints, the model maintains persistent
+// per-node counts plus per-node intrusive lists of incident flows, and a
+// flow start/completion advances and re-rates only the flows incident to the
+// two affected nodes — O(endpoint degree), not O(total flows). A flow's
+// remaining byte count is advanced lazily, only when its own rate actually
+// changes (progress under a constant rate needs no bookkeeping), and its
+// completion event is retimed in place (EventQueue::Reschedule) instead of
+// cancelled and rescheduled. Flows whose rate is unchanged are not touched
+// at all. This is what lets the simulator sweep thousands of async workers:
+// with F in-flight flows the old full rebalance was O(F) per flow event —
+// O(F^2) total plus O(F log F) event-queue churn.
+//
+// The original full rebalancer is retained as RebalanceMode::kFullReference
+// (advance + re-rate + reschedule every flow on every change) so the
+// incremental model can be differentially tested against it and the speedup
+// measured rather than asserted (bench/micro_des network-churn micro).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "net/topology.hpp"
 #include "sim/event_queue.hpp"
@@ -27,13 +44,36 @@ struct NetworkStats {
   uint64_t flows_completed = 0;
   uint64_t bytes_transferred = 0;
   uint64_t bytes_cross_rack = 0;
-  double busy_seconds = 0.0;  // sum over flows of (finish - start)
+  /// True network-busy wall time: the measure of the intervals during which
+  /// at least one flow was active (NOT the sum of per-flow durations, which
+  /// double-counts overlap and can exceed the simulated wall clock).
+  double busy_seconds = 0.0;
+  /// Flow-set changes processed (one per payload-bearing flow start or
+  /// completion, in either rebalance mode).
+  uint64_t rebalances = 0;
+  /// Completion events actually retimed because a flow's rate changed. The
+  /// full-reference mode reschedules every active flow on every rebalance;
+  /// the incremental mode's count over the same workload measures the work
+  /// the endpoint-local rebalance avoids.
+  uint64_t flow_rate_updates = 0;
+};
+
+/// How Rebalance reacts to a flow-set change (see file comment).
+enum class RebalanceMode {
+  kIncremental,    // O(endpoint degree): the production path
+  kFullReference,  // O(active flows): retained for differential tests
 };
 
 class Network {
  public:
-  Network(sim::EventQueue& queue, Topology topology)
-      : queue_(queue), topology_(std::move(topology)) {}
+  Network(sim::EventQueue& queue, Topology topology,
+          RebalanceMode mode = RebalanceMode::kIncremental)
+      : queue_(queue),
+        topology_(std::move(topology)),
+        mode_(mode),
+        flows_at_node_(topology_.num_nodes(), 0),
+        head_at_node_(topology_.num_nodes(), kNil),
+        published_share_(topology_.num_nodes(), 0.0) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -49,38 +89,92 @@ class Network {
 
   const Topology& topology() const { return topology_; }
   const NetworkStats& stats() const { return stats_; }
-  size_t active_flows() const { return flows_.size(); }
+  RebalanceMode mode() const { return mode_; }
+  size_t active_flows() const { return active_flows_; }
+
+  /// Active flows incident to `node` (a flow occupies both endpoints;
+  /// loopback counts once). Exposed for rate-invariant property tests.
+  uint32_t flows_at(NodeId node) const {
+    AMR_DCHECK(node < flows_at_node_.size());
+    return flows_at_node_[node];
+  }
+
+  /// Visits every active flow as fn(src, dst, rate_Bps). Test/debug hook for
+  /// fair-share invariant checks; not used by the simulation itself.
+  template <typename Fn>
+  void ForEachActiveFlow(Fn&& fn) const {
+    for (const Flow& f : slab_) {
+      if (f.active) fn(f.src, f.dst, f.rate_Bps);
+    }
+  }
 
   /// Estimated time to move `bytes` on an otherwise idle network (used by
   /// planners/tests, not by the simulation itself).
   double IdealTransferSeconds(NodeId src, NodeId dst, uint64_t bytes) const;
 
  private:
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
   struct Flow {
-    NodeId src;
-    NodeId dst;
-    double remaining_bytes;
+    NodeId src = 0;
+    NodeId dst = 0;
+    double remaining_bytes = 0.0;
     double rate_Bps = 0.0;
     double last_update = 0.0;
-    double start_time = 0.0;
-    uint64_t total_bytes;
+    uint64_t total_bytes = 0;
     sim::EventId completion_event = 0;
     std::function<void()> on_complete;
+    bool active = false;  // in the fluid model (false while latency-pending)
+    /// Intrusive links into the endpoint nodes' incident-flow lists, by the
+    /// role this flow plays there (0 = src, 1 = dst; loopback links role 0
+    /// only). A node's list mixes roles, so traversal asks RoleAt per hop.
+    uint32_t next[2] = {kNil, kNil};
+    uint32_t prev[2] = {kNil, kNil};
   };
 
-  /// Advances progress of all flows to `now`, recomputes fair-share rates and
-  /// reschedules completion events.
-  void Rebalance();
+  /// Which link pair `node` uses in `flow` (0 = src, 1 = dst).
+  static int RoleAt(const Flow& flow, NodeId node) {
+    return flow.src == node ? 0 : 1;
+  }
 
-  void StartFlow(FlowId id, Flow flow);
-  void CompleteFlow(FlowId id);
+  void LinkAt(NodeId node, uint32_t slot, int role);
+  void UnlinkAt(NodeId node, uint32_t slot, int role);
 
-  double FlowRate(const Flow& flow,
-                  const std::unordered_map<NodeId, uint32_t>& flows_at_node) const;
+  /// Walks `node`'s incident flows only if its fair share drifted past the
+  /// topology's fluid_rate_tolerance since the node's last walk (tolerance 0
+  /// always walks — exact mode). See TopologyConfig::fluid_rate_tolerance.
+  void MaybeReRateNode(NodeId node, double now);
+
+  /// Activates the staged flow in `slot` (latency already paid).
+  void StartFlow(uint32_t slot);
+  void CompleteFlow(uint32_t slot);
+
+  /// Re-rates flows incident to `node`: advances remaining bytes under the
+  /// old rate and retimes the completion event, but only for flows whose
+  /// rate actually changed.
+  void ReRateNode(NodeId node, double now);
+  /// The retained O(F) reference: advance, re-rate and reschedule ALL flows.
+  void RebalanceAllReference();
+  /// Dispatches on mode_ after the flow set changed at nodes a and b.
+  void Rebalance(NodeId a, NodeId b);
+
+  double FlowRate(const Flow& flow) const;
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
 
   sim::EventQueue& queue_;
   Topology topology_;
-  std::unordered_map<FlowId, Flow> flows_;
+  RebalanceMode mode_;
+  std::vector<Flow> slab_;
+  std::vector<uint32_t> free_slots_;
+  std::vector<uint32_t> flows_at_node_;  // active flows per node
+  std::vector<uint32_t> head_at_node_;   // per-node incident-flow list head
+  /// Fair share (node NIC bandwidth / flow count) at each node's last
+  /// incident-list walk; 0 = no active flows. The quantized-rate trigger.
+  std::vector<double> published_share_;
+  size_t active_flows_ = 0;
+  double busy_since_ = 0.0;  // valid while active_flows_ > 0
   FlowId next_flow_id_ = 1;
   NetworkStats stats_;
 };

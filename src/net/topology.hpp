@@ -32,6 +32,16 @@ struct TopologyConfig {
 
   /// Loopback "transfers" (same node) run at memory-ish speed.
   double loopback_bandwidth_Bps = 2.0e9;
+
+  /// Fluid-model fidelity knob for extreme-scale sweeps: a node re-rates its
+  /// incident flows only once its fair share has drifted more than this
+  /// relative tolerance since the last re-rate (0 = exact: every flow-count
+  /// change re-rates, the default everywhere but the P >> slots scale
+  /// bench). With tolerance t a flow's rate — and so its completion time —
+  /// can be stale by a ~2t relative factor (one per endpoint), in exchange
+  /// for amortized O(1) rebalance work per flow event even with thousands of
+  /// flows incident to a node (all-to-all broadcast at P in the thousands).
+  double fluid_rate_tolerance = 0.0;
 };
 
 class Topology {

@@ -18,6 +18,30 @@ bool EventQueue::Cancel(EventId id) {
   return true;
 }
 
+EventId EventQueue::Reschedule(EventId id, SimTime at) {
+  const uint64_t seq = SeqOf(id);
+  if (seq == 0) return 0;
+  const uint32_t slot = SlotOf(id);
+  if (slot >= slab_.size()) return 0;
+  if (slab_[slot].seq != seq) return 0;  // fired/cancelled/reused
+  AMR_CHECK(at >= now_) << "cannot reschedule into the past: at=" << at
+                        << " now=" << now_;
+  at += 0.0;  // normalize -0.0: key order must equal numeric order
+  const uint64_t new_seq = next_seq_++;
+  AMR_CHECK(new_seq < (uint64_t{1} << (64 - kSlotBits))) << "event seq exhausted";
+  // Re-stamping the slot's seq invalidates the old heap/FIFO entry exactly
+  // like Cancel does; the callback stays where it is.
+  slab_[slot].seq = new_seq;
+  const EventId new_id = (new_seq << kSlotBits) | slot;
+  const HeapKey key = MakeKey(at, new_id);
+  if (at == now_) {
+    immediate_.push_back(key);
+  } else {
+    heap_.push(key);
+  }
+  return new_id;  // live_ unchanged: still one pending event
+}
+
 bool EventQueue::PeekEarliest(HeapKey* key, bool* from_heap) {
   // Skip cancelled fronts lazily; the FIFO storage is recycled once drained.
   while (imm_head_ < immediate_.size() && IsStale(immediate_[imm_head_])) {

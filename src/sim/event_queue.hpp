@@ -181,6 +181,17 @@ class EventQueue {
   /// cancelled, or unknown. Idempotent: double-cancel is a safe no-op.
   bool Cancel(EventId id);
 
+  /// Moves a pending event to absolute time `at` (must be >= now) without
+  /// touching its callback: the slot is reused in place, so a retime costs
+  /// one heap push instead of Cancel + Schedule's slot free/alloc plus a
+  /// callback move. Ordering semantics are identical to Cancel + Schedule —
+  /// the event gets a fresh sequence number, so among equal timestamps it
+  /// fires after everything already scheduled. Returns the event's new id,
+  /// or 0 if `id` is stale (already fired or cancelled); the old id becomes
+  /// stale on success. This is the network rebalancer's bulk-retime path:
+  /// a fluid-model rate change rewrites many completion times per event.
+  EventId Reschedule(EventId id, SimTime at);
+
   /// Fires the earliest pending event, advancing the clock to its timestamp.
   /// Returns false when no events are pending.
   bool RunOne();

@@ -738,6 +738,200 @@ TEST(AsyncSssp, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.trace.total_seconds(), b.trace.total_seconds());
 }
 
+// --- batch coalescing --------------------------------------------------------
+
+cluster::ClusterSpec CongestedSpec() {
+  auto spec = QuietSpec();
+  // A NIC two decades slower than EC2's: flows linger, workers outrun the
+  // network, and every edge exercises the merge-into-pending path.
+  spec.topology.node_bandwidth_Bps = 1.25e6;
+  spec.topology.loopback_bandwidth_Bps = 2.0e7;
+  return spec;
+}
+
+TEST(AsyncCoalescing, PageRankMatchesOracleAndSavesFlows) {
+  const auto g = TestGraph();
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::PageRankConfig config;
+  config.async_tuning.coalesce_batches = true;
+  cluster::SimCluster sim(CongestedSpec());
+  async::AsyncResult stats;
+  const auto result =
+      apps::AsyncPageRank(sim, g, part, config, async::kUnboundedStaleness, &stats);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(MaxDiff(result.ranks, apps::SerialPageRank(g, config)), 1e-3);
+  // Coalescing actually fired, and the savings accounting is self-consistent:
+  // each merged emission avoided one flow and one wire envelope.
+  EXPECT_GT(stats.coalesced_batches, 0u);
+  EXPECT_EQ(stats.coalesced_bytes_saved,
+            stats.coalesced_batches * async::AsyncConfig{}.update_envelope_bytes);
+  uint64_t worker_coalesced = 0;
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  for (const auto& w : stats.workers) {
+    worker_coalesced += w.coalesced_batches;
+    sent += w.batches_sent;
+    received += w.batches_received;
+  }
+  EXPECT_EQ(worker_coalesced, stats.coalesced_batches);
+  // The Safra sums still balance at termination, and only real flows count.
+  EXPECT_EQ(sent, received);
+  EXPECT_EQ(stats.update_batches, sent);
+}
+
+TEST(AsyncCoalescing, BoundedWindowClockCarriersStillPropagate) {
+  // Under a bounded window every edge carries (possibly empty) clock-bearing
+  // batches; merging them into a pending batch must keep the newest clock or
+  // the SSP gate would deadlock.
+  const auto g = TestGraph(1500, 21);
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::PageRankConfig config;
+  config.async_tuning.coalesce_batches = true;
+  cluster::SimCluster sim(CongestedSpec());
+  async::AsyncResult stats;
+  const auto result = apps::AsyncPageRank(sim, g, part, config, /*staleness=*/2, &stats);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(MaxDiff(result.ranks, apps::SerialPageRank(g, config)), 1e-3);
+  EXPECT_GT(stats.coalesced_batches, 0u);
+}
+
+TEST(AsyncCoalescing, SsspMatchesDijkstra) {
+  const auto g =
+      graph::WithRandomWeights(TestGraph(2000, 13), 1.0, 10.0, /*seed=*/99);
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::SsspConfig config;
+  config.async_tuning.coalesce_batches = true;
+  cluster::SimCluster sim(CongestedSpec());
+  async::AsyncResult stats;
+  const auto result =
+      apps::AsyncSssp(sim, g, part, config, async::kUnboundedStaleness, &stats);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(MaxDiff(result.distances, apps::SerialDijkstra(g, config.source)), 1e-9);
+}
+
+TEST(AsyncCoalescing, ComponentsMatchUnionFindExactly) {
+  const auto g = TestGraph(2000, 9);
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::ComponentsConfig config;
+  config.async_tuning.coalesce_batches = true;
+  cluster::SimCluster sim(CongestedSpec());
+  async::AsyncResult stats;
+  const auto result = apps::AsyncComponents(sim, g, part, config,
+                                            async::kUnboundedStaleness, &stats);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.labels, apps::SerialComponents(apps::Symmetrized(g)));
+}
+
+TEST(AsyncCoalescing, KMeansBroadcastSavesFlowsAndMatchesLloyd) {
+  // K-Means broadcasts partials all-to-all every iteration — the workload
+  // coalescing exists for.
+  apps::CensusLikeConfig data_config;
+  data_config.num_points = 3000;
+  data_config.seed = 11;
+  const auto data = apps::GenerateCensusLike(data_config);
+  apps::KMeansConfig config;
+  config.k = 4;
+  config.num_partitions = 8;
+  config.seed = 5;
+  const auto lloyd = apps::SerialLloyd(data, config);
+  config.async_tuning.coalesce_batches = true;
+  cluster::SimCluster sim(CongestedSpec());
+  async::AsyncResult stats;
+  const auto result =
+      apps::AsyncKMeans(sim, data, config, async::kUnboundedStaleness, &stats);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.sse, lloyd.sse * 1.3);
+  EXPECT_GT(stats.coalesced_batches, 0u);
+}
+
+TEST(AsyncCoalescing, JacobiConvergesToSolution) {
+  const auto g = apps::Symmetrized(TestGraph(1500, 31));
+  std::vector<double> b(g.num_vertices());
+  Rng rng(77);
+  for (double& v : b) v = rng.NextDouble(-1.0, 1.0);
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::JacobiConfig config;
+  config.tolerance = 1e-6;
+  config.async_tuning.coalesce_batches = true;
+  cluster::SimCluster sim(CongestedSpec());
+  async::AsyncResult stats;
+  const auto result = apps::AsyncJacobi(sim, g, b, part, config,
+                                        async::kUnboundedStaleness, &stats);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.residual_inf, 1e-4);
+}
+
+TEST(AsyncCoalescing, SurvivesCrashRecovery) {
+  // Pending batches die with a crashed sender (never counted sent) and the
+  // in-flight flags belong to dead-epoch flows; the recovery re-announcement
+  // must still drive the run to the oracle fixed point.
+  const auto g = TestGraph(1500, 31);
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::PageRankConfig config;
+  config.async_checkpoint_interval = 4;
+  config.async_tuning.coalesce_batches = true;
+  cluster::ClusterSpec spec = CrashySpec(0.6);
+  spec.topology.node_bandwidth_Bps = 12.5e6;  // lingering flows + crashes
+  cluster::SimCluster sim(spec);
+  async::AsyncResult stats;
+  const auto result = apps::AsyncPageRank(sim, g, part, config,
+                                          async::kUnboundedStaleness, &stats);
+  EXPECT_GE(stats.worker_restarts, 1u);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(MaxDiff(result.ranks, apps::SerialPageRank(g, config)), 1e-3);
+}
+
+TEST(AsyncCoalescing, DeterministicAcrossRuns) {
+  const auto g = TestGraph(1200, 5);
+  const auto part = graph::MultilevelPartition(g, 6);
+  apps::PageRankConfig config;
+  config.async_tuning.coalesce_batches = true;
+  auto run = [&](uint64_t* fired) {
+    cluster::SimCluster sim(CongestedSpec());
+    async::AsyncResult stats;
+    auto result =
+        apps::AsyncPageRank(sim, g, part, config, async::kUnboundedStaleness, &stats);
+    *fired = sim.queue().fired_count();
+    return std::make_pair(result.ranks, stats.coalesced_batches);
+  };
+  uint64_t a_fired = 0;
+  uint64_t b_fired = 0;
+  const auto [a_ranks, a_coalesced] = run(&a_fired);
+  const auto [b_ranks, b_coalesced] = run(&b_fired);
+  EXPECT_EQ(MaxDiff(a_ranks, b_ranks), 0.0);
+  EXPECT_EQ(a_coalesced, b_coalesced);
+  EXPECT_EQ(a_fired, b_fired);
+}
+
+// --- adaptive token backoff --------------------------------------------------
+
+TEST(AsyncEngine, AdaptiveTokenBackoffConvergesWithFewerCircuits) {
+  const auto g = TestGraph();
+  const auto part = graph::MultilevelPartition(g, 8);
+  apps::PageRankConfig fixed_config;
+  cluster::SimCluster sim_fixed(QuietSpec());
+  async::AsyncResult fixed_stats;
+  const auto fixed = apps::AsyncPageRank(sim_fixed, g, part, fixed_config,
+                                         async::kUnboundedStaleness, &fixed_stats);
+
+  apps::PageRankConfig adaptive_config;
+  adaptive_config.async_tuning.adaptive_token_backoff = true;
+  cluster::SimCluster sim_adaptive(QuietSpec());
+  async::AsyncResult adaptive_stats;
+  const auto adaptive =
+      apps::AsyncPageRank(sim_adaptive, g, part, adaptive_config,
+                          async::kUnboundedStaleness, &adaptive_stats);
+
+  EXPECT_TRUE(fixed.converged);
+  EXPECT_TRUE(adaptive.converged);
+  // Token RPCs ride the same network as update flows, so the timelines
+  // diverge — but both land on the oracle, and the adaptive pause (>= the
+  // fixed default, scaled to the measured circuit time) can only cut the
+  // number of control-plane circuits.
+  EXPECT_LT(MaxDiff(adaptive.ranks, apps::SerialPageRank(g, adaptive_config)), 1e-3);
+  EXPECT_LE(adaptive_stats.token_circuits, fixed_stats.token_circuits);
+}
+
 // --- the paper-beating claim -------------------------------------------------
 
 TEST(AsyncVsPartialSync, AsyncConvergesInLessVirtualTime) {

@@ -322,5 +322,61 @@ TEST(EventQueue, FifoAcrossReschedules) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+TEST(EventQueue, RescheduleRetimesWithoutTouchingCallback) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.Schedule(5.0, [&] { order.push_back(1); });
+  q.Schedule(3.0, [&] { order.push_back(2); });
+  const EventId a2 = q.Reschedule(a, 1.0);
+  ASSERT_NE(a2, 0u);
+  EXPECT_EQ(q.pending(), 2u);  // a retime is not a new event
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.fired_count(), 2u);
+}
+
+TEST(EventQueue, RescheduleMatchesCancelPlusScheduleOrdering) {
+  // A rescheduled event takes a fresh sequence number: among equal
+  // timestamps it fires after everything scheduled before the retime,
+  // exactly like Cancel + Schedule would.
+  EventQueue q;
+  std::vector<int> order;
+  const EventId early = q.Schedule(1.0, [&] { order.push_back(1); });
+  q.Schedule(4.0, [&] { order.push_back(2); });
+  q.Reschedule(early, 4.0);
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RescheduleOfStaleIdFails) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.Schedule(1.0, [&] { ++fired; });
+  const EventId a2 = q.Reschedule(a, 2.0);
+  ASSERT_NE(a2, 0u);
+  EXPECT_EQ(q.Reschedule(a, 3.0), 0u);   // old id died with the retime
+  EXPECT_FALSE(q.Cancel(a));             // likewise for Cancel
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.Reschedule(a2, 4.0), 0u);  // already fired
+  const EventId b = q.Schedule(5.0, [&] { ++fired; });
+  ASSERT_TRUE(q.Cancel(b));
+  EXPECT_EQ(q.Reschedule(b, 6.0), 0u);   // already cancelled
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RescheduleToNowUsesImmediatePath) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(1.0, [&] {
+    const EventId late = q.Schedule(9.0, [&] { order.push_back(2); });
+    q.Schedule(1.0, [&] { order.push_back(1); });
+    q.Reschedule(late, 1.0);  // lands on the zero-delay FIFO behind the above
+  });
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 }  // namespace
 }  // namespace asyncmr::sim
