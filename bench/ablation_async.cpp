@@ -80,12 +80,14 @@ void EmitJson(const std::vector<Row>& rows, const BenchOptions& opts,
               const char* workload) {
   const Row& async_row = rows.back();
   std::printf(
-      "{\"bench\":\"ablation_async\",\"app\":\"%s\",\"scale\":%g,\"seed\":%llu,"
+      "{\"bench\":\"ablation_async\",\"schema_version\":%d,\"app\":\"%s\","
+      "\"scale\":%g,\"seed\":%llu,"
       "\"general_s\":%.4f,\"partial_sync_s\":%.4f,\"async_s0_s\":%.4f,"
       "\"async_s4_s\":%.4f,\"async_s\":%.4f,\"async_iters\":%llu,"
       "\"async_net_bytes\":%llu,\"async_merge_ops\":%llu,"
       "\"async_converged\":%d}\n",
-      workload, opts.scale, static_cast<unsigned long long>(opts.seed),
+      bench::kBenchSchemaVersion, workload, opts.scale,
+      static_cast<unsigned long long>(opts.seed),
       rows[0].seconds, rows[1].seconds, rows[2].seconds, rows[3].seconds,
       async_row.seconds, static_cast<unsigned long long>(async_row.local_iters),
       static_cast<unsigned long long>(async_row.net_bytes),
@@ -114,8 +116,9 @@ Row AsyncRow(const std::string& variant, const async::AsyncResult& stats,
 
 }  // namespace
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
+  bench::ObsSession obs_session(opts);
   bench::PrintBanner(
       "Ablation A6 — barrier-free async vs partial-sync vs general, all apps",
       opts);
@@ -147,7 +150,13 @@ int main() {
   for (const auto& [label, staleness] : kStalenessSweep) {
     cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
     async::AsyncResult stats;
-    const auto r = apps::AsyncPageRank(sim, g, part, pr, staleness, &stats);
+    // The headline variant (unbounded-staleness PageRank) is the traced run
+    // when --trace-out/--metrics-out is set.
+    apps::PageRankConfig config = pr;
+    if (staleness == async::kUnboundedStaleness) {
+      config.async_tuning.obs = obs_session.View();
+    }
+    const auto r = apps::AsyncPageRank(sim, g, part, config, staleness, &stats);
     rows.push_back(AsyncRow(label, stats, r.converged));
   }
   PrintRows(rows, opts, "pagerank");
@@ -264,5 +273,6 @@ int main() {
               async_s <= partial_sync_s
                   ? "async is at or below the partial-sync baseline"
                   : "REGRESSION: async is slower than partial-sync");
+  obs_session.FlushOrWarn();
   return async_s <= partial_sync_s ? 0 : 1;
 }

@@ -11,8 +11,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
   bench::PrintBanner("Ablation A3 — combiner scopes vs shuffle traffic", opts);
 
   const uint32_t num_splits = 64;

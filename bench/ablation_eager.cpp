@@ -10,8 +10,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
   bench::PrintBanner("Ablation A2 — eager scheduling depth (local iteration cap)",
                      opts);
 

@@ -19,8 +19,9 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
+  bench::ObsSession obs_session(opts);
   bench::PrintBanner("Ablation A5 — transient failures: recovery overhead", opts);
 
   auto config = bench::GraphConfig(bench::PaperGraph::kA, opts);
@@ -64,7 +65,12 @@ int main() {
     async_spec.seed = opts.seed;
     cluster::SimCluster sim3(async_spec);
     async::AsyncResult async_stats;
-    const auto asy = apps::AsyncPageRank(sim3, g, part, pr,
+    // The highest-crash-rate async run is the traced one when
+    // --trace-out/--metrics-out is set: it is the row whose timeline shows
+    // the down/recovering spans and checkpoint instants this bench is about.
+    apps::PageRankConfig apr = pr;
+    if (prob == 0.10) apr.async_tuning.obs = obs_session.View();
+    const auto asy = apps::AsyncPageRank(sim3, g, part, apr,
                                          async::kUnboundedStaleness, &async_stats);
 
     if (prob == 0.0) {
@@ -85,13 +91,15 @@ int main() {
         100 * (async_stats.seconds() / async_base - 1),
         async_stats.worker_restarts);
     std::printf(
-        "{\"bench\":\"ablation_faults\",\"scale\":%g,\"seed\":%llu,"
+        "{\"bench\":\"ablation_faults\",\"schema_version\":%d,"
+        "\"scale\":%g,\"seed\":%llu,"
         "\"fail_prob\":%g,\"general_s\":%.4f,\"general_retries\":%llu,"
         "\"eager_s\":%.4f,\"eager_retries\":%llu,"
         "\"async_crash_rate\":%g,\"async_s\":%.4f,\"async_restarts\":%u,"
         "\"async_checkpoints\":%u,\"async_recovery_s\":%.4f,"
         "\"async_converged\":%d}\n",
-        opts.scale, static_cast<unsigned long long>(opts.seed), prob,
+        bench::kBenchSchemaVersion, opts.scale,
+        static_cast<unsigned long long>(opts.seed), prob,
         gen.trace.total_seconds(),
         static_cast<unsigned long long>(gen.trace.total_failed_attempts()),
         eag.trace.total_seconds(),
@@ -105,5 +113,6 @@ int main() {
       "slowdown — eager's coarser tasks cost a bit more per retry, and the\n"
       "async engine pays restart downtime + rolled-back progress per crash\n"
       "instead of task re-execution.\n");
+  obs_session.FlushOrWarn();
   return 0;
 }

@@ -9,8 +9,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
   bench::PrintBanner("Ablation A1 — partitioner quality vs Eager PageRank", opts);
 
   auto config = bench::GraphConfig(bench::PaperGraph::kA, opts);

@@ -9,8 +9,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
   bench::PrintBanner("Ablation A4 — cluster scaling (8 .. 460 nodes)", opts);
 
   auto config = bench::GraphConfig(bench::PaperGraph::kA, opts);

@@ -9,6 +9,46 @@
 
 namespace asyncmr::bench {
 
+ObsSession::ObsSession(const BenchOptions& opts)
+    : trace_path_(opts.trace_out),
+      metrics_path_(opts.metrics_out),
+      metrics_interval_s_(opts.metrics_interval_s) {
+  if (!trace_path_.empty()) trace_ = std::make_unique<obs::TraceSink>();
+  if (!metrics_path_.empty()) metrics_ = std::make_unique<obs::MetricsRegistry>();
+}
+
+obs::Observability ObsSession::View() {
+  obs::Observability view;
+  view.trace = trace_.get();
+  view.metrics = metrics_.get();
+  view.metrics_interval_s = metrics_interval_s_;
+  return view;
+}
+
+Status ObsSession::Flush() const {
+  if (trace_ != nullptr) AMR_RETURN_IF_ERROR(trace_->WriteFile(trace_path_));
+  if (metrics_ != nullptr) {
+    AMR_RETURN_IF_ERROR(metrics_->WriteFile(metrics_path_));
+  }
+  return Status::Ok();
+}
+
+void ObsSession::FlushOrWarn() const {
+  const Status status = Flush();
+  if (!status.ok()) {
+    std::fprintf(stderr, "observability flush failed: %s\n",
+                 status.ToString().c_str());
+  } else if (trace_ != nullptr) {
+    std::fprintf(stderr, "trace: %zu events -> %s\n", trace_->num_events(),
+                 trace_path_.c_str());
+  }
+  if (status.ok() && metrics_ != nullptr) {
+    std::fprintf(stderr, "metrics: %zu samples x %zu series -> %s\n",
+                 metrics_->num_samples(), metrics_->num_series(),
+                 metrics_path_.c_str());
+  }
+}
+
 std::vector<uint32_t> ScaledPartitionCounts(const BenchOptions& opts) {
   std::vector<uint32_t> ks;
   for (uint32_t k : kPaperPartitionCounts) {

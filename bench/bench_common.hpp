@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,10 +16,56 @@
 #include "apps/pagerank.hpp"
 #include "apps/sssp.hpp"
 #include "common/options.hpp"
+#include "common/status.hpp"
 #include "graph/generator.hpp"
 #include "graph/partition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace asyncmr::bench {
+
+/// Version of the one-line BENCH_* JSON records the figure benches append to
+/// their trajectory files. Bump when a bench line gains/renames fields, and
+/// document the change in the README's "Bench-line schema" section.
+///   v1 — pre-versioned lines (no schema_version field)
+///   v2 — adds schema_version itself
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// Owns the optional observability sinks for a bench binary, resolved from
+/// BenchOptions (--trace-out / --metrics-out / AMR_TRACE_OUT / ...). When
+/// neither output is requested the session is inert: View() returns null
+/// sinks and the instrumented code pays only its null-pointer guards.
+///
+/// Benches attach the session to ONE representative run (e.g. the largest-P
+/// async cell), not every run — a trace of forty overlaid sweeps is noise.
+class ObsSession {
+ public:
+  explicit ObsSession(const BenchOptions& opts);
+
+  bool enabled() const { return trace_ != nullptr || metrics_ != nullptr; }
+
+  /// The view instrumented code consumes (EngineTuning::obs). The sinks it
+  /// points at live as long as this session.
+  obs::Observability View();
+
+  /// Writes the requested output files; no-op when disabled.
+  Status Flush() const;
+
+  /// Flush(), reporting failure to stderr instead of propagating (benches
+  /// should still print their results when a sink path is unwritable).
+  void FlushOrWarn() const;
+
+  const obs::TraceSink* trace() const { return trace_.get(); }
+  const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  double metrics_interval_s_ = 1.0;
+  std::unique_ptr<obs::TraceSink> trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+};
 
 /// The paper's partition-count axis (Figures 2-7).
 inline const std::vector<uint32_t> kPaperPartitionCounts = {100,  200,  400, 800,

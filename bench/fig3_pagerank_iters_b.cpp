@@ -5,8 +5,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
   bench::PrintBanner(
       "Figure 3 — PageRank: number of iterations to converge vs #partitions (Graph B)", opts);
   const auto rows = bench::RunPageRankSweep(bench::PaperGraph::kB, opts);

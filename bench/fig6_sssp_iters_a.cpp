@@ -4,8 +4,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
   bench::PrintBanner(
       "Figure 6 — SSSP: iterations to converge vs #partitions (Graph A)", opts);
   const auto rows = bench::RunSsspSweep(opts);

@@ -4,8 +4,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
   bench::PrintBanner("Figure 7 — SSSP: time to converge vs #partitions (Graph A)",
                      opts);
   const auto rows = bench::RunSsspSweep(opts);

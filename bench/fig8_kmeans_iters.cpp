@@ -4,8 +4,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
   bench::PrintBanner("Figure 8 — K-Means: iterations-to-converge vs threshold",
                      opts);
   const auto rows = bench::RunKmeansSweep(opts);

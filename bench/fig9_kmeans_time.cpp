@@ -4,8 +4,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
   bench::PrintBanner("Figure 9 — K-Means: time-to-converge vs threshold", opts);
   const auto rows = bench::RunKmeansSweep(opts);
   bench::PrintKmeansSweep("Figure 9 series (time):", "time", rows, opts);

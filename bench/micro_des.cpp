@@ -15,7 +15,7 @@
 // to stdout — append it to BENCH_micro_des.json to extend the perf
 // trajectory. Schema (all numbers):
 //
-//   {"bench":"micro_des","scale":S,"seed":N,
+//   {"bench":"micro_des","schema_version":V,"scale":S,"seed":N,
 //    "churn_events_per_sec":E,"churn_legacy_events_per_sec":E,
 //    "cancel_events_per_sec":E,"cancel_legacy_events_per_sec":E,
 //    "queue_speedup":X,
@@ -275,8 +275,12 @@ double NetChurnEventsPerSec(net::RebalanceMode mode, uint64_t total_flows,
 
 }  // namespace
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
+  // This bench IS the overhead yardstick, so nothing here attaches the
+  // sinks to a measured run — requesting --trace-out/--metrics-out yields
+  // valid empty documents rather than a perturbed perf anchor.
+  bench::ObsSession obs_session(opts);
   // Banner to stderr: stdout carries exactly one JSON line.
   std::fprintf(stderr,
                "=== micro_des — DES kernel throughput + end-to-end anchors ===\n"
@@ -358,7 +362,7 @@ int main() {
 
   // --- the JSON trajectory line ----------------------------------------------
   std::printf(
-      "{\"bench\":\"micro_des\",\"scale\":%g,\"seed\":%llu,"
+      "{\"bench\":\"micro_des\",\"schema_version\":%d,\"scale\":%g,\"seed\":%llu,"
       "\"churn_events_per_sec\":%.0f,\"churn_legacy_events_per_sec\":%.0f,"
       "\"cancel_events_per_sec\":%.0f,\"cancel_legacy_events_per_sec\":%.0f,"
       "\"queue_speedup\":%.3f,"
@@ -367,9 +371,11 @@ int main() {
       "\"net_rebalance_speedup\":%.3f,"
       "\"async_pagerank_wall_s\":%.4f,\"wave_pagerank_wall_s\":%.4f,"
       "\"async_virtual_s\":%.4f,\"async_total_iterations\":%llu}\n",
-      opts.scale, static_cast<unsigned long long>(opts.seed), churn,
+      bench::kBenchSchemaVersion, opts.scale,
+      static_cast<unsigned long long>(opts.seed), churn,
       churn_legacy, cancel, cancel_legacy, speedup, net_churn, net_churn_ref,
       net_churn / net_churn_ref, async_wall, wave_wall, async_stats.seconds(),
       static_cast<unsigned long long>(async_stats.total_iterations));
+  obs_session.FlushOrWarn();
   return 0;
 }

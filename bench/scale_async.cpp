@@ -20,7 +20,8 @@
 // Output: human-readable rows to stderr, one JSON line per (app, P) cell to
 // stdout — append them to BENCH_scale_async.json. Schema (numbers):
 //
-//   {"bench":"scale_async","app":A,"P":N,"nodes":N,"scale":S,"seed":N,
+//   {"bench":"scale_async","schema_version":V,"app":A,"P":N,"nodes":N,
+//    "scale":S,"seed":N,
 //    "rate_tolerance":T,"off_skipped":B,
 //    "off_wall_s":T,"off_virtual_s":T,"off_iters":N,"off_flows":N,
 //    "off_net_bytes":N,"off_converged":B,
@@ -124,7 +125,8 @@ void PrintCell(const char* app, uint32_t p, const Cell& c) {
 void EmitJson(const char* app, uint32_t p, const BenchOptions& opts,
               const Cell& c) {
   std::printf(
-      "{\"bench\":\"scale_async\",\"app\":\"%s\",\"P\":%u,\"nodes\":%u,"
+      "{\"bench\":\"scale_async\",\"schema_version\":%d,\"app\":\"%s\","
+      "\"P\":%u,\"nodes\":%u,"
       "\"scale\":%g,\"seed\":%llu,"
       "\"rate_tolerance\":%g,\"off_skipped\":%d,"
       "\"off_wall_s\":%.3f,\"off_virtual_s\":%.3f,\"off_iters\":%llu,"
@@ -135,7 +137,7 @@ void EmitJson(const char* app, uint32_t p, const BenchOptions& opts,
       "\"off_rebalances\":%llu,\"off_rate_updates\":%llu,"
       "\"on_rebalances\":%llu,\"on_rate_updates\":%llu,"
       "\"net_busy_s\":%.3f,\"token_circuits\":%u}\n",
-      app, p, CloudSpecFor(p).num_nodes(), opts.scale,
+      bench::kBenchSchemaVersion, app, p, CloudSpecFor(p).num_nodes(), opts.scale,
       static_cast<unsigned long long>(opts.seed), kRateTolerance,
       c.off_skipped ? 1 : 0, c.off.wall_s,
       c.off.stats.seconds(),
@@ -161,16 +163,20 @@ void EmitJson(const char* app, uint32_t p, const BenchOptions& opts,
 /// puts ~P^2 concurrent flows in the fluid model without coalescing, which
 /// is past what flow-granular simulation (or a real 1 Gb NIC) can carry;
 /// making that cell *feasible* is the coalescing result, not a comparison.
+/// `obs` (when non-null) attaches only to the coalescing-on variant so the
+/// trace holds one run, not two overlaid timelines.
 template <typename RunFn>
-Cell RunCell(uint32_t p, RunFn&& run, bool skip_off = false) {
+Cell RunCell(uint32_t p, RunFn&& run, bool skip_off = false,
+             obs::Observability obs = {}) {
   Cell cell;
   cell.off_skipped = skip_off;
   for (const bool coalesce : {false, true}) {
     if (!coalesce && skip_off) continue;
     CellRun& r = coalesce ? cell.on : cell.off;
     cluster::SimCluster sim(CloudSpecFor(p));
-    r.wall_s = WallSeconds(
-        [&] { r.converged = run(sim, Tuning(coalesce), &r.stats); });
+    auto tuning = Tuning(coalesce);
+    if (coalesce) tuning.obs = obs;
+    r.wall_s = WallSeconds([&] { r.converged = run(sim, tuning, &r.stats); });
     r.net = sim.network().stats();
   }
   return cell;
@@ -178,8 +184,9 @@ Cell RunCell(uint32_t p, RunFn&& run, bool skip_off = false) {
 
 }  // namespace
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
+  bench::ObsSession obs_session(opts);
   const uint32_t max_p =
       static_cast<uint32_t>(GetEnvInt("AMR_MAX_P", 1024));
   std::vector<uint32_t> sweep;
@@ -224,19 +231,25 @@ int main() {
   for (uint32_t p : sweep) {
     const auto part = graph::MultilevelPartition(g, p, opts.seed);
 
-    // PageRank: boundary-push over the partition adjacency.
+    // PageRank: boundary-push over the partition adjacency. The largest-P
+    // PageRank cell is the traced run when --trace-out/--metrics-out is set
+    // (one representative run per binary; P=64 under AMR_MAX_P=64 in CI).
     {
       apps::PageRankConfig pr;
       pr.max_global_iterations = 40;  // worker cap 400: bounds the cell
-      const Cell cell = RunCell(p, [&](cluster::SimCluster& sim,
-                                       const async::EngineTuning& tuning,
-                                       async::AsyncResult* stats) {
-        apps::PageRankConfig config = pr;
-        config.async_tuning = tuning;
-        return apps::AsyncPageRank(sim, g, part, config,
-                                   async::kUnboundedStaleness, stats)
-            .converged;
-      });
+      const bool traced_cell = p == sweep.back();
+      const Cell cell = RunCell(
+          p,
+          [&](cluster::SimCluster& sim, const async::EngineTuning& tuning,
+              async::AsyncResult* stats) {
+            apps::PageRankConfig config = pr;
+            config.async_tuning = tuning;
+            return apps::AsyncPageRank(sim, g, part, config,
+                                       async::kUnboundedStaleness, stats)
+                .converged;
+          },
+          /*skip_off=*/false,
+          traced_cell ? obs_session.View() : obs::Observability{});
       PrintCell("pagerank", p, cell);
       EmitJson("pagerank", p, opts, cell);
     }
@@ -281,5 +294,6 @@ int main() {
       EmitJson("kmeans", p, opts, cell);
     }
   }
+  obs_session.FlushOrWarn();
   return 0;
 }

@@ -9,8 +9,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
   bench::PrintBanner("Table I — measurement testbed, software", opts);
 
   std::printf("paper:\n");

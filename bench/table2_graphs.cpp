@@ -31,8 +31,8 @@ void Report(const char* name, const graph::PrefAttachConfig& config) {
 
 }  // namespace
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
   bench::PrintBanner("Table II — PageRank input graph properties", opts);
   std::printf("paper: Graph A = 280,000 nodes / 3M edges; Graph B = 100,000 nodes "
               "/ 3M edges;\nboth preferential-attachment with power-law in-degrees "

@@ -16,8 +16,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
 
   graph::PrefAttachConfig config;
   config.num_vertices = static_cast<graph::VertexId>(opts.Scaled(20'000, 2'000));

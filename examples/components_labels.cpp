@@ -13,8 +13,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
 
   // A community graph with a known number of islands.
   const uint32_t islands = 12;

@@ -11,8 +11,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
 
   apps::CensusLikeConfig data_config;
   data_config.num_points = static_cast<uint32_t>(opts.Scaled(40'000, 4'000));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/options.hpp"
 #include "core/partial_sync_job.hpp"
 #include "mr/job.hpp"
 
@@ -152,7 +153,8 @@ void PartialSyncAct(cluster::SimCluster& sim) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)BenchOptions::FromEnv(argc, argv);  // applies AMR_LOG_LEVEL/--log-level
   cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
   std::printf("asyncmr quickstart — simulated testbed: %s\n\n",
               sim.spec().Describe().c_str());

@@ -14,8 +14,8 @@
 
 using namespace asyncmr;
 
-int main() {
-  const auto opts = BenchOptions::FromEnv();
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::FromEnv(argc, argv);
 
   graph::PrefAttachConfig config;
   config.num_vertices = static_cast<graph::VertexId>(opts.Scaled(30'000, 2'000));

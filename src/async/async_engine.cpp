@@ -22,6 +22,16 @@ AsyncEngine::AsyncEngine(cluster::SimCluster& cluster, uint32_t num_partitions,
 }
 
 AsyncEngine::~AsyncEngine() {
+  // Detach everything InstallObservability leaked into longer-lived objects:
+  // the trace pointers installed into the cluster/network would dangle once
+  // the caller's sink dies, and the metric probes capture `this`.
+  if (trace_installed_) {
+    cluster_.network().set_trace(nullptr);
+    cluster_.set_trace(nullptr);
+  }
+  if (config_.obs.metrics != nullptr) {
+    for (size_t id : metric_probe_ids_) config_.obs.metrics->RemoveProbe(id);
+  }
   // The token handlers capture `this`; they must not outlive the engine in
   // the longer-lived cluster.
   if (!handlers_registered_) return;
@@ -103,20 +113,24 @@ void AsyncEngine::TryStartIteration(uint32_t p) {
   if (finished_) return;
   Worker& w = workers_[p];
   if (w.phase != WorkerPhase::kIdle && w.phase != WorkerPhase::kBlocked) return;
+  const bool was_blocked = w.phase == WorkerPhase::kBlocked;
   // force_iteration (granted once per peer restart, see RestoreWorker) lets
   // a capped sender take the recovery re-announce iteration the protocol
   // depends on: the cap bounds convergence work, and without this the
   // restored peer would recompute against permanently stale input.
   if (w.iterations >= config_.max_iterations_per_worker && !w.force_iteration) {
+    if (was_blocked) EmitBlockedSpan(p);
     w.capped = true;
     w.phase = WorkerPhase::kIdle;
     return;
   }
   if (config_.staleness_bound != kUnboundedStaleness &&
       !clocks_[p].AdmitsIteration(w.iterations + 1, config_.staleness_bound)) {
+    if (!was_blocked) w.blocked_since = cluster_.now();
     w.phase = WorkerPhase::kBlocked;
     return;
   }
+  if (was_blocked) EmitBlockedSpan(p);
   w.phase = WorkerPhase::kWaitingSlot;
   const uint32_t epoch = w.epoch;
   cluster_.AcquireSlot(w.node, config_.slot_type,
@@ -147,6 +161,8 @@ void AsyncEngine::BeginCompute(uint32_t p, uint32_t epoch) {
   w.phase = WorkerPhase::kComputing;
   w.pending_input = false;
   w.force_iteration = false;
+  w.compute_started_at = cluster_.now();
+  w.keepalive = keepalive_only;
   // Batches applied since the previous iteration are merged "now": their
   // per-record cost lands in this iteration's virtual time.
   const uint64_t merge_ops = static_cast<uint64_t>(
@@ -202,6 +218,13 @@ void AsyncEngine::FinishCompute(uint32_t p, uint32_t epoch, uint64_t ops,
   w.merge_ops += merge_ops;
   w.ledger.last_residual = residual;
   w.ledger.dirty = true;
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->Span(w.keepalive ? "keepalive" : "compute", "worker",
+                            obs::kPidWorkers, p, w.compute_started_at,
+                            cluster_.now(),
+                            {"iter", static_cast<double>(w.iterations)},
+                            {"ops", static_cast<double>(ops)});
+  }
 
   // Batches sit in w.out, index-aligned with the sorted send_peers_[p] (so
   // send order — and thus the DES trace — is deterministic, ascending by
@@ -236,8 +259,15 @@ void AsyncEngine::FinishCompute(uint32_t p, uint32_t epoch, uint64_t ops,
 
 void AsyncEngine::OnBatchDelivered(uint32_t to, uint32_t from,
                                    uint32_t from_clock, uint32_t from_epoch,
-                                   const UpdateBatch& batch) {
+                                   const UpdateBatch& batch, uint64_t flow_id) {
   Worker& w = workers_[to];
+  if (config_.obs.trace != nullptr && flow_id != 0) {
+    // Arrow head at the receiver, bound to the FlowBegin LaunchBatch emitted
+    // (dropped deliveries still get their arrow — the network moved the
+    // bytes either way).
+    config_.obs.trace->FlowEnd("batch", "net", obs::kPidWorkers, to,
+                               cluster_.now(), flow_id);
+  }
   // Every delivery counts as received, applied or not: the sender counted it
   // at send time, and the Safra proof needs the global sums to balance. The
   // counters belong to the node runtime, not the (crashable) worker process.
@@ -251,6 +281,10 @@ void AsyncEngine::OnBatchDelivered(uint32_t to, uint32_t from,
     return;
   }
   if (!batch.empty()) {
+    // Staleness lag at apply time: how far the receiver's clock had advanced
+    // past the sender's when it emitted. Negative = sender ahead.
+    staleness_[to].Add(static_cast<double>(w.iterations) -
+                       static_cast<double>(from_clock));
     apply_(to, from, from_clock, from_epoch, batch);
     w.pending_input = true;
     w.unmerged_records += batch.records;
@@ -303,11 +337,21 @@ void AsyncEngine::LaunchBatch(uint32_t p, size_t peer_index, UpdateBatch batch,
   total_records_ += batch.records;
   const uint64_t bytes = config_.update_envelope_bytes + batch.payload.size();
   total_bytes_ += bytes;
+  uint64_t fid = 0;
+  if (config_.obs.trace != nullptr) {
+    // Arrow tail at the sender, bound to the id Transfer is about to assign
+    // (and that the network's own flow span carries).
+    fid = cluster_.network().next_flow_id();
+    config_.obs.trace->FlowBegin(
+        "batch", "net", obs::kPidWorkers, p, cluster_.now(), fid,
+        {"records", static_cast<double>(batch.records)},
+        {"clock", static_cast<double>(clock)});
+  }
   auto payload = std::make_shared<UpdateBatch>(std::move(batch));
   cluster_.network().Transfer(
       w.node, workers_[q].node, bytes,
-      [this, q, p, peer_index, clock, epoch, payload] {
-        OnBatchDelivered(q, p, clock, epoch, *payload);
+      [this, q, p, peer_index, clock, epoch, payload, fid] {
+        OnBatchDelivered(q, p, clock, epoch, *payload, fid);
         OnFlowDelivered(p, peer_index, epoch);
       });
 }
@@ -354,6 +398,12 @@ void AsyncEngine::TakeCheckpoint(uint32_t p, bool free_write) {
   if (!free_write) {
     ++w.checkpoints;
     w.checkpoint_bytes += encoded.size();
+    if (config_.obs.trace != nullptr) {
+      config_.obs.trace->Instant(
+          "checkpoint", "ckpt", obs::kPidWorkers, p, cluster_.now(),
+          {"iter", static_cast<double>(w.iterations)},
+          {"bytes", static_cast<double>(encoded.size())});
+    }
   }
   checkpoints_.Write(p, std::move(encoded), cluster_.now(), free_write);
 }
@@ -372,6 +422,7 @@ void AsyncEngine::ScheduleNextCrash(uint32_t p) {
 
 void AsyncEngine::CrashWorker(uint32_t p) {
   Worker& w = workers_[p];
+  const WorkerPhase phase_at_crash = w.phase;
   ++w.epoch;  // in-flight batches/grants/completions of the old epoch die
   ++total_restarts_;
   if (w.phase == WorkerPhase::kComputing) {
@@ -401,9 +452,21 @@ void AsyncEngine::CrashWorker(uint32_t p) {
   AMR_CHECK(snapshot != nullptr)
       << "worker " << p << " crashed with no durable checkpoint (the engine "
       << "writes a free initial snapshot at Run)";
-  const double delay = cluster_.spec().worker_restart_delay_s +
-                       checkpoints_.ReadSeconds(*snapshot);
+  const double restart_delay = cluster_.spec().worker_restart_delay_s;
+  const double delay = restart_delay + checkpoints_.ReadSeconds(*snapshot);
   recovery_seconds_ += delay;
+  if (config_.obs.trace != nullptr) {
+    // The outage is future-dated at crash time: its length is already
+    // deterministic here, and this way a run that terminates mid-recovery
+    // still shows the outage that was in progress.
+    if (phase_at_crash == WorkerPhase::kBlocked) EmitBlockedSpan(p);
+    config_.obs.trace->Instant("crash", "fault", obs::kPidWorkers, p, now,
+                               {"epoch", static_cast<double>(w.epoch)});
+    config_.obs.trace->Span("down", "fault", obs::kPidWorkers, p, now,
+                            now + restart_delay);
+    config_.obs.trace->Span("recovering", "fault", obs::kPidWorkers, p,
+                            now + restart_delay, now + delay);
+  }
   AMR_LOG_DEBUG << "async worker " << p << " crashed at t=" << now
                 << "; restoring in " << delay << " s (epoch " << w.epoch << ")";
   const uint32_t epoch = w.epoch;
@@ -483,10 +546,116 @@ void AsyncEngine::RestoreWorker(uint32_t p, uint32_t epoch) {
     }
   }
 
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->Instant("restored", "fault", obs::kPidWorkers, p,
+                               cluster_.now(),
+                               {"iter", static_cast<double>(w.iterations)},
+                               {"epoch", static_cast<double>(w.epoch)});
+  }
   AMR_LOG_DEBUG << "async worker " << p << " restored at t=" << cluster_.now()
                 << " to iteration " << w.iterations << " (epoch " << w.epoch
                 << ")";
   TryStartIteration(p);
+}
+
+// --- observability -----------------------------------------------------------
+
+namespace {
+
+/// Staleness-lag buckets: 0 (covers lockstep and every sender-ahead lag),
+/// then powers of two out to 1024 iterations, overflow beyond. Shared by the
+/// per-worker recorders and the merged run-level summary (Merge requires
+/// identical bounds).
+Histogram MakeStalenessHistogram() {
+  return Histogram(
+      {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0});
+}
+
+}  // namespace
+
+void AsyncEngine::EmitBlockedSpan(uint32_t p) {
+  if (config_.obs.trace == nullptr) return;
+  const Worker& w = workers_[p];
+  config_.obs.trace->Span("gate-blocked", "worker", obs::kPidWorkers, p,
+                          w.blocked_since, cluster_.now(),
+                          {"iter", static_cast<double>(w.iterations)});
+}
+
+void AsyncEngine::InstallObservability() {
+  obs::TraceSink* trace = config_.obs.trace;
+  if (trace != nullptr) {
+    cluster_.network().set_trace(trace);
+    cluster_.set_trace(trace);
+    checkpoints_.set_trace(trace);
+    trace_installed_ = true;
+    trace->SetProcessName(obs::kPidWorkers, "workers (" + config_.name + ")");
+    trace->SetProcessName(obs::kPidNetwork, "network");
+    trace->SetProcessName(obs::kPidControl, "control");
+    trace->SetThreadName(obs::kPidControl, 0, "termination token");
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      trace->SetThreadName(obs::kPidWorkers, p, "worker " + std::to_string(p));
+    }
+  }
+
+  obs::MetricsRegistry* m = config_.obs.metrics;
+  if (m == nullptr) return;
+  auto probe = [&](std::string name, std::function<double()> fn) {
+    metric_probe_ids_.push_back(m->AddProbe(std::move(name), std::move(fn)));
+  };
+  auto count_phase = [this](WorkerPhase phase) {
+    uint32_t n = 0;
+    for (const Worker& w : workers_) n += w.phase == phase ? 1 : 0;
+    return static_cast<double>(n);
+  };
+  // Registered first: caches the minimum for the per-worker skew probes
+  // below (probes are sampled in registration order).
+  probe("clock.min", [this] {
+    uint32_t lo = workers_[0].iterations;
+    for (const Worker& w : workers_) lo = std::min(lo, w.iterations);
+    cached_min_clock_ = lo;
+    return static_cast<double>(lo);
+  });
+  probe("clock.max", [this] {
+    uint32_t hi = 0;
+    for (const Worker& w : workers_) hi = std::max(hi, w.iterations);
+    return static_cast<double>(hi);
+  });
+  probe("workers.computing",
+        [count_phase] { return count_phase(WorkerPhase::kComputing); });
+  probe("workers.blocked",
+        [count_phase] { return count_phase(WorkerPhase::kBlocked); });
+  probe("workers.waiting_slot",
+        [count_phase] { return count_phase(WorkerPhase::kWaitingSlot); });
+  probe("workers.down",
+        [count_phase] { return count_phase(WorkerPhase::kDown); });
+  probe("pending.records", [this] {
+    uint64_t n = 0;
+    for (const Worker& w : workers_) n += w.unmerged_records;
+    return static_cast<double>(n);
+  });
+  probe("pending.workers", [this] {
+    uint32_t n = 0;
+    for (const Worker& w : workers_) n += w.pending_input ? 1 : 0;
+    return static_cast<double>(n);
+  });
+  probe("net.active_flows",
+        [this] { return static_cast<double>(cluster_.network().active_flows()); });
+  probe("restarts", [this] { return static_cast<double>(total_restarts_); });
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    probe("worker.skew.p" + std::to_string(p), [this, p] {
+      return static_cast<double>(workers_[p].iterations) -
+             static_cast<double>(cached_min_clock_);
+    });
+  }
+}
+
+void AsyncEngine::ScheduleMetricsSample() {
+  const double interval = std::max(config_.obs.metrics_interval_s, 1e-6);
+  cluster_.queue().ScheduleAfter(interval, [this] {
+    if (finished_) return;  // breaks the tick chain so the queue drains
+    config_.obs.metrics->Sample(cluster_.now());
+    ScheduleMetricsSample();
+  });
 }
 
 // --- termination token -------------------------------------------------------
@@ -554,7 +723,15 @@ void AsyncEngine::CompleteCircuit(const ProgressToken& token) {
   // circuit is tainted and re-circulates (restart-count monotonicity makes
   // this exact — epochs only grow, and a crash after the visit is precisely
   // a sum mismatch at completion).
-  if (token.ProvesTermination() && token.restarts == total_restarts_) {
+  const bool proved =
+      token.ProvesTermination() && token.restarts == total_restarts_;
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->Span(
+        "token-circuit", "token", obs::kPidControl, 0, circuit_start_time_,
+        cluster_.now(), {"circuit", static_cast<double>(token_circuits_ - 1)},
+        {"proved", proved ? 1.0 : 0.0});
+  }
+  if (proved) {
     // An unknown residual (some worker never iterated) can terminate — the
     // workers are provably done — but never *converged*.
     Finish(token.residual_known &&
@@ -600,6 +777,12 @@ AsyncResult AsyncEngine::Run() {
 
   BuildTopology();
   RegisterTokenHandlers();
+  InstallObservability();
+  staleness_.clear();
+  staleness_.reserve(num_partitions_);
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    staleness_.push_back(MakeStalenessHistogram());
+  }
   checkpoints_.ResetPartitions(num_partitions_);
   if (snapshot_) {
     // The free iteration-0 snapshot: the staged input, durable before the
@@ -610,6 +793,10 @@ AsyncResult AsyncEngine::Run() {
     }
   }
   start_time_ = cluster_.now();
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->Sample(cluster_.now());  // t = start row
+    ScheduleMetricsSample();
+  }
   for (uint32_t p = 0; p < num_partitions_; ++p) TryStartIteration(p);
   if (crashes) {
     for (uint32_t p = 0; p < num_partitions_; ++p) ScheduleNextCrash(p);
@@ -618,6 +805,9 @@ AsyncResult AsyncEngine::Run() {
   cluster_.RunUntilIdle();
   AMR_CHECK(finished_)
       << "async engine drained the event queue without terminating";
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->Sample(cluster_.now());  // end-of-run row
+  }
 
   AsyncResult result;
   result.converged = converged_;
@@ -637,6 +827,18 @@ AsyncResult AsyncEngine::Run() {
   result.checkpoint_bytes = checkpoints_.stats().bytes_written;
   result.checkpoint_write_seconds = checkpoints_.stats().write_seconds;
   result.recovery_seconds = recovery_seconds_;
+  Histogram staleness = MakeStalenessHistogram();
+  for (const Histogram& h : staleness_) staleness.Merge(h);
+  result.staleness_samples = staleness.total();
+  result.staleness_p50 = staleness.Percentile(50);
+  result.staleness_p95 = staleness.Percentile(95);
+  result.staleness_min = staleness.min_seen();
+  result.staleness_max = staleness.max_seen();
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics
+        ->AddHistogram("staleness_lag", MakeStalenessHistogram())
+        ->Merge(staleness);
+  }
   result.workers.reserve(num_partitions_);
   for (const Worker& w : workers_) {
     WorkerStats stats;

@@ -71,6 +71,8 @@
 #include "async/progress.hpp"
 #include "async/state_store.hpp"
 #include "cluster/cluster.hpp"
+#include "common/stats.hpp"
+#include "obs/obs.hpp"
 #include "serde/serde.hpp"
 
 namespace asyncmr::async {
@@ -139,6 +141,10 @@ struct EngineTuning {
   bool adaptive_token_backoff = false;
   /// Base (and, in adaptive mode, minimum) inter-circuit pause.
   double token_backoff_s = 0.25;
+  /// Observability sinks (null = disabled, the default; see obs/obs.hpp).
+  /// The sinks must outlive the engine; the engine detaches what it installed
+  /// (network/cluster trace pointers, metric probes) in its destructor.
+  obs::Observability obs;
 };
 
 struct AsyncConfig {
@@ -184,11 +190,15 @@ struct AsyncConfig {
   /// has a flow in flight, which already holds sent > received.
   bool coalesce_batches = false;
 
+  /// Observability sinks (see EngineTuning::obs); disabled when null.
+  obs::Observability obs;
+
   /// Copies the caller-exposed tuning knobs (see EngineTuning).
   void ApplyTuning(const EngineTuning& t) {
     coalesce_batches = t.coalesce_batches;
     adaptive_token_backoff = t.adaptive_token_backoff;
     token_backoff_s = t.token_backoff_s;
+    obs = t.obs;
   }
   /// Completed iterations between worker checkpoints (0 = only the free
   /// initial snapshot). Checkpoints are taken only when a snapshot callback
@@ -332,6 +342,17 @@ struct AsyncResult {
   /// and the run reports converged = false regardless of this value.
   double final_residual = 0.0;
   bool residual_known = true;
+  /// Staleness-lag distribution observed at update-apply time: receiver
+  /// clock minus sender clock per applied (non-empty) batch, aggregated
+  /// across workers. Negative lag (sender ahead of receiver) clamps into the
+  /// first bucket for the percentiles; staleness_min keeps the raw extreme.
+  /// Always measured — the histogram update is a dozen-entry lower_bound per
+  /// applied batch, noise next to decoding the batch.
+  uint64_t staleness_samples = 0;
+  double staleness_p50 = 0.0;
+  double staleness_p95 = 0.0;
+  double staleness_min = 0.0;
+  double staleness_max = 0.0;
   std::vector<WorkerStats> workers;
 
   double seconds() const { return end_seconds - start_seconds; }
@@ -424,6 +445,11 @@ class AsyncEngine {
     /// Records delivered since the last BeginCompute; their merge cost is
     /// charged into the next iteration's virtual time.
     uint64_t unmerged_records = 0;
+    /// Trace bookkeeping (plain stores, kept current even when tracing is
+    /// off — cheaper than branching on every phase transition).
+    double compute_started_at = 0.0;
+    double blocked_since = 0.0;
+    bool keepalive = false;  // the running iteration is clock-advance only
     /// Per-out-peer emission buffers, index-aligned with send_peers_[p].
     /// Cleared (capacity kept) at BeginCompute, filled via AsyncContext, and
     /// moved into network payloads at FinishCompute.
@@ -450,8 +476,11 @@ class AsyncEngine {
   void BeginCompute(uint32_t p, uint32_t epoch);
   void FinishCompute(uint32_t p, uint32_t epoch, uint64_t ops,
                      uint64_t merge_ops, double residual);
+  /// `flow_id` is the network flow that carried the batch (0 when tracing is
+  /// off — it is only used to close the sender→receiver trace arrow).
   void OnBatchDelivered(uint32_t to, uint32_t from, uint32_t from_clock,
-                        uint32_t from_epoch, const UpdateBatch& batch);
+                        uint32_t from_epoch, const UpdateBatch& batch,
+                        uint64_t flow_id);
   /// Routes one emission from `p` to send_peers_[p][peer_index]: merges into
   /// the edge's pending batch when coalescing and a flow is in flight,
   /// otherwise launches a flow (LaunchBatch).
@@ -463,6 +492,21 @@ class AsyncEngine {
   /// Sender-side flow-landed hook (coalescing): frees the edge and launches
   /// the pending batch, if any.
   void OnFlowDelivered(uint32_t p, size_t peer_index, uint32_t epoch);
+
+  // --- observability ---------------------------------------------------------
+  /// Wires the configured sinks into the cluster/network/checkpoint layers,
+  /// names the trace rows, and registers the engine's metric probes. The
+  /// destructor undoes all of it (the sinks outlive the engine, the engine
+  /// must not leak callbacks into them).
+  void InstallObservability();
+  /// Closes the "gate-blocked" span of a worker leaving kBlocked.
+  void EmitBlockedSpan(uint32_t p);
+  /// Self-rescheduling virtual-time tick reading every metric probe; the
+  /// chain stops once finished_ so RunUntilIdle still drains the queue.
+  /// Probes only read engine state — the extra queue events renumber event
+  /// sequence ids but preserve the relative firing order of all other
+  /// events, so the simulation stays bit-identical with metrics on or off.
+  void ScheduleMetricsSample();
 
   // --- checkpoint/replay -----------------------------------------------------
   /// Serializes worker `p`'s full state (engine record + app payload) into a
@@ -511,6 +555,17 @@ class AsyncEngine {
   CheckpointStore checkpoints_;
   uint32_t total_restarts_ = 0;
   double recovery_seconds_ = 0.0;
+
+  /// Per partition: staleness lag at apply time (see AsyncResult). Built at
+  /// Run regardless of the obs config.
+  std::vector<Histogram> staleness_;
+  /// Probe handles registered with config_.obs.metrics, removed in ~AsyncEngine.
+  std::vector<size_t> metric_probe_ids_;
+  /// Min worker clock cached by the "clock.min" probe for the per-worker
+  /// skew probes sampled after it (MetricsRegistry samples in registration
+  /// order), avoiding an O(P) scan per skew probe.
+  uint32_t cached_min_clock_ = 0;
+  bool trace_installed_ = false;
 
   bool running_ = false;
   bool handlers_registered_ = false;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace asyncmr::async {
 
@@ -30,6 +31,11 @@ void CheckpointStore::Write(uint32_t p, serde::Buffer encoded, double now,
     ++stats_.checkpoints_written;
     stats_.bytes_written += encoded.size();
     stats_.write_seconds += write_s;
+    if (trace_ != nullptr) {
+      trace_->Span("ckpt-write", "ckpt", obs::kPidControl, p, now,
+                   slot.durable_at,
+                   {"bytes", static_cast<double>(encoded.size())});
+    }
   }
   slot.encoded = std::move(encoded);
   slots.push_back(std::move(slot));

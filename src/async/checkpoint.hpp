@@ -31,6 +31,10 @@
 #include "dfs/dfs.hpp"
 #include "serde/serde.hpp"
 
+namespace asyncmr::obs {
+class TraceSink;
+}
+
 namespace asyncmr::async {
 
 /// Everything a worker needs to resume: the engine-level record plus the
@@ -105,12 +109,19 @@ class CheckpointStore {
 
   const Stats& stats() const { return stats_; }
 
+  /// Installs (or clears) a trace sink: each paid (non-free) write is
+  /// recorded as a "ckpt-write" span covering its write-behind window
+  /// [now, durable_at). The installer must clear the pointer before the
+  /// sink dies.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   struct Slot {
     serde::Buffer encoded;
     double durable_at = 0.0;
   };
 
+  obs::TraceSink* trace_ = nullptr;
   dfs::Dfs& dfs_;
   /// Per partition, ordered by write (and thus durable_at) time. Pruned on
   /// write: only the newest already-durable snapshot plus pending ones are

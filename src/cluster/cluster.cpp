@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.hpp"
+#include "obs/obs.hpp"
 
 namespace asyncmr::cluster {
 
@@ -337,6 +338,21 @@ void SimCluster::AcquireSlot(net::NodeId node, SlotType type,
   if (free > 0) {
     --free;
     queue_.ScheduleAfter(0.0, std::move(on_acquired));
+    return;
+  }
+  if (trace_ != nullptr) {
+    // Only the queued path is interesting (and only it pays for the wrapper):
+    // record how long the request sat behind the busy node.
+    const double enqueued_at = queue_.now();
+    slot_waiters(node, type)
+        .push_back([this, node, enqueued_at,
+                    inner = std::move(on_acquired)]() mutable {
+          if (trace_ != nullptr) {
+            trace_->Span("slot-wait", "cluster", obs::kPidControl, node,
+                         enqueued_at, queue_.now());
+          }
+          inner();
+        });
     return;
   }
   slot_waiters(node, type).push_back(std::move(on_acquired));

@@ -28,6 +28,10 @@
 #include "net/rpc.hpp"
 #include "sim/event_queue.hpp"
 
+namespace asyncmr::obs {
+class TraceSink;
+}
+
 namespace asyncmr::cluster {
 
 class SimCluster {
@@ -68,6 +72,11 @@ class SimCluster {
   /// Free slots of a type on a node right now (visible for tests).
   uint32_t free_slots(net::NodeId node, SlotType type) const;
 
+  /// Installs (or clears) a trace sink: slot acquisitions that actually
+  /// queue behind a busy node are recorded as "slot-wait" spans on the
+  /// control row. The installer must clear the pointer before the sink dies.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
   /// Samples the virtual-time delay until one long-lived worker's next crash:
   /// exponential with rate spec().worker_crash_rate, +infinity when crash
   /// injection is disabled (rate 0 — no RNG draw, preserving the stream).
@@ -93,6 +102,7 @@ class SimCluster {
   std::vector<std::deque<std::function<void()>>> map_slot_waiters_;
   std::vector<std::deque<std::function<void()>>> reduce_slot_waiters_;
   std::vector<std::shared_ptr<WaveRunner>> active_waves_;
+  obs::TraceSink* trace_ = nullptr;
   friend class WaveRunner;
 };
 

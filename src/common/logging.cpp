@@ -15,6 +15,19 @@ const char* LogLevelName(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 Logger& Logger::Get() {
   static Logger logger;
   return logger;

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace asyncmr {
@@ -13,6 +15,11 @@ namespace asyncmr {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 const char* LogLevelName(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive);
+/// nullopt for anything else. Inverse of LogLevelName, for the AMR_LOG_LEVEL
+/// environment variable and the --log-level flag.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
 
 class Logger {
  public:

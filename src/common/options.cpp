@@ -1,8 +1,11 @@
 #include "common/options.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
+#include "common/logging.hpp"
 #include "common/string_util.hpp"
 
 namespace asyncmr {
@@ -42,6 +45,19 @@ bool GetEnvBool(const std::string& name, bool fallback) {
   return fallback;
 }
 
+namespace {
+
+void ApplyLogLevel(const std::string& name) {
+  const auto level = ParseLogLevel(name);
+  if (level.has_value()) {
+    Logger::Get().set_level(*level);
+  } else {
+    std::fprintf(stderr, "ignoring unknown log level '%s'\n", name.c_str());
+  }
+}
+
+}  // namespace
+
 BenchOptions BenchOptions::FromEnv() {
   BenchOptions opts;
   opts.scale = GetEnvDouble("AMR_SCALE", 1.0);
@@ -49,6 +65,45 @@ BenchOptions BenchOptions::FromEnv() {
   opts.seed = static_cast<uint64_t>(GetEnvInt("AMR_SEED", 42));
   opts.threads = static_cast<int>(GetEnvInt("AMR_THREADS", 0));
   opts.csv = GetEnvBool("AMR_CSV", false);
+  opts.trace_out = GetEnv("AMR_TRACE_OUT").value_or("");
+  opts.metrics_out = GetEnv("AMR_METRICS_OUT").value_or("");
+  opts.metrics_interval_s = GetEnvDouble("AMR_METRICS_INTERVAL", 1.0);
+  if (opts.metrics_interval_s <= 0) opts.metrics_interval_s = 1.0;
+  if (auto level = GetEnv("AMR_LOG_LEVEL")) ApplyLogLevel(*level);
+  return opts;
+}
+
+BenchOptions BenchOptions::FromEnv(int argc, char** argv) {
+  BenchOptions opts = FromEnv();
+  // "--flag=value" or "--flag value"; takes the value, returns nullopt when
+  // arg does not start with the flag.
+  auto flag_value = [&](std::string_view arg, std::string_view flag,
+                        int& i) -> std::optional<std::string> {
+    if (arg.substr(0, flag.size()) != flag) return std::nullopt;
+    const std::string_view rest = arg.substr(flag.size());
+    if (rest.size() > 1 && rest[0] == '=') return std::string(rest.substr(1));
+    if (rest.empty() && i + 1 < argc) return std::string(argv[++i]);
+    return std::nullopt;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (auto v = flag_value(arg, "--log-level", i)) {
+      ApplyLogLevel(*v);
+    } else if (auto v = flag_value(arg, "--trace-out", i)) {
+      opts.trace_out = *v;
+    } else if (auto v = flag_value(arg, "--metrics-out", i)) {
+      opts.metrics_out = *v;
+    } else if (auto v = flag_value(arg, "--metrics-interval", i)) {
+      try {
+        opts.metrics_interval_s = std::stod(*v);
+      } catch (...) {
+        std::fprintf(stderr, "ignoring bad --metrics-interval '%s'\n", v->c_str());
+      }
+      if (opts.metrics_interval_s <= 0) opts.metrics_interval_s = 1.0;
+    } else {
+      std::fprintf(stderr, "ignoring unknown argument '%s'\n", argv[i]);
+    }
+  }
   return opts;
 }
 

@@ -68,6 +68,17 @@ void Histogram::Add(double x) {
   auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   counts_[static_cast<size_t>(it - bounds_.begin())]++;
   ++total_;
+  min_seen_ = std::min(min_seen_, x);
+  max_seen_ = std::max(max_seen_, x);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  AMR_CHECK(bounds_ == other.bounds_)
+      << "cannot merge histograms with different bucket bounds";
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  min_seen_ = std::min(min_seen_, other.min_seen_);
+  max_seen_ = std::max(max_seen_, other.max_seen_);
 }
 
 double Histogram::Percentile(double p) const {
@@ -82,10 +93,12 @@ double Histogram::Percentile(double p) const {
   for (size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];
     if (seen >= target) {
-      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+      // The overflow bucket has no upper bound; the tracked maximum is the
+      // tightest honest answer there (bounds_.back() would underreport).
+      return i < bounds_.size() ? bounds_[i] : max_seen_;
     }
   }
-  return bounds_.back();
+  return max_seen_;
 }
 
 std::string Histogram::ToString() const {

@@ -43,16 +43,30 @@ class Histogram {
   static Histogram Exponential(double first_bound, double factor, int count);
 
   void Add(double x);
+
+  /// Accumulates another histogram with identical bucket bounds (checked).
+  /// Used to fold per-worker distributions into a run-level summary.
+  void Merge(const Histogram& other);
+
   uint64_t total() const { return total_; }
   uint64_t bucket_count(size_t i) const { return counts_.at(i); }
   size_t num_buckets() const { return counts_.size(); }
+  const std::vector<double>& bounds() const { return bounds_; }
   double Percentile(double p) const;  // p in [0,100]
+
+  /// Smallest / largest raw value ever Added (0 when empty) — the histogram
+  /// only keeps bucket counts, so exact extrema are tracked on the side.
+  double min_seen() const { return total_ ? min_seen_ : 0.0; }
+  double max_seen() const { return total_ ? max_seen_ : 0.0; }
+
   std::string ToString() const;
 
  private:
   std::vector<double> bounds_;  // ascending
   std::vector<uint64_t> counts_;  // bounds_.size() + 1 (overflow)
   uint64_t total_ = 0;
+  double min_seen_ = std::numeric_limits<double>::infinity();
+  double max_seen_ = -std::numeric_limits<double>::infinity();
 };
 
 /// Least-squares line fit y = a + b*x; returns {a, b, r2}.

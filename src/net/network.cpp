@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace asyncmr::net {
 
@@ -60,6 +61,7 @@ FlowId Network::Transfer(NodeId src, NodeId dst, uint64_t bytes,
   // per-transfer std::function allocation beyond the flow's own callback).
   const uint32_t slot = AllocSlot();
   Flow& flow = slab_[slot];
+  flow.id = id;
   flow.src = src;
   flow.dst = dst;
   flow.remaining_bytes = static_cast<double>(bytes);
@@ -94,6 +96,7 @@ void Network::StartFlow(uint32_t slot) {
   Flow& flow = slab_[slot];
   const double now = queue_.now();
   flow.last_update = now;
+  flow.started_at = now;
   ++stats_.flows_started;
   if (flow.remaining_bytes <= 0.0) {
     // Latency already paid; finish immediately.
@@ -146,6 +149,11 @@ void Network::CompleteFlow(uint32_t slot) {
   stats_.bytes_transferred += flow.total_bytes;
   if (!topology_.SameRack(flow.src, flow.dst)) {
     stats_.bytes_cross_rack += flow.total_bytes;
+  }
+  if (trace_ != nullptr) {
+    trace_->Span("flow", "net", obs::kPidNetwork, flow.src, flow.started_at,
+                 now, {"bytes", static_cast<double>(flow.total_bytes)},
+                 {"dst", static_cast<double>(flow.dst)});
   }
 
   const NodeId src = flow.src;

@@ -34,6 +34,10 @@
 #include "net/topology.hpp"
 #include "sim/event_queue.hpp"
 
+namespace asyncmr::obs {
+class TraceSink;
+}
+
 namespace asyncmr::net {
 
 using FlowId = uint64_t;
@@ -112,6 +116,17 @@ class Network {
   /// planners/tests, not by the simulation itself).
   double IdealTransferSeconds(NodeId src, NodeId dst, uint64_t bytes) const;
 
+  /// Installs (or clears, with nullptr) a trace sink: each payload-bearing
+  /// flow is recorded as a span on its source node's row, tagged with the
+  /// FlowId so callers can bind sender→receiver arrows to it. The installer
+  /// must clear the pointer before the sink dies.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
+  /// The id Transfer will assign next. Callers that want to pre-announce a
+  /// flow (e.g. a trace arrow tail at the sender) read this just before the
+  /// Transfer call that creates it.
+  FlowId next_flow_id() const { return next_flow_id_; }
+
  private:
   static constexpr uint32_t kNil = 0xFFFFFFFFu;
 
@@ -121,6 +136,8 @@ class Network {
     double remaining_bytes = 0.0;
     double rate_Bps = 0.0;
     double last_update = 0.0;
+    double started_at = 0.0;  // when the payload entered the fluid model
+    FlowId id = 0;
     uint64_t total_bytes = 0;
     sim::EventId completion_event = 0;
     std::function<void()> on_complete;
@@ -176,6 +193,7 @@ class Network {
   size_t active_flows_ = 0;
   double busy_since_ = 0.0;  // valid while active_flows_ > 0
   FlowId next_flow_id_ = 1;
+  obs::TraceSink* trace_ = nullptr;
   NetworkStats stats_;
 };
 

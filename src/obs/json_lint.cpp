@@ -1,0 +1,170 @@
+#include "obs/json_lint.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace asyncmr::obs {
+
+namespace {
+
+/// Recursive-descent walker over the candidate document. Tracks only a
+/// cursor; errors carry the offset so a malformed byte is easy to find in
+/// multi-megabyte traces.
+class Linter {
+ public:
+  explicit Linter(std::string_view text) : text_(text) {}
+
+  Status Run() {
+    SkipWs();
+    AMR_RETURN_IF_ERROR(Value(0));
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing content");
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument(what + " at byte " + std::to_string(pos_));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  Status Value(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case '{': return Object(depth);
+      case '[': return Array(depth);
+      case '"': return String();
+      case 't': return ConsumeWord("true") ? Status::Ok() : Fail("bad literal");
+      case 'f': return ConsumeWord("false") ? Status::Ok() : Fail("bad literal");
+      case 'n': return ConsumeWord("null") ? Status::Ok() : Fail("bad literal");
+      default: return Number();
+    }
+  }
+
+  Status Object(int depth) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      AMR_RETURN_IF_ERROR(String());
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWs();
+      AMR_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status Array(int depth) {
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      AMR_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status String() {
+    ++pos_;  // '"'
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) break;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  Status Number() {
+    const size_t start = pos_;
+    Consume('-');
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      pos_ = start;
+      return Fail("expected value");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Consume('.')) {
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit required after decimal point");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Consume('+')) Consume('-');
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit required in exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) { return Linter(text).Run(); }
+
+}  // namespace asyncmr::obs

@@ -1,0 +1,17 @@
+// Minimal RFC 8259 JSON well-formedness checker. No DOM, no dependencies:
+// tests and tools use it to assert that emitted trace/metrics documents (and
+// BENCH_* lines) parse, without pulling a JSON library into the build.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace asyncmr::obs {
+
+/// Returns Ok iff `text` is exactly one valid JSON value (with optional
+/// surrounding whitespace). On failure the status message includes the byte
+/// offset of the first error.
+Status ValidateJson(std::string_view text);
+
+}  // namespace asyncmr::obs

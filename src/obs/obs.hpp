@@ -1,0 +1,37 @@
+// Observability: the nullable bundle instrumented code carries around.
+//
+// A simulation component (engine, network, cluster, checkpoint store) holds
+// raw pointers to the sinks, never ownership — the driver (a bench binary,
+// a test) owns the TraceSink / MetricsRegistry and decides where their output
+// goes. Both pointers default to null, and every instrumentation site guards
+// on that, so the disabled path is a single predictable branch per site.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace asyncmr::obs {
+
+// Trace row layout, shared by all instrumented components:
+//   kPidWorkers: tid = partition. Iteration spans phased by state, staleness
+//                flow-arrow endpoints, checkpoint/crash/restored instants.
+//   kPidNetwork: tid = node. Fluid-model transfer spans.
+//   kPidControl: tid 0 = termination-token circuits; tid = node for
+//                slot-wait spans; tid = partition for checkpoint writes.
+inline constexpr uint32_t kPidWorkers = 1;
+inline constexpr uint32_t kPidNetwork = 2;
+inline constexpr uint32_t kPidControl = 3;
+
+struct Observability {
+  TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  /// Virtual-time cadence for gauge sampling (seconds); only meaningful when
+  /// `metrics` is set.
+  double metrics_interval_s = 1.0;
+
+  bool enabled() const { return trace != nullptr || metrics != nullptr; }
+};
+
+}  // namespace asyncmr::obs

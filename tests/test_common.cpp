@@ -190,6 +190,80 @@ TEST(Histogram, PercentileEdgeCases) {
   EXPECT_DOUBLE_EQ(empty.Percentile(100), 0.0);
 }
 
+TEST(Histogram, OverflowPercentileReportsMaxSeen) {
+  // A percentile landing in the overflow bucket has no upper bound to
+  // report; the honest answer is the largest value actually observed, not
+  // the last finite bound (which would underreport).
+  Histogram h({1.0, 10.0});
+  h.Add(0.5);
+  h.Add(250.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 250.0);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 250.0);
+}
+
+TEST(Histogram, MergeMatchesSequential) {
+  Histogram all({1.0, 4.0, 16.0, 64.0});
+  Histogram a({1.0, 4.0, 16.0, 64.0});
+  Histogram b({1.0, 4.0, 16.0, 64.0});
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.NextDouble(0.0, 100.0);
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total(), all.total());
+  for (size_t i = 0; i < all.num_buckets(); ++i) {
+    EXPECT_EQ(a.bucket_count(i), all.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.min_seen(), all.min_seen());
+  EXPECT_DOUBLE_EQ(a.max_seen(), all.max_seen());
+  for (double p : {0.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), all.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(Histogram, MergeWithEmptySides) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.Merge(b);  // empty into empty
+  EXPECT_EQ(a.total(), 0u);
+  b.Add(1.5);
+  a.Merge(b);  // occupied into empty
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 1.5);
+  Histogram c({1.0, 2.0});
+  a.Merge(c);  // empty into occupied: no change
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_DOUBLE_EQ(a.min_seen(), 1.5);
+}
+
+// --- ParseLogLevel -----------------------------------------------------------
+
+TEST(ParseLogLevel, AcceptsKnownNamesCaseInsensitive) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none"), LogLevel::kOff);
+}
+
+TEST(ParseLogLevel, RejectsUnknownNames) {
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("2"), std::nullopt);
+}
+
+TEST(ParseLogLevel, RoundTripsLogLevelName) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(ParseLogLevel(LogLevelName(level)), level);
+  }
+}
+
 TEST(FitLine, RecoversSlope) {
   std::vector<double> xs, ys;
   for (int i = 0; i < 50; ++i) {
