@@ -84,6 +84,13 @@ void AsyncEngine::BuildTopology() {
     for (uint32_t p = 0; p < num_partitions_; ++p) {
       clocks_.emplace_back(send_peers_[p]);
     }
+    if (config_.suspicion_timeout_s > 0.0) {
+      suspected_.assign(num_partitions_, {});
+      suspected_count_.assign(num_partitions_, 0);
+      for (uint32_t p = 0; p < num_partitions_; ++p) {
+        suspected_[p].assign(clocks_[p].peers().size(), 0);
+      }
+    }
   }
 
   senders_to_.assign(num_partitions_, {});
@@ -125,8 +132,11 @@ void AsyncEngine::TryStartIteration(uint32_t p) {
     return;
   }
   if (config_.staleness_bound != kUnboundedStaleness &&
-      !clocks_[p].AdmitsIteration(w.iterations + 1, config_.staleness_bound)) {
-    if (!was_blocked) w.blocked_since = cluster_.now();
+      !GateAdmits(p, w.iterations + 1)) {
+    if (!was_blocked) {
+      w.blocked_since = cluster_.now();
+      ArmSuspicionTimer(p);
+    }
     w.phase = WorkerPhase::kBlocked;
     return;
   }
@@ -193,9 +203,21 @@ void AsyncEngine::BeginCompute(uint32_t p, uint32_t epoch) {
         rng.NextDouble(spec.straggler_slowdown_min, spec.straggler_slowdown_max);
   }
   const uint64_t ops = ctx.ops_ + merge_ops;
+  // Per-node speed spread and background-load episodes (the heterogeneity
+  // knobs) scale compute exactly like they do for wave tasks. Both are x1.0
+  // identities when off.
+  const double load = cluster_.NodeLoadFactor(w.node);
   const double compute_s = static_cast<double>(ops) * spec.per_op_seconds *
-                           config_.compute_time_scale * slowdown /
+                           config_.compute_time_scale * slowdown * load /
                            spec.nodes[w.node].speed_factor;
+
+  if (config_.obs.trace != nullptr && load > 1.0) {
+    // A background-load episode is stretching this iteration: future-date the
+    // span over the whole slowed compute so the straggling shows in traces.
+    config_.obs.trace->Span("straggling", "fault", obs::kPidWorkers, p,
+                            cluster_.now(), cluster_.now() + compute_s,
+                            {"load", load});
+  }
 
   const double residual = ctx.residual_;
   cluster_.queue().ScheduleAfter(
@@ -291,6 +313,20 @@ void AsyncEngine::OnBatchDelivered(uint32_t to, uint32_t from,
   }
   if (config_.staleness_bound != kUnboundedStaleness) {
     clocks_[to].Observe(from, from_clock);
+    if (!suspected_.empty() && suspected_count_[to] > 0) {
+      // Any delivery from a suspected peer clears the suspicion: the peer is
+      // reachable again, so the gate resumes waiting on its real clock.
+      const size_t idx = clocks_[to].IndexOf(from);
+      if (suspected_[to][idx] != 0) {
+        suspected_[to][idx] = 0;
+        --suspected_count_[to];
+        if (config_.obs.trace != nullptr) {
+          config_.obs.trace->Instant("peer-healed", "fault", obs::kPidWorkers,
+                                     to, cluster_.now(),
+                                     {"peer", static_cast<double>(from)});
+        }
+      }
+    }
   }
   if (finished_) return;
   if (w.phase == WorkerPhase::kBlocked ||
@@ -329,13 +365,23 @@ void AsyncEngine::EmitBatch(uint32_t p, size_t peer_index, UpdateBatch batch,
 void AsyncEngine::LaunchBatch(uint32_t p, size_t peer_index, UpdateBatch batch,
                               uint32_t clock) {
   Worker& w = workers_[p];
-  const uint32_t q = send_peers_[p][peer_index];
-  const uint32_t epoch = w.epoch;
-  ++w.ledger.batches_sent;
-  ++total_batches_;
   w.records_sent += batch.records;
   total_records_ += batch.records;
-  const uint64_t bytes = config_.update_envelope_bytes + batch.payload.size();
+  auto payload = std::make_shared<UpdateBatch>(std::move(batch));
+  OpenFlow(p, peer_index, std::move(payload), clock, w.epoch, /*attempt=*/0);
+}
+
+void AsyncEngine::OpenFlow(uint32_t p, size_t peer_index,
+                           std::shared_ptr<UpdateBatch> payload, uint32_t clock,
+                           uint32_t epoch, uint32_t attempt) {
+  Worker& w = workers_[p];
+  const uint32_t q = send_peers_[p][peer_index];
+  // Every wire attempt counts as sent — and every terminal outcome counts as
+  // received (the receiver acks a delivery, the SENDER self-acks a failure in
+  // OnFlowFailed) — so the Safra sums always balance, retries included.
+  ++w.ledger.batches_sent;
+  ++total_batches_;
+  const uint64_t bytes = config_.update_envelope_bytes + payload->payload.size();
   total_bytes_ += bytes;
   uint64_t fid = 0;
   if (config_.obs.trace != nullptr) {
@@ -344,16 +390,174 @@ void AsyncEngine::LaunchBatch(uint32_t p, size_t peer_index, UpdateBatch batch,
     fid = cluster_.network().next_flow_id();
     config_.obs.trace->FlowBegin(
         "batch", "net", obs::kPidWorkers, p, cluster_.now(), fid,
-        {"records", static_cast<double>(batch.records)},
+        {"records", static_cast<double>(payload->records)},
         {"clock", static_cast<double>(clock)});
   }
-  auto payload = std::make_shared<UpdateBatch>(std::move(batch));
   cluster_.network().Transfer(
       w.node, workers_[q].node, bytes,
       [this, q, p, peer_index, clock, epoch, payload, fid] {
         OnBatchDelivered(q, p, clock, epoch, *payload, fid);
         OnFlowDelivered(p, peer_index, epoch);
+      },
+      [this, p, peer_index, payload, clock, epoch, attempt] {
+        OnFlowFailed(p, peer_index, payload, clock, epoch, attempt);
       });
+}
+
+void AsyncEngine::OnFlowFailed(uint32_t p, size_t peer_index,
+                               std::shared_ptr<UpdateBatch> payload,
+                               uint32_t clock, uint32_t epoch,
+                               uint32_t attempt) {
+  Worker& w = workers_[p];
+  // Sender self-ack: this attempt reached a terminal outcome, so it balances
+  // its own sent count — mirroring the dead-epoch accounting, where the
+  // node runtime acks batches the process never applied.
+  ++w.ledger.batches_received;
+  ++w.flow_drops;
+  w.ledger.dirty = true;
+  if (finished_) return;
+  if (w.epoch != epoch) return;  // dead incarnation; its restore re-announces
+  const uint32_t q = send_peers_[p][peer_index];
+  if (attempt + 1 < config_.max_batch_retries) {
+    // Exponential backoff with jitter; the jitter draw happens only on an
+    // actual retry, so fault-free runs never touch the RNG stream.
+    double backoff = std::min(
+        config_.retry_backoff_base_s * std::pow(2.0, static_cast<double>(attempt)),
+        config_.retry_backoff_max_s);
+    backoff *= 1.0 + config_.retry_jitter_frac * cluster_.rng().NextDouble();
+    ++w.batch_retries;
+    w.retry_backoff_seconds += backoff;
+    ++w.pending_retries;
+    if (config_.obs.trace != nullptr) {
+      config_.obs.trace->Instant("batch-retry", "fault", obs::kPidWorkers, p,
+                                 cluster_.now(),
+                                 {"peer", static_cast<double>(q)},
+                                 {"attempt", static_cast<double>(attempt + 1)});
+    }
+    cluster_.queue().ScheduleAfter(
+        backoff, [this, p, peer_index, payload, clock, epoch, attempt] {
+          // The decrement is unconditional — exactly one per increment — so
+          // the pending count stays exact across crashes and termination.
+          --workers_[p].pending_retries;
+          if (finished_) return;
+          if (workers_[p].epoch != epoch) return;
+          OpenFlow(p, peer_index, payload, clock, epoch, attempt + 1);
+        });
+    return;
+  }
+  // Out of retries: drop the payload and repair by force-re-announcing
+  // everything q gates on — the same path a peer restart uses, so the lost
+  // records are superseded rather than resent.
+  ++w.batches_abandoned;
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->Instant("batch-abandoned", "fault", obs::kPidWorkers, p,
+                               cluster_.now(),
+                               {"peer", static_cast<double>(q)});
+  }
+  OnFlowDelivered(p, peer_index, epoch);  // free the coalescing edge
+  ForceSenderReannounce(p, q);
+}
+
+void AsyncEngine::ForceSenderReannounce(uint32_t p, uint32_t q) {
+  if (on_peer_restart_) on_peer_restart_(p, q);
+  Worker& w = workers_[p];
+  if (w.phase == WorkerPhase::kDown) return;
+  w.pending_input = true;
+  w.ledger.dirty = true;
+  if (w.capped) {
+    // Un-cap for the forced re-announce iteration (also keeps the worker
+    // non-quiescent until it flows); TryStartIteration re-caps afterwards.
+    w.capped = false;
+    w.force_iteration = true;
+  }
+  if (w.phase == WorkerPhase::kIdle || w.phase == WorkerPhase::kBlocked) {
+    TryStartIteration(p);
+  }
+}
+
+void AsyncEngine::OnPartitionHealed(size_t window_index) {
+  if (finished_) return;
+  const net::Topology& topo = cluster_.network().topology();
+  const net::PartitionWindow& window = topo.config().partitions[window_index];
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    for (uint32_t q : send_peers_[p]) {
+      if (!topo.WindowSevers(window, workers_[p].node, workers_[q].node)) {
+        continue;
+      }
+      ++heal_reannouncements_;
+      if (config_.obs.trace != nullptr) {
+        config_.obs.trace->Instant("heal-reannounce", "fault",
+                                   obs::kPidWorkers, p, cluster_.now(),
+                                   {"peer", static_cast<double>(q)});
+      }
+      ForceSenderReannounce(p, q);
+    }
+  }
+}
+
+// --- peer suspicion ----------------------------------------------------------
+
+bool AsyncEngine::GateAdmits(uint32_t p, uint32_t next_iteration) const {
+  const ClockTable& table = clocks_[p];
+  if (suspected_.empty() || suspected_count_[p] == 0) {
+    return table.AdmitsIteration(next_iteration, config_.staleness_bound);
+  }
+  const int64_t need = static_cast<int64_t>(next_iteration) - 1 -
+                       static_cast<int64_t>(config_.staleness_bound);
+  if (need <= 0) return true;
+  const std::vector<uint32_t>& clocks = table.clock_values();
+  const std::vector<uint8_t>& suspected = suspected_[p];
+  for (size_t i = 0; i < clocks.size(); ++i) {
+    if (suspected[i] != 0) continue;  // unreachable peer: don't wait on it
+    if (static_cast<int64_t>(clocks[i]) < need) return false;
+  }
+  return true;
+}
+
+void AsyncEngine::ArmSuspicionTimer(uint32_t p) {
+  if (config_.suspicion_timeout_s <= 0.0 ||
+      config_.staleness_bound == kUnboundedStaleness) {
+    return;
+  }
+  const uint32_t epoch = workers_[p].epoch;
+  const double since = workers_[p].blocked_since;
+  cluster_.queue().ScheduleAfter(
+      config_.suspicion_timeout_s, [this, p, epoch, since] {
+        if (finished_) return;
+        const Worker& w = workers_[p];
+        // Only the very blocked stretch this timer was armed for counts; any
+        // unblock (or crash) in between makes the timer stale.
+        if (w.epoch != epoch || w.phase != WorkerPhase::kBlocked ||
+            w.blocked_since != since) {
+          return;
+        }
+        SuspectBlockingPeers(p);
+      });
+}
+
+void AsyncEngine::SuspectBlockingPeers(uint32_t p) {
+  Worker& w = workers_[p];
+  const int64_t need = static_cast<int64_t>(w.iterations) + 1 - 1 -
+                       static_cast<int64_t>(config_.staleness_bound);
+  if (need <= 0) return;
+  const ClockTable& table = clocks_[p];
+  const std::vector<uint32_t>& clocks = table.clock_values();
+  bool any = false;
+  for (size_t i = 0; i < clocks.size(); ++i) {
+    if (suspected_[p][i] != 0) continue;
+    if (static_cast<int64_t>(clocks[i]) >= need) continue;
+    suspected_[p][i] = 1;
+    ++suspected_count_[p];
+    ++peers_suspected_total_;
+    any = true;
+    if (config_.obs.trace != nullptr) {
+      config_.obs.trace->Instant("peer-suspected", "fault", obs::kPidWorkers,
+                                 p, cluster_.now(),
+                                 {"peer", static_cast<double>(table.peers()[i])},
+                                 {"clock", static_cast<double>(clocks[i])});
+    }
+  }
+  if (any) TryStartIteration(p);
 }
 
 void AsyncEngine::OnFlowDelivered(uint32_t p, size_t peer_index,
@@ -448,7 +652,10 @@ void AsyncEngine::CrashWorker(uint32_t p) {
 
   const double now = cluster_.now();
   checkpoints_.AbortPending(p, now);
-  const serde::Buffer* snapshot = checkpoints_.LatestDurable(p, now);
+  // Verified pick: a corrupt newest snapshot is detected (and quarantined)
+  // here, falling back to the previous retained one — the pinned free
+  // initial snapshot is never corrupted, so a restore target always exists.
+  const serde::Buffer* snapshot = checkpoints_.LatestDurableVerified(p, now);
   AMR_CHECK(snapshot != nullptr)
       << "worker " << p << " crashed with no durable checkpoint (the engine "
       << "writes a free initial snapshot at Run)";
@@ -480,8 +687,10 @@ void AsyncEngine::RestoreWorker(uint32_t p, uint32_t epoch) {
   if (w.epoch != epoch || w.phase != WorkerPhase::kDown) return;
 
   // The crash froze the restore target (AbortPending dropped anything not
-  // yet durable, and nothing new was written while down).
-  const serde::Buffer* encoded = checkpoints_.LatestDurable(p, cluster_.now());
+  // yet durable, CrashWorker's verified pick quarantined anything corrupt,
+  // and nothing new was written while down).
+  const serde::Buffer* encoded =
+      checkpoints_.LatestDurableVerified(p, cluster_.now());
   AMR_CHECK(encoded != nullptr);
   auto snap = serde::Decode<WorkerSnapshot>(*encoded);
   AMR_CHECK(snap.ok()) << "corrupt worker checkpoint: "
@@ -530,20 +739,7 @@ void AsyncEngine::RestoreWorker(uint32_t p, uint32_t epoch) {
     if (config_.staleness_bound != kUnboundedStaleness) {
       clocks_[q].Reset(p, w.iterations);
     }
-    if (on_peer_restart_) on_peer_restart_(q, p);
-    Worker& wq = workers_[q];
-    if (wq.phase == WorkerPhase::kDown) continue;
-    wq.pending_input = true;
-    wq.ledger.dirty = true;
-    if (wq.capped) {
-      // Un-cap for the forced re-announce iteration (also keeps the worker
-      // non-quiescent until it flows); TryStartIteration re-caps afterwards.
-      wq.capped = false;
-      wq.force_iteration = true;
-    }
-    if (wq.phase == WorkerPhase::kIdle || wq.phase == WorkerPhase::kBlocked) {
-      TryStartIteration(q);
-    }
+    ForceSenderReannounce(q, p);
   }
 
   if (config_.obs.trace != nullptr) {
@@ -641,6 +837,27 @@ void AsyncEngine::InstallObservability() {
   probe("net.active_flows",
         [this] { return static_cast<double>(cluster_.network().active_flows()); });
   probe("restarts", [this] { return static_cast<double>(total_restarts_); });
+  // Robustness counters (satellite: surfaced in the MetricsRegistry). Flat
+  // sums over workers — cheap relative to the phase scans above.
+  probe("flow_drops", [this] {
+    uint64_t n = 0;
+    for (const Worker& w : workers_) n += w.flow_drops;
+    return static_cast<double>(n);
+  });
+  probe("batch_retries", [this] {
+    uint64_t n = 0;
+    for (const Worker& w : workers_) n += w.batch_retries;
+    return static_cast<double>(n);
+  });
+  probe("retry_backoff_seconds", [this] {
+    double s = 0.0;
+    for (const Worker& w : workers_) s += w.retry_backoff_seconds;
+    return s;
+  });
+  probe("peers_suspected",
+        [this] { return static_cast<double>(peers_suspected_total_); });
+  probe("partition_heal_reannouncements",
+        [this] { return static_cast<double>(heal_reannouncements_); });
   for (uint32_t p = 0; p < num_partitions_; ++p) {
     probe("worker.skew.p" + std::to_string(p), [this, p] {
       return static_cast<double>(workers_[p].iterations) -
@@ -703,7 +920,11 @@ void AsyncEngine::HandleTokenAt(uint32_t position, ProgressToken token) {
   token.restarts += w.epoch;
   if (w.ledger.dirty) token.tainted = true;
   w.ledger.dirty = false;
-  if (!QuiescentForTermination(w.phase, w.capped, w.pending_input)) {
+  // A pending retry WILL re-open a flow: during its backoff gap the ledgers
+  // balance (the failed attempt self-acked), so without this the circuit
+  // could prove termination with an undelivered batch still owed.
+  if (!QuiescentForTermination(w.phase, w.capped, w.pending_input) ||
+      w.pending_retries > 0) {
     token.all_quiescent = false;
   }
 
@@ -784,6 +1005,10 @@ AsyncResult AsyncEngine::Run() {
     staleness_.push_back(MakeStalenessHistogram());
   }
   checkpoints_.ResetPartitions(num_partitions_);
+  if (config_.checkpoint_corruption_prob > 0.0) {
+    checkpoints_.set_corruption(config_.checkpoint_corruption_prob,
+                                cluster_.spec().seed);
+  }
   if (snapshot_) {
     // The free iteration-0 snapshot: the staged input, durable before the
     // run starts, so a worker crashing before its first checkpoint interval
@@ -800,6 +1025,14 @@ AsyncResult AsyncEngine::Run() {
   for (uint32_t p = 0; p < num_partitions_; ++p) TryStartIteration(p);
   if (crashes) {
     for (uint32_t p = 0; p < num_partitions_; ++p) ScheduleNextCrash(p);
+  }
+  // Partition-heal boundary re-announcements: at each window's end every
+  // send edge the window severed re-announces, riding the force-resend path.
+  const auto& windows = cluster_.network().topology().config().partitions;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (windows[i].end_s <= cluster_.now()) continue;  // healed before Run
+    cluster_.queue().Schedule(windows[i].end_s,
+                              [this, i] { OnPartitionHealed(i); });
   }
   StartCircuit();
   cluster_.RunUntilIdle();
@@ -827,6 +1060,10 @@ AsyncResult AsyncEngine::Run() {
   result.checkpoint_bytes = checkpoints_.stats().bytes_written;
   result.checkpoint_write_seconds = checkpoints_.stats().write_seconds;
   result.recovery_seconds = recovery_seconds_;
+  result.peers_suspected = peers_suspected_total_;
+  result.partition_heal_reannouncements = heal_reannouncements_;
+  result.checkpoint_corruptions_detected =
+      checkpoints_.stats().corruptions_detected;
   Histogram staleness = MakeStalenessHistogram();
   for (const Histogram& h : staleness_) staleness.Merge(h);
   result.staleness_samples = staleness.total();
@@ -850,6 +1087,14 @@ AsyncResult AsyncEngine::Run() {
     stats.records_sent = w.records_sent;
     stats.coalesced_batches = w.coalesced_batches;
     stats.coalesced_bytes_saved = w.coalesced_bytes_saved;
+    stats.flow_drops = w.flow_drops;
+    stats.batch_retries = w.batch_retries;
+    stats.retry_backoff_seconds = w.retry_backoff_seconds;
+    stats.batches_abandoned = w.batches_abandoned;
+    result.flow_drops += w.flow_drops;
+    result.batch_retries += w.batch_retries;
+    result.retry_backoff_seconds += w.retry_backoff_seconds;
+    result.batches_abandoned += w.batches_abandoned;
     stats.restarts = w.epoch;
     stats.checkpoints = w.checkpoints;
     stats.checkpoint_bytes = w.checkpoint_bytes;

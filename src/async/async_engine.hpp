@@ -64,6 +64,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -141,6 +142,18 @@ struct EngineTuning {
   bool adaptive_token_backoff = false;
   /// Base (and, in adaptive mode, minimum) inter-circuit pause.
   double token_backoff_s = 0.25;
+  /// Retry/backoff for update batches lost to the adversarial network (see
+  /// AsyncConfig for semantics). Only consulted when links actually fail.
+  uint32_t max_batch_retries = 16;
+  double retry_backoff_base_s = 0.05;
+  double retry_backoff_max_s = 10.0;
+  double retry_jitter_frac = 0.2;
+  /// Peer-suspicion timeout for the bounded-staleness gate (0 = disabled;
+  /// see AsyncConfig::suspicion_timeout_s).
+  double suspicion_timeout_s = 0.0;
+  /// Checkpoint corruption-injection probability (see
+  /// AsyncConfig::checkpoint_corruption_prob).
+  double checkpoint_corruption_prob = 0.0;
   /// Observability sinks (null = disabled, the default; see obs/obs.hpp).
   /// The sinks must outlive the engine; the engine detaches what it installed
   /// (network/cluster trace pointers, metric probes) in its destructor.
@@ -190,6 +203,36 @@ struct AsyncConfig {
   /// has a flow in flight, which already holds sent > received.
   bool coalesce_batches = false;
 
+  // --- robustness under adversarial networks --------------------------------
+  /// Sender-side retry for update batches whose flow FAILED (dropped by a
+  /// lossy link, killed/timed out by a partition). Attempt k waits
+  /// min(retry_backoff_base_s * 2^k, retry_backoff_max_s) * (1 + jitter),
+  /// jitter uniform in [0, retry_jitter_frac). After max_batch_retries total
+  /// attempts the batch is abandoned and the sender's delta filter is forced
+  /// to re-announce toward that peer instead (the same repair path a peer
+  /// restart uses), so no update is ever silently lost. Retries draw RNG and
+  /// schedule events only when a flow actually fails: with all link-fault
+  /// knobs off, no batch ever fails and runs stay bit-identical.
+  uint32_t max_batch_retries = 16;
+  double retry_backoff_base_s = 0.05;
+  double retry_backoff_max_s = 10.0;
+  double retry_jitter_frac = 0.2;
+  /// Bounded-staleness peer suspicion (0 = disabled, and irrelevant under
+  /// unbounded staleness): a worker gate-blocked for longer than this
+  /// suspects every peer whose clock is below the gate's need and stops
+  /// waiting on them — bounded degradation instead of a partition-length
+  /// stall. A suspected peer is trusted again the moment any batch from it
+  /// arrives. CAVEAT: while a peer is suspected the SSP lag bound no longer
+  /// holds against it (iterations may consume staler state than S promises);
+  /// convergence contracts that *rely* on bounded staleness should pick a
+  /// timeout well above the slowest peer's honest iteration time so only
+  /// genuinely unreachable peers get suspected.
+  double suspicion_timeout_s = 0.0;
+  /// Probability each paid checkpoint write is corrupted (one byte flipped
+  /// after its CRC is recorded, so recovery detects it and falls back to the
+  /// previous retained snapshot). Test/chaos knob; 0 = clean, no draws.
+  double checkpoint_corruption_prob = 0.0;
+
   /// Observability sinks (see EngineTuning::obs); disabled when null.
   obs::Observability obs;
 
@@ -198,6 +241,12 @@ struct AsyncConfig {
     coalesce_batches = t.coalesce_batches;
     adaptive_token_backoff = t.adaptive_token_backoff;
     token_backoff_s = t.token_backoff_s;
+    max_batch_retries = t.max_batch_retries;
+    retry_backoff_base_s = t.retry_backoff_base_s;
+    retry_backoff_max_s = t.retry_backoff_max_s;
+    retry_jitter_frac = t.retry_jitter_frac;
+    suspicion_timeout_s = t.suspicion_timeout_s;
+    checkpoint_corruption_prob = t.checkpoint_corruption_prob;
     obs = t.obs;
   }
   /// Completed iterations between worker checkpoints (0 = only the free
@@ -297,6 +346,14 @@ struct WorkerStats {
   uint64_t coalesced_bytes_saved = 0;
   /// Crash/recovery cycles this worker went through (== final epoch).
   uint32_t restarts = 0;
+  /// Robustness counters: outgoing flows that failed (dropped/killed/timed
+  /// out), retry attempts launched for them, total backoff waited before
+  /// those retries, and batches abandoned after max_batch_retries (each one
+  /// repaired by a forced re-announcement instead).
+  uint64_t flow_drops = 0;
+  uint64_t batch_retries = 0;
+  double retry_backoff_seconds = 0.0;
+  uint64_t batches_abandoned = 0;
   /// Checkpoints written after the free initial snapshot, and their bytes.
   uint32_t checkpoints = 0;
   uint64_t checkpoint_bytes = 0;
@@ -336,6 +393,21 @@ struct AsyncResult {
   uint64_t checkpoint_bytes = 0;
   double checkpoint_write_seconds = 0.0;
   double recovery_seconds = 0.0;
+  /// Robustness accounting (sums of the per-worker counters, plus the
+  /// engine-level suspicion/heal events). flow_drops counts failed outgoing
+  /// batch flows; every one was either retried (batch_retries, with
+  /// retry_backoff_seconds of cumulative backoff) or abandoned
+  /// (batches_abandoned) and repaired by a forced re-announcement.
+  uint64_t flow_drops = 0;
+  uint64_t batch_retries = 0;
+  double retry_backoff_seconds = 0.0;
+  uint64_t batches_abandoned = 0;
+  /// Peers suspected by the staleness-gate timeout (suspicion_timeout_s).
+  uint64_t peers_suspected = 0;
+  /// Directed send edges force-re-announced when a partition window healed.
+  uint64_t partition_heal_reannouncements = 0;
+  /// Corrupt checkpoints detected (and skipped) during crash recovery.
+  uint64_t checkpoint_corruptions_detected = 0;
   /// Max last-iteration residual across workers that completed at least one
   /// iteration. When residual_known is false some worker never iterated
   /// (e.g. max_iterations_per_worker = 0), the global residual is unknown,
@@ -468,6 +540,16 @@ class AsyncEngine {
     std::vector<PeerLink> links;
     uint64_t coalesced_batches = 0;
     uint64_t coalesced_bytes_saved = 0;
+    /// Retries scheduled but not yet re-launched. A worker with a pending
+    /// retry is never counted quiescent: the retry WILL put a batch back on
+    /// the wire, so a token circuit observing balanced sent == received in
+    /// the backoff gap must not prove termination.
+    uint32_t pending_retries = 0;
+    /// Robustness counters (see WorkerStats).
+    uint64_t flow_drops = 0;
+    uint64_t batch_retries = 0;
+    double retry_backoff_seconds = 0.0;
+    uint64_t batches_abandoned = 0;
   };
 
   void BuildTopology();
@@ -489,9 +571,39 @@ class AsyncEngine {
   /// Opens the network flow for one batch and books the send accounting.
   void LaunchBatch(uint32_t p, size_t peer_index, UpdateBatch batch,
                    uint32_t clock);
+  /// One wire attempt for a batch: books the per-attempt send accounting and
+  /// opens the loss-aware network flow. attempt 0 is the original launch;
+  /// retries re-enter here with the same shared payload.
+  void OpenFlow(uint32_t p, size_t peer_index,
+                std::shared_ptr<UpdateBatch> payload, uint32_t clock,
+                uint32_t epoch, uint32_t attempt);
+  /// Terminal failure of one wire attempt: self-acks the batch (Safra sums
+  /// balance like a delivery), then either schedules a backoff retry or, at
+  /// max_batch_retries, abandons and forces a re-announcement toward the peer.
+  void OnFlowFailed(uint32_t p, size_t peer_index,
+                    std::shared_ptr<UpdateBatch> payload, uint32_t clock,
+                    uint32_t epoch, uint32_t attempt);
   /// Sender-side flow-landed hook (coalescing): frees the edge and launches
   /// the pending batch, if any.
   void OnFlowDelivered(uint32_t p, size_t peer_index, uint32_t epoch);
+  /// Forces sender `p` to re-announce everything receiver `q` gates on:
+  /// notifies the app's delta filter (PeerRestartFn) and schedules a forced
+  /// iteration of `p`, bypassing the cap once. Shared by peer-restart
+  /// recovery, batch abandonment, and partition-heal re-announcement.
+  void ForceSenderReannounce(uint32_t p, uint32_t q);
+  /// A partition window just healed: every directed send edge it severed
+  /// re-announces, so receivers reconverge to what they missed.
+  void OnPartitionHealed(size_t window_index);
+
+  // --- peer suspicion (bounded staleness only) -------------------------------
+  /// The staleness gate, minus suspected peers: admits worker `p`'s next
+  /// iteration when every NON-suspected peer clock has reached the SSP need.
+  bool GateAdmits(uint32_t p, uint32_t next_iteration) const;
+  /// Arms a one-shot suspicion timer when `p` enters kBlocked; if `p` is
+  /// still in the very same blocked stretch when it fires, every peer
+  /// holding the gate below its need becomes suspected and `p` retries.
+  void ArmSuspicionTimer(uint32_t p);
+  void SuspectBlockingPeers(uint32_t p);
 
   // --- observability ---------------------------------------------------------
   /// Wires the configured sinks into the cluster/network/checkpoint layers,
@@ -552,6 +664,13 @@ class AsyncEngine {
   std::vector<std::vector<uint32_t>> senders_to_;
   /// Per partition: observed peer clocks (gating view; bounded staleness only).
   std::vector<ClockTable> clocks_;
+  /// Per partition, parallel to clocks_[p].peers(): 1 = suspected (non-empty
+  /// only when suspicion is enabled under bounded staleness), plus the count
+  /// of currently-suspected peers per partition for a cheap gate fast path.
+  std::vector<std::vector<uint8_t>> suspected_;
+  std::vector<uint32_t> suspected_count_;
+  uint64_t peers_suspected_total_ = 0;
+  uint64_t heal_reannouncements_ = 0;
   CheckpointStore checkpoints_;
   uint32_t total_restarts_ = 0;
   double recovery_seconds_ = 0.0;

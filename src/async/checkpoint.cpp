@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "obs/obs.hpp"
+#include "serde/checksum.hpp"
 
 namespace asyncmr::async {
 
@@ -13,18 +14,21 @@ void CheckpointStore::Write(uint32_t p, serde::Buffer encoded, double now,
   AMR_CHECK(p < slots_.size()) << "checkpoint for unknown partition " << p;
   auto& slots = slots_[p];
 
-  // Prune: among snapshots already durable, only the newest can ever be the
-  // restore target again (LatestDurable picks the newest durable one and
-  // durability only accrues with time).
+  // Prune: keep the TWO newest already-durable snapshots — the restore
+  // target plus the fallback LatestDurableVerified retreats to when the
+  // newest fails its CRC — everything still pending, and the very first
+  // snapshot (the engine's free initial one, exempt from corruption
+  // injection) pinned as the restore target of last resort.
   size_t last_durable = slots.size();
   for (size_t i = 0; i < slots.size(); ++i) {
     if (slots[i].durable_at <= now) last_durable = i;
   }
-  if (last_durable != slots.size() && last_durable > 0) {
-    slots.erase(slots.begin(), slots.begin() + last_durable);
+  if (last_durable != slots.size() && last_durable > 2) {
+    slots.erase(slots.begin() + 1, slots.begin() + (last_durable - 1));
   }
 
   Slot slot;
+  slot.crc = serde::Crc32(encoded.view());
   const double write_s = free_write ? 0.0 : dfs_.EstimateWriteSeconds(encoded.size());
   slot.durable_at = now + write_s;
   if (!free_write) {
@@ -36,9 +40,46 @@ void CheckpointStore::Write(uint32_t p, serde::Buffer encoded, double now,
                    slot.durable_at,
                    {"bytes", static_cast<double>(encoded.size())});
     }
+    // Injected corruption happens after the CRC is recorded, so the damage
+    // is detectable — exactly like bit rot between write and read-back.
+    if (corruption_prob_ > 0.0 && encoded.size() > 0 &&
+        corrupt_rng_.NextBool(corruption_prob_)) {
+      const size_t index = static_cast<size_t>(
+          corrupt_rng_.NextBounded(static_cast<uint64_t>(encoded.size())));
+      encoded.data()[index] ^= 0xFF;
+      ++stats_.corruptions_injected;
+    }
   }
   slot.encoded = std::move(encoded);
   slots.push_back(std::move(slot));
+}
+
+bool CheckpointStore::SlotIntact(const Slot& slot) const {
+  return serde::Crc32(slot.encoded.view()) == slot.crc;
+}
+
+const serde::Buffer* CheckpointStore::LatestDurableVerified(uint32_t p,
+                                                            double at) {
+  AMR_CHECK(p < slots_.size()) << "checkpoint for unknown partition " << p;
+  auto& slots = slots_[p];
+  for (size_t i = slots.size(); i > 0; --i) {
+    const Slot& slot = slots[i - 1];
+    if (slot.durable_at > at) continue;
+    if (SlotIntact(slot)) return &slot.encoded;
+    // Quarantine: a corrupt snapshot is counted and removed, so a repeat
+    // lookup (CrashWorker picks, RestoreWorker re-reads) neither offers it
+    // again nor double-counts the detection.
+    ++stats_.corruptions_detected;
+    slots.erase(slots.begin() + static_cast<ptrdiff_t>(i - 1));
+  }
+  return nullptr;
+}
+
+void CheckpointStore::CorruptNewest(uint32_t p) {
+  AMR_CHECK(p < slots_.size()) << "checkpoint for unknown partition " << p;
+  auto& slots = slots_[p];
+  AMR_CHECK(!slots.empty() && slots.back().encoded.size() > 0);
+  slots.back().encoded.data()[0] ^= 0xFF;
 }
 
 const serde::Buffer* CheckpointStore::LatestDurable(uint32_t p, double at) const {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "dfs/dfs.hpp"
 #include "serde/serde.hpp"
 
@@ -79,6 +80,11 @@ class CheckpointStore {
     /// failure-free critical path (write-behind), but it bounds snapshot
     /// freshness and is reported so the cost is visible.
     double write_seconds = 0.0;
+    /// Snapshots rejected at restore time by the CRC check (each one falls
+    /// back to the next-older retained snapshot), and corruptions injected
+    /// by the test knob.
+    uint64_t corruptions_detected = 0;
+    uint64_t corruptions_injected = 0;
   };
 
   explicit CheckpointStore(dfs::Dfs& dfs) : dfs_(dfs) {}
@@ -98,6 +104,14 @@ class CheckpointStore {
   /// serde::Decode<WorkerSnapshot>).
   const serde::Buffer* LatestDurable(uint32_t p, double at) const;
 
+  /// Like LatestDurable, but re-verifies each candidate's CRC (recorded at
+  /// write time, before any injected corruption) and falls back to the
+  /// next-older retained snapshot on a mismatch, counting the detection.
+  /// This is what crash recovery uses: a torn or bit-rotted checkpoint must
+  /// never be restored. Write() retains the last TWO durable snapshots per
+  /// partition precisely so this fallback exists.
+  const serde::Buffer* LatestDurableVerified(uint32_t p, double at);
+
   /// Drops `p`'s snapshots whose writes had not completed by `at`: the dying
   /// incarnation's in-flight pipeline is aborted.
   void AbortPending(uint32_t p, double at);
@@ -115,19 +129,37 @@ class CheckpointStore {
   /// sink dies.
   void set_trace(obs::TraceSink* trace) { trace_ = trace; }
 
+  /// Corruption-injection knob: each paid write is corrupted (one byte
+  /// flipped after its CRC is recorded) with this probability. 0 disables
+  /// and draws nothing, keeping clean runs bit-identical.
+  void set_corruption(double prob, uint64_t seed) {
+    corruption_prob_ = prob;
+    corrupt_rng_ = Rng(MixSeed(seed, 0xBADC0DE));
+  }
+
+  /// Test hook: deterministically corrupt partition `p`'s newest snapshot.
+  void CorruptNewest(uint32_t p);
+
  private:
   struct Slot {
     serde::Buffer encoded;
     double durable_at = 0.0;
+    /// CRC of `encoded` as handed to Write, i.e. before any injected
+    /// corruption — so a corrupted slot fails verification.
+    uint32_t crc = 0;
   };
+
+  bool SlotIntact(const Slot& slot) const;
 
   obs::TraceSink* trace_ = nullptr;
   dfs::Dfs& dfs_;
   /// Per partition, ordered by write (and thus durable_at) time. Pruned on
-  /// write: only the newest already-durable snapshot plus pending ones are
-  /// ever restorable again.
+  /// write: only the TWO newest already-durable snapshots (restore target
+  /// plus its corruption fallback) and pending ones are kept.
   std::vector<std::vector<Slot>> slots_;
   Stats stats_;
+  double corruption_prob_ = 0.0;
+  Rng corrupt_rng_{0};
 };
 
 }  // namespace asyncmr::async

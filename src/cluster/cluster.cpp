@@ -172,9 +172,10 @@ class SimCluster::WaveRunner
                                           spec.straggler_slowdown_max);
     }
     const double speed = spec.nodes[node].speed_factor;
+    const double load = cluster_.NodeLoadFactor(node);
     const double compute_s = static_cast<double>(st.report.ops) *
                              spec.per_op_seconds * st.report.time_scale *
-                             slowdown / speed;
+                             slowdown * load / speed;
     const double output_s =
         static_cast<double>(st.report.output_bytes) / spec.local_disk_Bps;
     const double total_s = input_s + compute_s + output_s;  // startup already paid
@@ -306,11 +307,13 @@ class SimCluster::WaveRunner
 
 SimCluster::SimCluster(ClusterSpec spec)
     : spec_(std::move(spec)),
-      network_(queue_, net::Topology(spec_.topology)),
+      network_(queue_, net::Topology(spec_.topology),
+               net::RebalanceMode::kIncremental, MixSeed(spec_.seed, 0xAD7E)),
       rpc_(network_),
       dfs_(queue_, network_, spec_.dfs, MixSeed(spec_.seed, 0xDF5)),
       rng_(MixSeed(spec_.seed, 0xC1)) {
   AMR_CHECK_EQ(spec_.nodes.size(), spec_.topology.num_nodes);
+  if (spec_.bg_load_rate > 0.0) bg_load_.resize(spec_.nodes.size());
   free_map_slots_.reserve(spec_.nodes.size());
   free_reduce_slots_.reserve(spec_.nodes.size());
   for (const NodeSpec& n : spec_.nodes) {
@@ -372,6 +375,27 @@ void SimCluster::ReleaseSlot(net::NodeId node, SlotType type) {
 
 uint32_t SimCluster::free_slots(net::NodeId node, SlotType type) const {
   return type == SlotType::kMap ? free_map_slots_[node] : free_reduce_slots_[node];
+}
+
+double SimCluster::NodeLoadFactor(net::NodeId node) {
+  if (bg_load_.empty()) return 1.0;
+  BgLoad& bg = bg_load_[node];
+  if (!bg.inited) {
+    bg.inited = true;
+    bg.rng = Rng(MixSeed(MixSeed(spec_.seed, 0xB610AD), node));
+    bg.next_change = bg.rng.NextExponential(1.0 / spec_.bg_load_rate);
+  }
+  const double now = queue_.now();
+  while (bg.next_change <= now) {
+    if (bg.loaded) {
+      bg.loaded = false;
+      bg.next_change += bg.rng.NextExponential(1.0 / spec_.bg_load_rate);
+    } else {
+      bg.loaded = true;
+      bg.next_change += spec_.bg_load_duration_s;
+    }
+  }
+  return bg.loaded ? spec_.bg_load_factor : 1.0;
 }
 
 double SimCluster::NextWorkerCrashDelay() {

@@ -84,8 +84,22 @@ class SimCluster {
   /// same spec.seed reproduces the same crashes.
   double NextWorkerCrashDelay();
 
+  /// Multiplier on compute cost for work starting on `node` right now, from
+  /// the spec's Poisson background-load episodes (1.0 when the knob is off —
+  /// no RNG draw). Per-node timelines advance lazily but monotonically in
+  /// virtual time, so the episode schedule is a pure function of the seed no
+  /// matter how often callers sample it.
+  double NodeLoadFactor(net::NodeId node);
+
  private:
   class WaveRunner;
+
+  struct BgLoad {
+    bool inited = false;
+    bool loaded = false;
+    double next_change = 0.0;
+    Rng rng;
+  };
 
   uint32_t& slot_count(net::NodeId node, SlotType type);
   std::deque<std::function<void()>>& slot_waiters(net::NodeId node, SlotType type);
@@ -102,6 +116,7 @@ class SimCluster {
   std::vector<std::deque<std::function<void()>>> map_slot_waiters_;
   std::vector<std::deque<std::function<void()>>> reduce_slot_waiters_;
   std::vector<std::shared_ptr<WaveRunner>> active_waves_;
+  std::vector<BgLoad> bg_load_;  // empty when bg_load_rate == 0
   obs::TraceSink* trace_ = nullptr;
   friend class WaveRunner;
 };

@@ -1,5 +1,6 @@
 #include "cluster/spec.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -27,6 +28,18 @@ ClusterSpec ClusterSpec::Cloud(uint32_t num_nodes) {
   return spec;
 }
 
+void ClusterSpec::ApplySpeedSpread(double spread) {
+  AMR_CHECK(spread >= 1.0) << "speed spread must be >= 1";
+  const size_t n = nodes.size();
+  for (size_t i = 0; i < n; ++i) {
+    nodes[i].speed_factor =
+        spread == 1.0 || n <= 1
+            ? 1.0
+            : 1.0 / std::pow(spread, static_cast<double>(i) /
+                                         static_cast<double>(n - 1));
+  }
+}
+
 uint32_t ClusterSpec::total_map_slots() const {
   uint32_t total = 0;
   for (const auto& n : nodes) total += n.map_slots;
@@ -51,6 +64,9 @@ std::string ClusterSpec::Describe() const {
   }
   if (worker_crash_rate > 0.0) {
     os << ", worker crash rate " << worker_crash_rate << "/s";
+  }
+  if (bg_load_rate > 0.0) {
+    os << ", bg load " << bg_load_rate << "/s x" << bg_load_factor;
   }
   return os.str();
 }

@@ -46,6 +46,14 @@ struct ClusterSpec {
   double straggler_slowdown_max = 3.0;
   /// Ordinary run-to-run noise on compute speed (+/- fraction).
   double speed_jitter = 0.1;
+  /// Background-load episodes (co-tenant interference): Poisson arrivals at
+  /// bg_load_rate per node per second, each lasting bg_load_duration_s and
+  /// multiplying compute cost on that node by bg_load_factor. Rate 0 = never,
+  /// and no RNG is drawn (bit-identical with the knob off). The compute-side
+  /// twin of the topology's degraded-bandwidth episodes.
+  double bg_load_rate = 0.0;
+  double bg_load_duration_s = 5.0;
+  double bg_load_factor = 3.0;
 
   // --- fault injection -------------------------------------------------------
   /// Probability an attempt fails partway (transient; Hadoop re-executes).
@@ -78,6 +86,13 @@ struct ClusterSpec {
   /// A larger cloud deployment in the spirit of the CluE 460-node cluster the
   /// paper's Discussion section scales to.
   static ClusterSpec Cloud(uint32_t num_nodes);
+
+  /// Spread static node speeds geometrically across the inventory: node 0
+  /// stays at 1.0 and the slowest node runs at 1/spread, i.e. node i gets
+  /// speed_factor = spread^(-i/(n-1)). spread = 1 assigns exactly 1.0
+  /// everywhere (identity); larger spreads model a more heterogeneous fleet.
+  /// The single heterogeneity knob bench/ablation_hetero sweeps.
+  void ApplySpeedSpread(double spread);
 
   uint32_t num_nodes() const { return topology.num_nodes; }
   uint32_t total_map_slots() const;

@@ -1,6 +1,7 @@
 #include "graph/partitioner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <functional>
 #include <numeric>
@@ -30,6 +31,37 @@ Partitioning RangePartition(const Digraph& g, uint32_t num_parts) {
   for (VertexId v = 0; v < n; ++v) {
     p.part_of[v] = static_cast<uint32_t>(
         std::min<uint64_t>(num_parts - 1, v * num_parts / n));
+  }
+  return p;
+}
+
+Partitioning PowerLawPartition(const Digraph& g, uint32_t num_parts,
+                               double alpha) {
+  AMR_CHECK_GE(num_parts, 1u);
+  AMR_CHECK_GE(alpha, 0.0);
+  Partitioning p;
+  p.num_parts = num_parts;
+  const uint64_t n = g.num_vertices();
+  p.part_of.resize(n);
+  if (n == 0) return p;
+
+  // Cumulative Zipf weights over parts: cutoff[i] is the fraction of the
+  // vertex range owned by parts [0, i]. Every part keeps at least one vertex
+  // (when n >= num_parts) because cutoffs are strictly increasing and the
+  // assignment below rounds ranges to non-empty prefixes.
+  std::vector<double> cutoff(num_parts);
+  double total = 0.0;
+  for (uint32_t i = 0; i < num_parts; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -alpha);
+    cutoff[i] = total;
+  }
+  for (uint32_t i = 0; i < num_parts; ++i) cutoff[i] /= total;
+
+  uint32_t part = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const double frac = static_cast<double>(v + 1) / static_cast<double>(n);
+    while (part + 1 < num_parts && frac > cutoff[part]) ++part;
+    p.part_of[v] = part;
   }
   return p;
 }

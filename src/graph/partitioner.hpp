@@ -20,6 +20,14 @@ Partitioning RangePartition(const Digraph& g, uint32_t num_parts);
 /// a cheap locality-enhancing partitioner.
 Partitioning BfsPartition(const Digraph& g, uint32_t num_parts, uint64_t seed = 0);
 
+/// Contiguous ranges with Zipf-skewed sizes: part i's share is proportional
+/// to (i+1)^-alpha, so part 0 is a heavyweight and the tail gets slivers.
+/// alpha = 0 degenerates to RangePartition's equal split. This is the
+/// adversarial workload-imbalance knob: under sync execution every round
+/// waits for the overloaded part, while async workers keep iterating.
+Partitioning PowerLawPartition(const Digraph& g, uint32_t num_parts,
+                               double alpha);
+
 /// Multilevel k-way min-cut partitioner (the METIS recipe):
 ///   1. coarsen by heavy-edge matching until the graph is small,
 ///   2. greedy region-growing initial partition on the coarsest graph,

@@ -21,7 +21,10 @@ uint32_t Network::AllocSlot() {
 void Network::FreeSlot(uint32_t slot) {
   Flow& f = slab_[slot];
   f.on_complete = nullptr;
+  f.on_failed = nullptr;
   f.active = false;
+  f.doomed = false;
+  f.lost_bytes = 0;
   f.completion_event = 0;
   free_slots_.push_back(slot);
 }
@@ -53,7 +56,8 @@ void Network::UnlinkAt(NodeId node, uint32_t slot, int role) {
 }
 
 FlowId Network::Transfer(NodeId src, NodeId dst, uint64_t bytes,
-                         std::function<void()> on_complete) {
+                         std::function<void()> on_complete,
+                         std::function<void()> on_failed) {
   AMR_CHECK(src < topology_.num_nodes() && dst < topology_.num_nodes());
   const FlowId id = next_flow_id_++;
   // Stage the flow in its slab slot immediately so the latency-delay event
@@ -68,7 +72,23 @@ FlowId Network::Transfer(NodeId src, NodeId dst, uint64_t bytes,
   flow.rate_Bps = 0.0;
   flow.total_bytes = bytes;
   flow.on_complete = std::move(on_complete);
+  flow.on_failed = std::move(on_failed);
   flow.active = false;
+
+  // Per-flow drop draw (loss-aware, non-loopback only): a doomed flow
+  // delivers a uniform fraction of its bytes, then fails. The draw happens
+  // here, in Transfer call order, so the loss stream is deterministic
+  // however the flow set later evolves.
+  const double loss = topology_.config().flow_loss_prob;
+  if (flow.on_failed && loss > 0.0 && src != dst && bytes > 0 &&
+      loss_rng_.NextBool(loss)) {
+    const double delivered_frac = loss_rng_.NextDouble(0.05, 0.95);
+    const auto delivered = static_cast<uint64_t>(
+        delivered_frac * static_cast<double>(bytes));
+    flow.doomed = true;
+    flow.lost_bytes = bytes - delivered;
+    flow.remaining_bytes = static_cast<double>(delivered);
+  }
 
   // The payload enters the pipe after one propagation latency.
   const double latency = topology_.Latency(src, dst);
@@ -98,8 +118,28 @@ void Network::StartFlow(uint32_t slot) {
   flow.last_update = now;
   flow.started_at = now;
   ++stats_.flows_started;
+
+  // A loss-aware flow entering a severed link never reaches the pipe: the
+  // sender's transport times out after partition_detect_s. (Handler-less
+  // flows model reliable transport and proceed — see Transfer.)
+  if (flow.on_failed && !topology_.Reachable(flow.src, flow.dst, now)) {
+    flow.lost_bytes = flow.total_bytes;
+    queue_.ScheduleAfter(topology_.config().partition_detect_s,
+                         [this, slot] { TimeoutFlow(slot); });
+    return;
+  }
+
   if (flow.remaining_bytes <= 0.0) {
-    // Latency already paid; finish immediately.
+    // Latency already paid; finish (or, for a doomed flow whose delivered
+    // fraction rounded to zero bytes, fail) immediately.
+    if (flow.doomed) {
+      ++stats_.flows_failed;
+      stats_.bytes_lost += flow.lost_bytes;
+      std::function<void()> failed = std::move(flow.on_failed);
+      FreeSlot(slot);
+      if (failed) failed();
+      return;
+    }
     ++stats_.flows_completed;
     std::function<void()> done = std::move(flow.on_complete);
     FreeSlot(slot);
@@ -128,6 +168,24 @@ void Network::StartFlow(uint32_t slot) {
         queue_.Schedule(now + started.remaining_bytes / started.rate_Bps,
                         [this, slot] { CompleteFlow(slot); });
   }
+  ArmDegradeBoundary(started.src);
+  if (started.dst != started.src) ArmDegradeBoundary(started.dst);
+}
+
+void Network::TimeoutFlow(uint32_t slot) {
+  Flow& flow = slab_[slot];
+  AMR_CHECK(!flow.active && flow.on_failed);
+  ++stats_.flows_failed;
+  stats_.bytes_lost += flow.lost_bytes;
+  if (trace_ != nullptr) {
+    trace_->Span("flow-timeout", "net", obs::kPidNetwork, flow.src,
+                 flow.started_at, queue_.now(),
+                 {"bytes", static_cast<double>(flow.total_bytes)},
+                 {"dst", static_cast<double>(flow.dst)});
+  }
+  std::function<void()> failed = std::move(flow.on_failed);
+  FreeSlot(slot);
+  failed();
 }
 
 void Network::CompleteFlow(uint32_t slot) {
@@ -145,36 +203,146 @@ void Network::CompleteFlow(uint32_t slot) {
   --active_flows_;
   if (active_flows_ == 0) stats_.busy_seconds += now - busy_since_;
 
-  ++stats_.flows_completed;
-  stats_.bytes_transferred += flow.total_bytes;
-  if (!topology_.SameRack(flow.src, flow.dst)) {
-    stats_.bytes_cross_rack += flow.total_bytes;
+  const bool failed = flow.doomed;  // drew the drop: delivered fraction done
+  if (failed) {
+    ++stats_.flows_failed;
+    stats_.bytes_lost += flow.lost_bytes;
+  } else {
+    ++stats_.flows_completed;
+    stats_.bytes_transferred += flow.total_bytes;
+    if (!topology_.SameRack(flow.src, flow.dst)) {
+      stats_.bytes_cross_rack += flow.total_bytes;
+    }
   }
   if (trace_ != nullptr) {
-    trace_->Span("flow", "net", obs::kPidNetwork, flow.src, flow.started_at,
-                 now, {"bytes", static_cast<double>(flow.total_bytes)},
+    trace_->Span(failed ? "flow-drop" : "flow", "net", obs::kPidNetwork,
+                 flow.src, flow.started_at, now,
+                 {"bytes", static_cast<double>(flow.total_bytes)},
                  {"dst", static_cast<double>(flow.dst)});
   }
 
   const NodeId src = flow.src;
   const NodeId dst = flow.dst;
-  std::function<void()> done = std::move(flow.on_complete);
+  std::function<void()> done =
+      failed ? std::move(flow.on_failed) : std::move(flow.on_complete);
   FreeSlot(slot);
   Rebalance(src, dst);
   if (done) done();
+}
+
+void Network::KillFlow(uint32_t slot, double now) {
+  Flow& flow = slab_[slot];
+  AMR_CHECK(flow.active && flow.on_failed);
+  // Recover progress under the rate that held until the cut, then rip the
+  // flow out of the fluid model: everything still in the pipe is lost.
+  const double elapsed = now - flow.last_update;
+  if (elapsed > 0 && flow.rate_Bps > 0) {
+    flow.remaining_bytes =
+        std::max(0.0, flow.remaining_bytes - elapsed * flow.rate_Bps);
+  }
+  UnlinkAt(flow.src, slot, 0);
+  --flows_at_node_[flow.src];
+  if (flow.dst != flow.src) {
+    UnlinkAt(flow.dst, slot, 1);
+    --flows_at_node_[flow.dst];
+  }
+  flow.active = false;
+  --active_flows_;
+  if (active_flows_ == 0) stats_.busy_seconds += now - busy_since_;
+  if (flow.completion_event != 0) queue_.Cancel(flow.completion_event);
+
+  ++stats_.flows_failed;
+  stats_.bytes_lost +=
+      static_cast<uint64_t>(flow.remaining_bytes) + flow.lost_bytes;
+  if (trace_ != nullptr) {
+    trace_->Span("flow-kill", "net", obs::kPidNetwork, flow.src,
+                 flow.started_at, now,
+                 {"bytes", static_cast<double>(flow.total_bytes)},
+                 {"dst", static_cast<double>(flow.dst)});
+  }
+
+  const NodeId src = flow.src;
+  const NodeId dst = flow.dst;
+  std::function<void()> failed = std::move(flow.on_failed);
+  FreeSlot(slot);
+  Rebalance(src, dst);
+  failed();
+}
+
+void Network::OnPartitionOpen(size_t index) {
+  const auto& window = topology_.config().partitions[index];
+  const double now = queue_.now();
+  // Collect first: KillFlow rebalances, which mutates the intrusive lists
+  // mid-walk. Kill in slot order so the event sequence is deterministic.
+  std::vector<uint32_t> severed;
+  for (uint32_t slot = 0; slot < slab_.size(); ++slot) {
+    const Flow& f = slab_[slot];
+    if (f.active && f.on_failed && topology_.WindowSevers(window, f.src, f.dst)) {
+      severed.push_back(slot);
+    }
+  }
+  for (uint32_t slot : severed) KillFlow(slot, now);
+}
+
+void Network::AdvanceDegrade(NodeId node, double now) {
+  NodeDegrade& d = degrade_[node];
+  const auto& cfg = topology_.config();
+  if (!d.inited) {
+    d.inited = true;
+    d.rng = Rng(MixSeed(MixSeed(seed_, 0xDE6), node));
+    d.next_change = d.rng.NextExponential(1.0 / cfg.degrade_rate);
+  }
+  // Episodes alternate: exponential gap to onset, fixed duration to recovery.
+  // Advanced lazily but monotonically, so the per-node episode timeline is a
+  // pure function of the seed regardless of when (or how often) it's queried.
+  while (d.next_change <= now) {
+    if (d.degraded) {
+      d.degraded = false;
+      d.next_change += d.rng.NextExponential(1.0 / cfg.degrade_rate);
+    } else {
+      d.degraded = true;
+      d.next_change += cfg.degrade_duration_s;
+    }
+  }
+  degrade_mult_[node] = d.degraded ? cfg.degrade_factor : 1.0;
+}
+
+void Network::ArmDegradeBoundary(NodeId node) {
+  if (degrade_.empty() || flows_at_node_[node] == 0) return;
+  AdvanceDegrade(node, queue_.now());
+  NodeDegrade& d = degrade_[node];
+  if (d.boundary_event != 0) return;  // already armed at next_change
+  d.boundary_event = queue_.Schedule(d.next_change, [this, node] {
+    degrade_[node].boundary_event = 0;
+    const double now = queue_.now();
+    AdvanceDegrade(node, now);
+    if (flows_at_node_[node] > 0) {
+      // The node's NIC share just stepped; re-rate its incident flows and
+      // keep tracking boundaries while it stays busy. An idle node lets the
+      // chain stop so the event queue can drain.
+      ++stats_.rebalances;
+      MaybeReRateNode(node, now);
+      ArmDegradeBoundary(node);
+    }
+  });
 }
 
 double Network::FlowRate(const Flow& flow) const {
   const auto& cfg = topology_.config();
   if (flow.src == flow.dst) {
     // Loopback: shared among this node's flows only, at memory rate.
+    // Degrade episodes model NIC/background-traffic trouble, not memory.
     return cfg.loopback_bandwidth_Bps /
            std::max<uint32_t>(1, flows_at_node_[flow.src]);
   }
-  const double src_share =
+  double src_share =
       cfg.node_bandwidth_Bps / std::max<uint32_t>(1, flows_at_node_[flow.src]);
-  const double dst_share =
+  double dst_share =
       cfg.node_bandwidth_Bps / std::max<uint32_t>(1, flows_at_node_[flow.dst]);
+  if (!degrade_mult_.empty()) {
+    src_share *= degrade_mult_[flow.src];
+    dst_share *= degrade_mult_[flow.dst];
+  }
   double rate = std::min(src_share, dst_share);
   if (!topology_.SameRack(flow.src, flow.dst)) {
     rate *= cfg.inter_rack_bandwidth_factor;
@@ -202,9 +370,13 @@ void Network::MaybeReRateNode(NodeId node, double now) {
     published_share_[node] = 0.0;
     return;
   }
+  if (!degrade_.empty()) AdvanceDegrade(node, now);
   // The share proxy scales as 1/count for NIC and loopback flows alike, so
-  // one relative-drift test covers both kinds on this node's list.
-  const double share = topology_.config().node_bandwidth_Bps / count;
+  // one relative-drift test covers both kinds on this node's list. Folding
+  // the degrade multiplier in makes an episode boundary register as drift,
+  // defeating the tolerance gate exactly when the share actually stepped.
+  double share = topology_.config().node_bandwidth_Bps / count;
+  if (!degrade_mult_.empty()) share *= degrade_mult_[node];
   const double tolerance = topology_.config().fluid_rate_tolerance;
   if (tolerance > 0.0 && published_share_[node] > 0.0 &&
       std::abs(share - published_share_[node]) <=
@@ -248,6 +420,9 @@ void Network::ReRateNode(NodeId node, double now) {
 
 void Network::RebalanceAllReference() {
   const double now = queue_.now();
+  if (!degrade_.empty()) {
+    for (NodeId n = 0; n < topology_.num_nodes(); ++n) AdvanceDegrade(n, now);
+  }
 
   // 1. Advance progress of every flow under the old rates.
   for (Flow& f : slab_) {

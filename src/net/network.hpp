@@ -27,10 +27,12 @@
 // measured rather than asserted (bench/micro_des network-churn micro).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "net/topology.hpp"
 #include "sim/event_queue.hpp"
 
@@ -60,6 +62,13 @@ struct NetworkStats {
   /// the incremental mode's count over the same workload measures the work
   /// the endpoint-local rebalance avoids.
   uint64_t flow_rate_updates = 0;
+  /// Terminal flow failures (loss-aware flows only): per-flow drops, flows
+  /// killed by a partition window opening, and severed transfers that timed
+  /// out. bytes_lost counts payload bytes that never reached the receiver
+  /// (a dropped flow's delivered fraction still consumed bandwidth and is
+  /// NOT in bytes_transferred — that counts completed flows only).
+  uint64_t flows_failed = 0;
+  uint64_t bytes_lost = 0;
 };
 
 /// How Rebalance reacts to a flow-set change (see file comment).
@@ -70,14 +79,34 @@ enum class RebalanceMode {
 
 class Network {
  public:
+  /// `seed` feeds the adversarial RNG streams (flow loss, degrade episodes);
+  /// with every adversarial knob at its default nothing is ever drawn, so
+  /// the seed is inert on the reliable path.
   Network(sim::EventQueue& queue, Topology topology,
-          RebalanceMode mode = RebalanceMode::kIncremental)
+          RebalanceMode mode = RebalanceMode::kIncremental,
+          uint64_t seed = 0x5EED)
       : queue_(queue),
         topology_(std::move(topology)),
         mode_(mode),
         flows_at_node_(topology_.num_nodes(), 0),
         head_at_node_(topology_.num_nodes(), kNil),
-        published_share_(topology_.num_nodes(), 0.0) {}
+        published_share_(topology_.num_nodes(), 0.0),
+        loss_rng_(MixSeed(seed, 0x1055)),
+        seed_(seed) {
+    if (topology_.config().degrade_rate > 0.0) {
+      degrade_.resize(topology_.num_nodes());
+      degrade_mult_.assign(topology_.num_nodes(), 1.0);
+    }
+    // Partition windows are timed against the shared virtual clock: arm one
+    // event per window open to kill in-flight severed loss-aware flows. New
+    // transfers check reachability live, so no close event is needed.
+    for (size_t i = 0; i < topology_.config().partitions.size(); ++i) {
+      const auto& w = topology_.config().partitions[i];
+      AMR_CHECK(w.end_s > w.start_s && std::isfinite(w.end_s))
+          << "partition windows must be finite, non-empty intervals";
+      queue_.Schedule(w.start_s, [this, i] { OnPartitionOpen(i); });
+    }
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -85,8 +114,15 @@ class Network {
   /// Starts a transfer of `bytes` from src to dst; on_complete fires (in
   /// virtual time) once the last byte lands. Zero-byte transfers cost one
   /// latency. Returns an id usable for diagnostics.
+  ///
+  /// A transfer passing a non-null `on_failed` is *loss-aware*: it
+  /// participates in the adversarial link faults (per-flow drops, partition
+  /// kills and timeouts) and exactly one of on_complete / on_failed fires.
+  /// Handler-less transfers model reliable transport (the DFS pipeline, the
+  /// wave shuffle) and always complete.
   FlowId Transfer(NodeId src, NodeId dst, uint64_t bytes,
-                  std::function<void()> on_complete);
+                  std::function<void()> on_complete,
+                  std::function<void()> on_failed = nullptr);
 
   /// Latency-only one-way message (control-plane traffic).
   void Send(NodeId src, NodeId dst, std::function<void()> on_delivered);
@@ -141,6 +177,14 @@ class Network {
     uint64_t total_bytes = 0;
     sim::EventId completion_event = 0;
     std::function<void()> on_complete;
+    /// Loss-aware failure handler (see Transfer); null = reliable flow.
+    std::function<void()> on_failed;
+    /// Payload bytes that will never arrive: set by the per-flow drop draw
+    /// (the undelivered tail) or by a partition kill (remaining bytes).
+    uint64_t lost_bytes = 0;
+    /// Doomed by the per-flow drop draw: the flow runs for its delivered
+    /// fraction of bytes, then terminates as failed instead of completed.
+    bool doomed = false;
     bool active = false;  // in the fluid model (false while latency-pending)
     /// Intrusive links into the endpoint nodes' incident-flow lists, by the
     /// role this flow plays there (0 = src, 1 = dst; loopback links role 0
@@ -165,6 +209,23 @@ class Network {
   /// Activates the staged flow in `slot` (latency already paid).
   void StartFlow(uint32_t slot);
   void CompleteFlow(uint32_t slot);
+  /// Terminates a staged (not yet fluid) loss-aware flow as failed: a
+  /// severed transfer whose sender-side timeout expired.
+  void TimeoutFlow(uint32_t slot);
+  /// Rips an *active* loss-aware flow out of the fluid model as failed (a
+  /// partition window opened under it); its remaining bytes are lost.
+  void KillFlow(uint32_t slot, double now);
+  /// Window `index` opened: kill in-flight severed loss-aware flows.
+  void OnPartitionOpen(size_t index);
+
+  // --- per-node degraded-bandwidth episodes ----------------------------------
+  /// Advances `node`'s lazy episode timeline to `now` and refreshes the
+  /// cached NIC multiplier. No-op (and no draws) when degrade_rate == 0.
+  void AdvanceDegrade(NodeId node, double now);
+  /// Ensures a boundary event is armed at `node`'s next episode flip while
+  /// the node has active flows (the flip must re-rate its incident flows;
+  /// an idle node's flip is observed lazily instead).
+  void ArmDegradeBoundary(NodeId node);
 
   /// Re-rates flows incident to `node`: advances remaining bytes under the
   /// old rate and retimes the completion event, but only for flows whose
@@ -195,6 +256,24 @@ class Network {
   FlowId next_flow_id_ = 1;
   obs::TraceSink* trace_ = nullptr;
   NetworkStats stats_;
+
+  // --- adversarial state (inert unless the matching knob is on) --------------
+  /// Per-flow drop draws, in Transfer call order. Separate stream from the
+  /// degrade timelines so enabling one knob never shifts the other's draws.
+  Rng loss_rng_;
+  uint64_t seed_;
+  /// Lazy per-node degrade-episode timeline: each node's episode sequence is
+  /// fixed by its own substream and advanced monotonically in virtual time,
+  /// so when (or how often) it is queried cannot change the draws.
+  struct NodeDegrade {
+    bool inited = false;
+    bool degraded = false;
+    double next_change = 0.0;
+    Rng rng;
+    sim::EventId boundary_event = 0;
+  };
+  std::vector<NodeDegrade> degrade_;       // empty when degrade_rate == 0
+  std::vector<double> degrade_mult_;       // cached NIC multiplier per node
 };
 
 }  // namespace asyncmr::net

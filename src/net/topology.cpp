@@ -28,6 +28,16 @@ std::string Topology::Describe() const {
      << config_.node_bandwidth_Bps / 125.0e6 << " Gb/s, latency intra/inter "
      << config_.intra_rack_latency_s * 1e3 << "/" << config_.inter_rack_latency_s * 1e3
      << " ms";
+  if (config_.flow_loss_prob > 0.0) {
+    os << ", flow loss " << config_.flow_loss_prob;
+  }
+  if (!config_.partitions.empty()) {
+    os << ", " << config_.partitions.size() << " partition window(s)";
+  }
+  if (config_.degrade_rate > 0.0) {
+    os << ", degrade " << config_.degrade_rate << "/s x"
+       << config_.degrade_factor;
+  }
   return os.str();
 }
 

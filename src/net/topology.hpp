@@ -14,6 +14,17 @@ namespace asyncmr::net {
 /// Index of a machine in the simulated cluster.
 using NodeId = uint32_t;
 
+/// A timed network partition: during [start_s, end_s) the listed racks are
+/// severed from every other rack (intra-rack traffic is unaffected; two
+/// isolated racks cannot reach each other either). Windows must be finite —
+/// the adversarial model guarantees every run terminates because every
+/// partition heals.
+struct PartitionWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::vector<uint32_t> isolated_racks;
+};
+
 struct TopologyConfig {
   uint32_t num_nodes = 8;
   uint32_t nodes_per_rack = 4;
@@ -42,6 +53,28 @@ struct TopologyConfig {
   /// for amortized O(1) rebalance work per flow event even with thousands of
   /// flows incident to a node (all-to-all broadcast at P in the thousands).
   double fluid_rate_tolerance = 0.0;
+
+  // --- adversarial link faults (all off by default; loss-aware flows only —
+  // --- transfers registering an on_failed handler. Handler-less transfers
+  // --- model reliable transport and are never dropped; latency-only Send is
+  // --- out-of-band control traffic and is likewise unaffected.) ------------
+  /// Per-flow drop probability on non-loopback links: a doomed flow delivers
+  /// a uniform fraction of its bytes (consuming bandwidth for them), then
+  /// fails. 0 = reliable links, and no RNG is drawn.
+  double flow_loss_prob = 0.0;
+  /// Timed rack-level partitions. In-flight severed loss-aware flows are
+  /// killed when a window opens; new severed transfers fail after
+  /// partition_detect_s (the sender-side timeout).
+  std::vector<PartitionWindow> partitions;
+  /// How long a sender waits before concluding a severed transfer is dead.
+  double partition_detect_s = 1.0;
+  /// Per-node degraded-bandwidth episodes (background traffic, failing NIC):
+  /// Poisson arrivals at `degrade_rate` per node per second, each lasting
+  /// degrade_duration_s, scaling the node's NIC fair share by degrade_factor.
+  /// Rate 0 = never, and no RNG is drawn.
+  double degrade_rate = 0.0;
+  double degrade_duration_s = 5.0;
+  double degrade_factor = 0.25;
 };
 
 class Topology {
@@ -64,6 +97,30 @@ class Topology {
     if (src == dst) return config_.loopback_latency_s;
     return SameRack(src, dst) ? config_.intra_rack_latency_s
                               : config_.inter_rack_latency_s;
+  }
+
+  /// Does `window` sever the (src, dst) link? Intra-rack links never sever;
+  /// a cross-rack link severs when either endpoint's rack is isolated.
+  bool WindowSevers(const PartitionWindow& window, NodeId src, NodeId dst) const {
+    if (src == dst) return false;
+    const uint32_t ra = RackOf(src);
+    const uint32_t rb = RackOf(dst);
+    if (ra == rb) return false;
+    for (uint32_t r : window.isolated_racks) {
+      if (r == ra || r == rb) return true;
+    }
+    return false;
+  }
+
+  /// Is dst reachable from src at virtual time `t`, given the configured
+  /// partition windows? Always true with no windows configured.
+  bool Reachable(NodeId src, NodeId dst, double t) const {
+    for (const PartitionWindow& w : config_.partitions) {
+      if (t >= w.start_s && t < w.end_s && WindowSevers(w, src, dst)) {
+        return false;
+      }
+    }
+    return true;
   }
 
   /// Nodes in the same rack as `node` (including itself).
