@@ -426,10 +426,10 @@ JacobiResult AsyncJacobi(cluster::SimCluster& cluster, const graph::Digraph& g_s
   // unconditional re-send (row sums hover near zero, so a cleared filter
   // could stay silent within send_eps while the peer holds a stale
   // dead-epoch value).
-  auto force_resend = [](AsyncJacPartition& part, size_t b) {
+  auto force_resend = [](AsyncJacPartition& part, size_t bg) {
     constexpr double kResend = std::numeric_limits<double>::infinity();
-    for (const auto& [target, source] : part.boundary[b].edges) {
-      part.last_sent[b][target] = kResend;
+    for (const auto& [target, source] : part.boundary[bg].edges) {
+      part.last_sent[bg][target] = kResend;
     }
   };
 
@@ -514,12 +514,12 @@ JacobiResult AsyncJacobi(cluster::SimCluster& cluster, const graph::Digraph& g_s
     AMR_CHECK(serde::Serde<std::vector<double>>::Read(r, part.x).ok());
     AMR_CHECK(serde::Serde<std::vector<double>>::Read(r, part.ext).ok());
     AMR_CHECK(part.store.RestoreFrom(r).ok());
-    for (size_t b = 0; b < part.boundary.size(); ++b) force_resend(part, b);
+    for (size_t bg = 0; bg < part.boundary.size(); ++bg) force_resend(part, bg);
   });
   engine.set_on_peer_restart([&](uint32_t q, uint32_t restarted) {
     AsyncJacPartition& part = parts[q];
-    for (size_t b = 0; b < part.boundary.size(); ++b) {
-      if (part.boundary[b].peer == restarted) force_resend(part, b);
+    for (size_t bg = 0; bg < part.boundary.size(); ++bg) {
+      if (part.boundary[bg].peer == restarted) force_resend(part, bg);
     }
   });
 

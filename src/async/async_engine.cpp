@@ -294,6 +294,7 @@ void AsyncEngine::OnBatchDelivered(uint32_t to, uint32_t from,
   // at send time, and the Safra proof needs the global sums to balance. The
   // counters belong to the node runtime, not the (crashable) worker process.
   ++w.ledger.batches_received;
+  AMR_IF_AUDIT(--audit_batch_flows_in_flight_;);
   w.ledger.dirty = true;
   if (w.phase == WorkerPhase::kDown) return;  // process down: delivery lost
   if (from_epoch != workers_[from].epoch) {
@@ -380,6 +381,7 @@ void AsyncEngine::OpenFlow(uint32_t p, size_t peer_index,
   // received (the receiver acks a delivery, the SENDER self-acks a failure in
   // OnFlowFailed) — so the Safra sums always balance, retries included.
   ++w.ledger.batches_sent;
+  AMR_IF_AUDIT(++audit_batch_flows_in_flight_;);
   ++total_batches_;
   const uint64_t bytes = config_.update_envelope_bytes + payload->payload.size();
   total_bytes_ += bytes;
@@ -413,6 +415,7 @@ void AsyncEngine::OnFlowFailed(uint32_t p, size_t peer_index,
   // its own sent count — mirroring the dead-epoch accounting, where the
   // node runtime acks batches the process never applied.
   ++w.ledger.batches_received;
+  AMR_IF_AUDIT(--audit_batch_flows_in_flight_;);
   ++w.flow_drops;
   w.ledger.dirty = true;
   if (finished_) return;
@@ -599,6 +602,9 @@ void AsyncEngine::TakeCheckpoint(uint32_t p, bool free_write) {
                         app_state.size());
 
   serde::Buffer encoded = serde::Encode(snap);
+  // Round-trip the image before the store records its CRC (and before the
+  // corruption knob can touch it): see AuditCheckpointImage.
+  AMR_IF_AUDIT(AuditCheckpointImage(encoded);)
   if (!free_write) {
     ++w.checkpoints;
     w.checkpoint_bytes += encoded.size();
@@ -906,6 +912,18 @@ void AsyncEngine::StartCircuit() {
 
 void AsyncEngine::HandleTokenAt(uint32_t position, ProgressToken token) {
   if (finished_) return;
+  AMR_IF_AUDIT({
+    // Safra ledger-balance contract at every token visit: summed over all
+    // workers, sent - received must equal the batch flows currently on the
+    // wire (see AuditSafraBalance). O(P), so audit builds only.
+    uint64_t audit_sent = 0;
+    uint64_t audit_received = 0;
+    for (const Worker& aw : workers_) {
+      audit_sent += aw.ledger.batches_sent;
+      audit_received += aw.ledger.batches_received;
+    }
+    AuditSafraBalance(audit_sent, audit_received, audit_batch_flows_in_flight_);
+  });
   Worker& w = workers_[position];
   if (w.iterations == 0) {
     // Never completed an iteration: its ledger residual is the +inf "not yet

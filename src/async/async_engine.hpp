@@ -701,6 +701,14 @@ class AsyncEngine {
   uint64_t total_bytes_ = 0;
   uint64_t total_coalesced_ = 0;
   uint64_t total_coalesced_bytes_saved_ = 0;
+#ifdef AMR_AUDIT
+  /// Loss-aware batch flows opened but not yet terminally acked — the
+  /// right-hand side of the Safra ledger-balance audit (AuditSafraBalance,
+  /// checked at every token visit). Incremented per wire attempt in
+  /// OpenFlow; decremented exactly once per terminal outcome (delivery ack
+  /// in OnBatchDelivered, sender self-ack in OnFlowFailed).
+  uint64_t audit_batch_flows_in_flight_ = 0;
+#endif
 };
 
 }  // namespace asyncmr::async

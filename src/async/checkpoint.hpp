@@ -24,12 +24,15 @@
 // path, and in the freshness of the state a replacement can resume from.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "dfs/dfs.hpp"
+#include "serde/checksum.hpp"
 #include "serde/serde.hpp"
 
 namespace asyncmr::obs {
@@ -66,6 +69,29 @@ struct WorkerSnapshot {
   AMR_SERDE_FIELDS(partition, epoch, iterations, unmerged_records,
                    last_residual, peer_clocks, app_state)
 };
+
+/// Checkpoint image round-trip contract, run by the engine on every snapshot
+/// it hands to CheckpointStore::Write — on the PRE-corruption buffer, since
+/// the injection knob flips a byte only after the write-time CRC is recorded.
+/// The image must decode as a WorkerSnapshot, re-encode byte-identically
+/// (serde is canonical: one wire form per value), and its CRC must verify —
+/// otherwise a restore of this snapshot would resurrect a worker from a
+/// mangled or lossy image without tripping the CRC quarantine. Wrapped in
+/// AMR_IF_AUDIT at the call site; a free function so negative tests can feed
+/// it corrupted buffers directly (tests/test_audit.cpp).
+inline void AuditCheckpointImage(const serde::Buffer& encoded) {
+  const auto decoded = serde::Decode<WorkerSnapshot>(encoded);
+  AUDIT_CHECK(decoded.ok())
+      << "checkpoint image does not decode: " << decoded.status().ToString();
+  if (!decoded.ok()) return;  // unreachable under AMR_AUDIT; quiets non-audit
+  const serde::Buffer reencoded = serde::Encode(decoded.value());
+  AUDIT_CHECK(reencoded.size() == encoded.size() &&
+              std::equal(encoded.view().begin(), encoded.view().end(),
+                         reencoded.view().begin()))
+      << "checkpoint image round-trip not byte-identical: " << encoded.size()
+      << " bytes in, " << reencoded.size() << " bytes out";
+  AUDIT_CHECK(serde::Crc32(encoded.view()) == serde::Crc32(reencoded.view()));
+}
 
 /// Per-run checkpoint persistence with write-behind durability semantics.
 /// Holds each worker's encoded snapshots together with the virtual time at

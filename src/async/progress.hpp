@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/check.hpp"
 #include "serde/serde.hpp"
 
 namespace asyncmr::async {
@@ -58,6 +59,23 @@ struct ProgressToken {
     return !tainted && all_quiescent && sent == received;
   }
 };
+
+/// Safra ledger-balance contract, checked by the engine at every token
+/// evaluation under AMR_AUDIT: summed over all workers, batches sent minus
+/// batches received must equal the loss-aware batch flows currently on the
+/// wire. Every wire attempt increments a sender ledger exactly once, and
+/// every terminal outcome (delivery ack or sender self-ack on failure)
+/// increments a receiver ledger exactly once, so any other difference means
+/// an update was double-counted or silently dropped — which would let a
+/// termination circuit prove sent == received while an update is still in
+/// flight. Exposed as a free function so negative tests can feed it
+/// corrupted ledgers directly (tests/test_audit.cpp).
+inline void AuditSafraBalance(uint64_t sent, uint64_t received,
+                              uint64_t in_flight) {
+  AUDIT_CHECK(sent == received + in_flight)
+      << "Safra ledger imbalance: sent=" << sent << " received=" << received
+      << " batch flows in flight=" << in_flight;
+}
 
 /// Per-worker counters the token reads (and clears `dirty` on) at each visit.
 struct ProgressLedger {

@@ -50,6 +50,23 @@ namespace asyncmr::async {
 inline constexpr uint32_t kUnboundedStaleness =
     std::numeric_limits<uint32_t>::max();
 
+/// Version-monotonicity contract for an applied StateStore write: a write
+/// that replaces a stored entry must carry a version that is not older than
+/// the one it replaces, under the lexicographic (epoch, clock) order — the
+/// Put() guard is supposed to have rejected everything else. A violation
+/// means stale out-of-order state overwrote fresher state, which the
+/// sender's delta filter can never repair. Checked by Put on every replace
+/// under AMR_AUDIT; a free function so negative tests can feed it corrupted
+/// version pairs directly (tests/test_audit.cpp).
+inline void AuditVersionAdvance(uint32_t prev_epoch, uint32_t prev_clock,
+                                uint32_t epoch, uint32_t clock) {
+  AUDIT_CHECK(epoch > prev_epoch ||
+              (epoch == prev_epoch && clock >= prev_clock))
+      << "state-store version regressed: stored (epoch " << prev_epoch
+      << ", clock " << prev_clock << ") replaced by (epoch " << epoch
+      << ", clock " << clock << ")";
+}
+
 class ClockTable {
  public:
   ClockTable() = default;
@@ -206,6 +223,8 @@ class StateStore {
         (epoch == it->second.epoch && clock < it->second.clock)) {
       return result;  // stale delivery (out-of-order or dead-epoch)
     }
+    AMR_IF_AUDIT(
+        AuditVersionAdvance(it->second.epoch, it->second.clock, epoch, clock);)
     result.applied = true;
     result.replaced = std::move(it->second.value);
     it->second.value = std::move(value);
@@ -221,7 +240,8 @@ class StateStore {
   template <typename Fn>
   void DropPeer(uint32_t from, Fn&& fn) {
     auto& view = views_[clocks_.IndexOf(from)];
-    for (auto& [key, entry] : view) fn(key, entry.value);
+    // Unwinds commutative aggregates, so visit order is immaterial.
+    for (auto& [key, entry] : view) fn(key, entry.value);  // lint:order-insensitive
     view.clear();
   }
 
@@ -254,7 +274,8 @@ class StateStore {
       w.WriteVarU64(view.size());
       keys.clear();
       keys.reserve(view.size());
-      for (const auto& [key, entry] : view) keys.push_back(key);
+      // Keys are sorted before any byte is written, so layout cannot leak.
+      for (const auto& [key, entry] : view) keys.push_back(key);  // lint:order-insensitive
       std::sort(keys.begin(), keys.end());
       for (Key key : keys) {
         const Entry& entry = view.at(key);

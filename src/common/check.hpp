@@ -3,6 +3,15 @@
 // AMR_CHECK is active in all build types: runtime invariants whose violation
 // indicates a programming error abort with a diagnostic. AMR_DCHECK compiles
 // away in NDEBUG builds and is meant for hot paths.
+//
+// AUDIT_CHECK is the third tier: deep cross-subsystem contracts (event-queue
+// pop monotonicity, fluid-network byte conservation, Safra ledger balance,
+// state-store version monotonicity, checkpoint image round-trips) that cost
+// real work to evaluate — O(P) sums, list walks, re-encodes. They compile in
+// only under -DAMR_AUDIT=ON (the CMake option; CI's Debug jobs set it) and
+// are zero-cost otherwise: the condition expression is never evaluated.
+// Bookkeeping that exists only to feed an AUDIT_CHECK goes inside
+// AMR_IF_AUDIT(...) so it vanishes with the checks.
 #pragma once
 
 #include <cstdio>
@@ -61,4 +70,21 @@ class CheckMessageSink {
     ::asyncmr::detail::CheckMessageSink(__FILE__, __LINE__, #cond)
 #else
 #define AMR_DCHECK(cond) AMR_CHECK(cond)
+#endif
+
+#ifdef AMR_AUDIT
+#define AUDIT_CHECK(cond) AMR_CHECK(cond)
+#define AMR_IF_AUDIT(...) __VA_ARGS__
+namespace asyncmr {
+inline constexpr bool kAuditEnabled = true;
+}
+#else
+#define AUDIT_CHECK(cond) \
+  if (true) {             \
+  } else                  \
+    ::asyncmr::detail::CheckMessageSink(__FILE__, __LINE__, #cond)
+#define AMR_IF_AUDIT(...)
+namespace asyncmr {
+inline constexpr bool kAuditEnabled = false;
+}
 #endif

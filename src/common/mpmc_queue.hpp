@@ -2,6 +2,13 @@
 // pool and the local MapReduce runtime. Mutex+condvar based: with 2-16 host
 // threads and coarse task granularity, contention is negligible and the
 // simple implementation is the robust one.
+//
+// Thread-safety argument: every member — items_, closed_, capacity_ reads
+// included — is touched only under mu_, and both condvars are notified
+// while the lock is held, so there are no data races by construction (no
+// atomics, no lock-free paths to reason about). CI's TSan job
+// (-DAMR_SANITIZE=thread) runs the producer/consumer stress tests in
+// tests/test_common.cpp to keep that claim honest.
 #pragma once
 
 #include <condition_variable>

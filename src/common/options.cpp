@@ -1,7 +1,6 @@
 #include "common/options.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
@@ -52,7 +51,7 @@ void ApplyLogLevel(const std::string& name) {
   if (level.has_value()) {
     Logger::Get().set_level(*level);
   } else {
-    std::fprintf(stderr, "ignoring unknown log level '%s'\n", name.c_str());
+    AMR_LOG_WARN << "ignoring unknown log level '" << name << "'";
   }
 }
 
@@ -87,21 +86,21 @@ BenchOptions BenchOptions::FromEnv(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (auto v = flag_value(arg, "--log-level", i)) {
-      ApplyLogLevel(*v);
-    } else if (auto v = flag_value(arg, "--trace-out", i)) {
-      opts.trace_out = *v;
-    } else if (auto v = flag_value(arg, "--metrics-out", i)) {
-      opts.metrics_out = *v;
-    } else if (auto v = flag_value(arg, "--metrics-interval", i)) {
+    if (auto level = flag_value(arg, "--log-level", i)) {
+      ApplyLogLevel(*level);
+    } else if (auto trace = flag_value(arg, "--trace-out", i)) {
+      opts.trace_out = *trace;
+    } else if (auto metrics = flag_value(arg, "--metrics-out", i)) {
+      opts.metrics_out = *metrics;
+    } else if (auto interval = flag_value(arg, "--metrics-interval", i)) {
       try {
-        opts.metrics_interval_s = std::stod(*v);
+        opts.metrics_interval_s = std::stod(*interval);
       } catch (...) {
-        std::fprintf(stderr, "ignoring bad --metrics-interval '%s'\n", v->c_str());
+        AMR_LOG_WARN << "ignoring bad --metrics-interval '" << *interval << "'";
       }
       if (opts.metrics_interval_s <= 0) opts.metrics_interval_s = 1.0;
     } else {
-      std::fprintf(stderr, "ignoring unknown argument '%s'\n", argv[i]);
+      AMR_LOG_WARN << "ignoring unknown argument '" << argv[i] << "'";
     }
   }
   return opts;

@@ -4,6 +4,13 @@
 // simulated tasks on host threads, and (ii) the paper's local MapReduce
 // runtime runs lmap invocations on "a thread pool on a single host"
 // (Section V.B.2 of the paper).
+//
+// Thread-safety argument: workers only communicate through MpmcQueue (all
+// state under its mutex) and std::future/packaged_task (synchronizing by
+// contract); workers_ is written only before the threads start and read
+// only after join. CI's TSan job (-DAMR_SANITIZE=thread) runs the pool
+// tests in tests/test_common.cpp and the pooled-lmap tests in
+// tests/test_core.cpp to keep that claim honest.
 #pragma once
 
 #include <atomic>

@@ -21,6 +21,7 @@
 // per-chunk emitters are merged in chunk order so results stay deterministic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -69,15 +70,17 @@ class LocalIntermediate {
   uint64_t ops() const { return ops_; }
   uint64_t records() const { return records_; }
 
-  /// Merges another emitter's output (thread-pool chunk merge).
+  /// Merges another emitter's output (thread-pool chunk merge). Each key is
+  /// folded independently and chunks arrive in chunk order, so the visit
+  /// order within one chunk's table cannot leak into the result.
   void Merge(LocalIntermediate&& other) {
     if (combine_) {
-      for (auto& [k, v] : other.combined_) {
+      for (auto& [k, v] : other.combined_) {  // lint:order-insensitive
         auto [it, inserted] = combined_.try_emplace(k, v);
         if (!inserted) it->second = combine_(it->second, v);
       }
     } else {
-      for (auto& [k, vs] : other.groups_) {
+      for (auto& [k, vs] : other.groups_) {  // lint:order-insensitive
         auto& dst = groups_[k];
         dst.insert(dst.end(), vs.begin(), vs.end());
       }
@@ -174,14 +177,15 @@ class LocalMapReduce {
       LocalReduceContext<LK, LV> ctx(next);
       if (intermediate.combining()) {
         std::vector<LV> one(1, LV{});
-        for (auto& [key, value] : intermediate.combined()) {
+        ForEachSortedKey(intermediate.combined(), [&](const LK& key, LV& value) {
           one[0] = value;
           lreduce_(key, one, state, ctx);
-        }
+        });
       } else {
-        for (auto& [key, values] : intermediate.groups()) {
-          lreduce_(key, values, state, ctx);
-        }
+        ForEachSortedKey(intermediate.groups(),
+                         [&](const LK& key, std::vector<LV>& values) {
+                           lreduce_(key, values, state, ctx);
+                         });
       }
       stats.ops += ctx.ops();
       ++stats.local_iterations;
@@ -195,6 +199,18 @@ class LocalMapReduce {
   }
 
  private:
+  /// Visits the hashtable in sorted key order so the lreduce fold sequence
+  /// (and any foreign-key EmitLocal overwrites) cannot depend on hash layout.
+  template <typename Map, typename Fn>
+  static void ForEachSortedKey(Map& map, Fn&& fn) {
+    std::vector<typename Map::value_type*> entries;
+    entries.reserve(map.size());
+    for (auto& kv : map) entries.push_back(&kv);  // lint:order-insensitive
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (auto* kv : entries) fn(kv->first, kv->second);
+  }
+
   LocalIntermediate<LK, LV> RunLmapPhase(std::span<const X> xs,
                                          const LocalState<LK, LV>& state) const {
     LocalIntermediate<LK, LV> out(config_.lcombine);

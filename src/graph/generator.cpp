@@ -45,7 +45,14 @@ Digraph PreferentialAttachment(const PrefAttachConfig& config) {
       if (config.max_edge_age == 0 || j - x <= config.max_edge_age) return x;
       return window_start + static_cast<VertexId>(rng.NextBounded(window));
     };
-    for (VertexId c : picked) {
+    // The RNG draws inside this loop consume the stream in visit order, so
+    // the generated graph depends on the hash layout of `picked` — stable
+    // for a fixed stdlib and seed (which is what the reproducibility tests
+    // pin), but not portable across standard libraries. Changing to a
+    // canonical order here would silently regenerate every downstream test
+    // workload; if cross-stdlib graph portability is ever needed, bump the
+    // generator's versioning instead.
+    for (VertexId c : picked) {  // lint:allow(unordered-iteration)
       add_edge(j, c);
       // Copy up to numIn of c's inlink sources: s -> j.
       const auto& cin = in[c];

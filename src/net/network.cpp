@@ -148,6 +148,12 @@ void Network::StartFlow(uint32_t slot) {
   }
 
   flow.active = true;
+  AMR_IF_AUDIT({
+    // The whole payload enters the fluid model here: the delivered fraction
+    // plus, for a doomed flow, the tail the drop draw already wrote off.
+    audit_injected_bytes_ += flow.total_bytes;
+    audit_inflight_bytes_ += flow.total_bytes;
+  });
   if (active_flows_ == 0) busy_since_ = now;
   ++active_flows_;
   ++flows_at_node_[flow.src];
@@ -193,6 +199,24 @@ void Network::CompleteFlow(uint32_t slot) {
   AMR_CHECK(flow.active);
   const double now = queue_.now();
 
+  AMR_IF_AUDIT({
+    // Progress-integration contract: the completion event was scheduled from
+    // (remaining_bytes, rate) at the flow's last re-rate, and remaining has
+    // been advanced lazily under that same rate since — so at the scheduled
+    // completion instant the lazily-advanced remainder must be ~zero. A
+    // drift here means the incremental rebalancer retimed an event without
+    // advancing bytes (or vice versa) and the flow lost or invented payload.
+    const double elapsed = now - flow.last_update;
+    const double leftover =
+        flow.remaining_bytes - (flow.rate_Bps > 0 ? elapsed * flow.rate_Bps : 0.0);
+    AUDIT_CHECK(std::abs(leftover) <=
+                std::max(1.0, 1e-6 * static_cast<double>(flow.total_bytes)))
+        << "flow " << flow.id << " completed with " << leftover
+        << " bytes unaccounted (total " << flow.total_bytes << ")";
+    audit_drained_bytes_ += flow.total_bytes;
+    audit_inflight_bytes_ -= flow.total_bytes;
+  });
+
   UnlinkAt(flow.src, slot, 0);
   --flows_at_node_[flow.src];
   if (flow.dst != flow.src) {
@@ -233,6 +257,12 @@ void Network::CompleteFlow(uint32_t slot) {
 void Network::KillFlow(uint32_t slot, double now) {
   Flow& flow = slab_[slot];
   AMR_CHECK(flow.active && flow.on_failed);
+  AMR_IF_AUDIT({
+    // The whole payload drains here: delivered progress, the freshly-lost
+    // remainder, and any tail the drop draw had already written off.
+    audit_drained_bytes_ += flow.total_bytes;
+    audit_inflight_bytes_ -= flow.total_bytes;
+  });
   // Recover progress under the rate that held until the cut, then rip the
   // flow out of the fluid model: everything still in the pipe is lost.
   const double elapsed = now - flow.last_update;
@@ -354,6 +384,10 @@ void Network::Rebalance(NodeId a, NodeId b) {
   ++stats_.rebalances;
   if (mode_ == RebalanceMode::kFullReference) {
     RebalanceAllReference();
+    AMR_IF_AUDIT({
+      AuditConservation();
+      for (NodeId n = 0; n < topology_.num_nodes(); ++n) AuditNodeRates(n);
+    });
     return;
   }
   const double now = queue_.now();
@@ -362,6 +396,11 @@ void Network::Rebalance(NodeId a, NodeId b) {
   // second rate computation would find no change), but the list itself must
   // still be walked: b's other flows changed share too.
   if (b != a) MaybeReRateNode(b, now);
+  AMR_IF_AUDIT({
+    AuditConservation();
+    AuditNodeRates(a);
+    if (b != a) AuditNodeRates(b);
+  });
 }
 
 void Network::MaybeReRateNode(NodeId node, double now) {
@@ -448,5 +487,71 @@ void Network::RebalanceAllReference() {
         queue_.ScheduleAfter(finish_in, [this, slot] { CompleteFlow(slot); });
   }
 }
+
+#ifdef AMR_AUDIT
+
+void Network::AuditConservation() const {
+  AUDIT_CHECK(audit_injected_bytes_ ==
+              audit_drained_bytes_ + audit_inflight_bytes_)
+      << "fluid-model byte conservation broken: injected="
+      << audit_injected_bytes_ << " drained=" << audit_drained_bytes_
+      << " in-flight=" << audit_inflight_bytes_;
+}
+
+void Network::AuditNodeRates(NodeId node) const {
+  if (flows_at_node_[node] == 0) return;
+  const auto& cfg = topology_.config();
+  double nic_sum = 0.0;
+  double loopback_sum = 0.0;
+  for (uint32_t slot = head_at_node_[node]; slot != kNil;) {
+    const Flow& f = slab_[slot];
+    if (f.src == f.dst) {
+      loopback_sum += f.rate_Bps;
+    } else {
+      nic_sum += f.rate_Bps;
+    }
+    slot = f.next[RoleAt(f, node)];
+  }
+  // Capacity-slack derivation. With fluid_rate_tolerance == 0 every flow-set
+  // change re-rates both endpoints, so each incident rate is fresh and the
+  // sums are exactly bounded by capacity (plus fp rounding). With tolerance
+  // t > 0 rates are deliberately stale: the share proxy may drift within
+  // [(1-t), (1+t)] of the published share before a walk triggers, so the
+  // flow count can grow by 1/(1-t) under rates set at the old share, and a
+  // flow started mid-band is rated up to (1+t) x the published share —
+  // together a (1+t)/(1-t) overshoot. A degrade recovery inside the band
+  // additionally scales stale rates by up to 1/degrade_factor relative to
+  // the refreshed multiplier.
+  const double tol = std::min(cfg.fluid_rate_tolerance, 0.5);
+  double slack = 1.0 + 1e-9;
+  if (tol > 0.0) {
+    slack = (1.0 + tol) / (1.0 - tol) + 1e-9;
+    if (!degrade_mult_.empty() && cfg.degrade_factor > 0.0) {
+      slack /= cfg.degrade_factor;
+    }
+  }
+  const double mult = degrade_mult_.empty() ? 1.0 : degrade_mult_[node];
+  AUDIT_CHECK(nic_sum <= cfg.node_bandwidth_Bps * mult * slack)
+      << "node " << node << " NIC oversubscribed: rate sum " << nic_sum
+      << " B/s vs capacity " << cfg.node_bandwidth_Bps * mult
+      << " B/s (slack x" << slack << ")";
+  AUDIT_CHECK(loopback_sum <= cfg.loopback_bandwidth_Bps * slack)
+      << "node " << node << " loopback oversubscribed: rate sum "
+      << loopback_sum << " B/s vs capacity " << cfg.loopback_bandwidth_Bps
+      << " B/s (slack x" << slack << ")";
+}
+
+void Network::AuditInvariants() const {
+  AuditConservation();
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) AuditNodeRates(n);
+}
+
+void Network::TestOnlyInflateRates(double factor) {
+  for (Flow& f : slab_) {
+    if (f.active) f.rate_Bps *= factor;
+  }
+}
+
+#endif  // AMR_AUDIT
 
 }  // namespace asyncmr::net

@@ -163,6 +163,19 @@ class Network {
   /// Transfer call that creates it.
   FlowId next_flow_id() const { return next_flow_id_; }
 
+#ifdef AMR_AUDIT
+  /// Runs every fluid-model contract on demand: the byte-conservation ledger
+  /// (injected == drained + in-flight) plus every node's rate-sum-vs-capacity
+  /// audit. Rebalance() runs the same checks scoped to the two touched nodes
+  /// after every flow-set change; this is the whole-model sweep for tests.
+  void AuditInvariants() const;
+  /// Negative-test hooks (tests/test_audit.cpp): corrupt the conservation
+  /// ledger by a phantom byte, or scale every active flow's rate past its
+  /// fair share so the capacity audit trips.
+  void TestOnlyCorruptConservation() { ++audit_injected_bytes_; }
+  void TestOnlyInflateRates(double factor);
+#endif
+
  private:
   static constexpr uint32_t kNil = 0xFFFFFFFFu;
 
@@ -241,6 +254,20 @@ class Network {
   uint32_t AllocSlot();
   void FreeSlot(uint32_t slot);
 
+#ifdef AMR_AUDIT
+  /// Byte conservation over the fluid model: every payload byte that entered
+  /// (injected) is either in an active flow (in-flight) or was drained by a
+  /// terminal event — delivered, dropped, or killed. Checked after every
+  /// rebalance; O(1) from the running ledgers.
+  void AuditConservation() const;
+  /// Sum of `node`'s incident flow rates must respect its capacity: NIC
+  /// flows against node_bandwidth_Bps x degrade multiplier, loopback flows
+  /// against loopback_bandwidth_Bps. Under fluid_rate_tolerance > 0 rates
+  /// are deliberately stale by a bounded factor, so the bound is slackened
+  /// accordingly (see the implementation for the derivation).
+  void AuditNodeRates(NodeId node) const;
+#endif
+
   sim::EventQueue& queue_;
   Topology topology_;
   RebalanceMode mode_;
@@ -274,6 +301,15 @@ class Network {
   };
   std::vector<NodeDegrade> degrade_;       // empty when degrade_rate == 0
   std::vector<double> degrade_mult_;       // cached NIC multiplier per node
+
+#ifdef AMR_AUDIT
+  /// Conservation ledgers (AuditConservation): payload bytes that entered
+  /// the fluid model, that left it through a terminal event, and that are
+  /// currently in flight. Maintained only under AMR_AUDIT.
+  uint64_t audit_injected_bytes_ = 0;
+  uint64_t audit_drained_bytes_ = 0;
+  uint64_t audit_inflight_bytes_ = 0;
+#endif
 };
 
 }  // namespace asyncmr::net

@@ -76,12 +76,25 @@ bool EventQueue::RunOne() {
   } else {
     ++imm_head_;
   }
+  // Pop contracts: virtual time never runs backwards (the heap key order is
+  // the clock), and the popped key's generation must match its slot — a
+  // mismatch here means PeekEarliest leaked a stale entry, which would fire
+  // a cancelled (or someone else's) callback.
+  AUDIT_CHECK(TimeOf(e) >= now_)
+      << "event queue popped into the past: event t=" << TimeOf(e)
+      << " now=" << now_;
+  AUDIT_CHECK(slab_[SlotOf(e)].seq == SeqOf(e))
+      << "popped a stale heap key: slot " << SlotOf(e) << " holds seq "
+      << slab_[SlotOf(e)].seq << ", key carries " << SeqOf(e);
   // Move the callback out and free the slot before firing: the callback
   // may schedule (reusing this slot) or grow the slab reentrantly.
   const uint32_t slot = SlotOf(e);
   EventFn fn = std::move(slab_[slot].fn);
   FreeSlot(slot);
   --live_;
+  AUDIT_CHECK(live_ + free_slots_.size() == slab_.size())
+      << "event slab slot accounting diverged: live=" << live_
+      << " free=" << free_slots_.size() << " slab=" << slab_.size();
   now_ = TimeOf(e);
   ++fired_;
   fn();

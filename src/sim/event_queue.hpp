@@ -168,6 +168,11 @@ class EventQueue {
       heap_.push(key);
     }
     ++live_;
+    // Slot accounting contract: every slab slot is exactly one of {free,
+    // holding a live event}. A double-free or leaked slot breaks this sum.
+    AUDIT_CHECK(live_ + free_slots_.size() == slab_.size())
+        << "event slab slot accounting diverged: live=" << live_
+        << " free=" << free_slots_.size() << " slab=" << slab_.size();
     return id;
   }
 
@@ -207,6 +212,15 @@ class EventQueue {
 
   /// Total events fired so far (for determinism assertions in tests).
   uint64_t fired_count() const { return fired_; }
+
+#ifdef AMR_AUDIT
+  /// Test-only corruption hooks for the negative audit tests
+  /// (tests/test_audit.cpp): force the clock ahead so a pending event
+  /// violates pop monotonicity, or leak a bogus free-list entry so the slot
+  /// accounting contract trips. Compiled only under AMR_AUDIT.
+  void TestOnlySetNow(SimTime t) { now_ = t; }
+  void TestOnlyLeakFreeSlot() { free_slots_.push_back(0); }
+#endif
 
  private:
   /// Low bits of an EventId / heap key hold the slot, the rest the sequence

@@ -1,0 +1,56 @@
+// Fixture: a file exercising constructs that LOOK like violations but are
+// not — the lint must report nothing here (tests/test_lint.cpp pins this).
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+struct Timer {
+  double time() const { return 0.0; }   // member named like the libc call
+  double clock() const { return 0.0; }  // ditto
+};
+
+struct Sampler {
+  int rand() const { return 4; }  // member, not libc
+};
+
+inline double UseMembers() {
+  Timer t;
+  Timer* p = &t;
+  Sampler s;
+  // Member and arrow calls are someone else's function, never the banned
+  // global: none of these may be flagged.
+  return t.time() + p->clock() + static_cast<double>(s.rand());
+}
+
+namespace sim {
+inline double clock() { return 0.0; }
+}  // namespace sim
+
+inline double ForeignQualifier() {
+  // Qualified by a non-std namespace: not the libc facility.
+  return sim::clock();
+}
+
+inline int OrderedIteration() {
+  std::map<int, int> sorted{{1, 2}, {3, 4}};
+  int sum = 0;
+  // Ordered container: range-for is deterministic and fine.
+  for (const auto& [k, v] : sorted) sum += k + v;
+  std::vector<int> vec{1, 2, 3};
+  for (int v : vec) sum += v;
+  return sum;
+}
+
+inline int FormattingNotOutput(char* buf, int n) {
+  // snprintf writes to a caller buffer: formatting, not output.
+  return snprintf(buf, static_cast<size_t>(n), "%d", 42);
+}
+
+inline const char* ProseOnly() {
+  // Words like printf, rand() and std::chrono in comments must not fire,
+  // and neither must quoted text:
+  return "call printf or rand() under std::chrono at your peril";
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: every class of randomness violation (tests/test_lint.cpp pins
+// the exact lines; keep edits appending, not inserting).
+#include <random>  // line 3: include violation
+#include <cstdlib>
+
+namespace fixture {
+
+inline int LibcRand() {
+  // line 10: srand, line 11: rand
+  srand(42);
+  return rand();
+}
+
+inline unsigned StdEngine() {
+  // line 16: random_device, line 17: mt19937
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return gen();
+}
+
+inline unsigned StdEngine64() {
+  // line 23: mt19937_64
+  std::mt19937_64 gen(7);
+  return static_cast<unsigned>(gen());
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: raw-output violations (tests/test_lint.cpp pins the exact
+// lines; keep edits appending, not inserting).
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+inline void Diagnostics(int n) {
+  // line 10: printf, line 11: fprintf, line 12: puts
+  printf("n=%d\n", n);
+  fprintf(stderr, "n=%d\n", n);
+  puts("done");
+}
+
+inline void Streams(int n) {
+  // line 17: std::cout, line 18: std::cerr
+  std::cout << n;
+  std::cerr << n;
+}
+
+}  // namespace fixture

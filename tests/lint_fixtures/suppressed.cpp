@@ -1,0 +1,33 @@
+// Fixture: every rule silenced by its suppression annotation — the lint
+// must report nothing here (tests/test_lint.cpp pins this).
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+namespace fixture {
+
+inline double JustifiedHostTime() {
+  // A sanctioned host-clock read, e.g. inside a bench main.
+  return static_cast<double>(time(nullptr));  // lint:allow(wall-clock)
+}
+
+inline int JustifiedLibcRand() {
+  return rand();  // lint:allow(randomness)
+}
+
+inline void JustifiedRawOutput(int n) {
+  printf("n=%d\n", n);  // lint:allow(raw-output)
+}
+
+inline long JustifiedUnorderedWalk() {
+  std::unordered_map<int, long> counts{{1, 2}};
+  long sum = 0;
+  // Commutative sum: visit order cannot leak.
+  for (const auto& [k, v] : counts) sum += v;  // lint:order-insensitive
+  // The generic escape hatch works for this rule too:
+  for (const auto& [k, v] : counts) sum += v;  // lint:allow(unordered-iteration)
+  return sum;
+}
+
+}  // namespace fixture

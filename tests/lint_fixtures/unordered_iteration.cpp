@@ -1,0 +1,47 @@
+// Fixture: unordered-iteration violations and the shapes that must NOT fire
+// (tests/test_lint.cpp pins the exact lines; append, don't insert).
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+using Counts = std::unordered_map<int, long>;  // tracked alias
+
+struct Holder {
+  std::unordered_map<int, int> table_;
+  Counts counts_;
+  const std::unordered_map<int, int>& table() const { return table_; }
+};
+
+inline long Violations(const Holder& h) {
+  long sum = 0;
+  // line 20: inline unordered type in the range expression
+  for (const auto& [k, v] : std::unordered_map<int, int>{{1, 2}}) sum += k + v;
+  // line 22: declared member variable of unordered type
+  for (const auto& [k, v] : h.table_) sum += k + v;
+  // line 24: variable declared via the tracked alias
+  for (const auto& [k, v] : h.counts_) sum += k + v;
+  // line 26: call to a function declared to return an unordered ref
+  for (const auto& [k, v] : h.table()) sum += k + v;
+  std::unordered_set<int> local{1, 2, 3};
+  // line 29: local unordered variable
+  for (int v : local) sum += v;
+  return sum;
+}
+
+inline long NotViolations(const Holder& h) {
+  long sum = 0;
+  std::vector<std::unordered_map<int, int>> views(3);
+  // Iterating the OUTER vector is order-stable: must not fire.
+  for (const auto& view : views) sum += static_cast<long>(view.size());
+  std::vector<int> keys;
+  // Keys are sorted before use; annotated on the line above.
+  // lint:order-insensitive
+  for (const auto& [k, v] : h.table_) keys.push_back(k);
+  for (const auto& [k, v] : h.counts_) sum += v;  // lint:order-insensitive
+  (void)sum;
+  return static_cast<long>(keys.size());
+}
+
+}  // namespace fixture

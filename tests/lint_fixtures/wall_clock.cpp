@@ -1,0 +1,31 @@
+// Fixture: every class of wall-clock violation (tests/test_lint.cpp pins
+// the exact lines; keep edits appending, not inserting).
+#include <chrono>  // line 3: include violation
+#include <ctime>
+
+namespace fixture {
+
+inline double HostNow() {
+  // line 10: std::chrono member access
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  // line 13: bare libc time()
+  return static_cast<double>(time(nullptr));
+}
+
+inline double HostClock() {
+  // line 18: std:: qualified clock()
+  return static_cast<double>(std::clock());
+}
+
+inline double HostGtod() {
+  struct timeval {
+    long tv_sec;
+    long tv_usec;
+  } tv{0, 0};
+  // line 27: gettimeofday
+  gettimeofday(&tv, nullptr);
+  return static_cast<double>(tv.tv_sec);
+}
+
+}  // namespace fixture

@@ -1,0 +1,184 @@
+// Negative tests for the AMR_AUDIT contract families: each AUDIT_CHECK is
+// tripped by deliberately corrupted input and must abort with its
+// diagnostic. Positive twins pin that clean inputs do NOT trip. The whole
+// suite is a no-op (skipped) when the contracts are compiled out — CI's
+// Debug jobs build with -DAMR_AUDIT=ON, where every family must fire.
+#include <gtest/gtest.h>
+
+#include "async/checkpoint.hpp"
+#include "async/progress.hpp"
+#include "async/state_store.hpp"
+#include "common/check.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using asyncmr::kAuditEnabled;
+
+#define SKIP_WITHOUT_AUDIT() \
+  if (!kAuditEnabled) GTEST_SKIP() << "built without -DAMR_AUDIT=ON"
+
+// --- event queue -------------------------------------------------------------
+
+TEST(AuditEventQueue, CleanRunDoesNotTrip) {
+  asyncmr::sim::EventQueue q;
+  int fired = 0;
+  q.Schedule(1.0, [&] { ++fired; });
+  q.ScheduleAfter(0.0, [&] { ++fired; });
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired, 2);
+}
+
+#ifdef AMR_AUDIT
+
+TEST(AuditEventQueueDeathTest, PopIntoThePastTrips) {
+  SKIP_WITHOUT_AUDIT();
+  EXPECT_DEATH(
+      {
+        asyncmr::sim::EventQueue q;
+        q.Schedule(1.0, [] {});
+        q.TestOnlySetNow(5.0);  // pending event is now in the past
+        q.RunOne();
+      },
+      "popped into the past");
+}
+
+TEST(AuditEventQueueDeathTest, SlotAccountingTrips) {
+  SKIP_WITHOUT_AUDIT();
+  EXPECT_DEATH(
+      {
+        asyncmr::sim::EventQueue q;
+        q.Schedule(1.0, [] {});
+        q.TestOnlyLeakFreeSlot();  // bogus free-list entry: slot 0 is live
+        q.Schedule(2.0, [] {});    // alloc reuses the live slot
+      },
+      "slot accounting diverged");
+}
+
+#endif  // AMR_AUDIT
+
+// --- fluid network -----------------------------------------------------------
+
+asyncmr::net::TopologyConfig SmallTopology() {
+  asyncmr::net::TopologyConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.nodes_per_rack = 2;
+  return cfg;
+}
+
+TEST(AuditNetwork, CleanTransfersDoNotTrip) {
+  asyncmr::sim::EventQueue q;
+  asyncmr::net::Network net(q, asyncmr::net::Topology(SmallTopology()));
+  int done = 0;
+  net.Transfer(0, 1, 1 << 20, [&] { ++done; });
+  net.Transfer(0, 2, 1 << 20, [&] { ++done; });
+  net.Transfer(3, 3, 1 << 16, [&] { ++done; });
+  q.RunUntilEmpty();
+  EXPECT_EQ(done, 3);
+#ifdef AMR_AUDIT
+  net.AuditInvariants();  // whole-model sweep on the drained network
+#endif
+}
+
+#ifdef AMR_AUDIT
+
+TEST(AuditNetworkDeathTest, ByteConservationTrips) {
+  SKIP_WITHOUT_AUDIT();
+  EXPECT_DEATH(
+      {
+        asyncmr::sim::EventQueue q;
+        asyncmr::net::Network net(q, asyncmr::net::Topology(SmallTopology()));
+        net.Transfer(0, 1, 1 << 20, [] {});
+        q.RunUntilEmpty();
+        net.TestOnlyCorruptConservation();  // phantom injected byte
+        net.AuditInvariants();
+      },
+      "byte conservation broken");
+}
+
+TEST(AuditNetworkDeathTest, NodeRateOversubscriptionTrips) {
+  SKIP_WITHOUT_AUDIT();
+  EXPECT_DEATH(
+      {
+        asyncmr::sim::EventQueue q;
+        asyncmr::net::Network net(q, asyncmr::net::Topology(SmallTopology()));
+        net.Transfer(0, 1, 1 << 24, [] {});
+        // Run just until the payload enters the fluid model, then inflate
+        // every active rate far past the NIC's fair share.
+        while (net.active_flows() == 0 && q.RunOne()) {
+        }
+        net.TestOnlyInflateRates(100.0);
+        net.AuditInvariants();
+      },
+      "oversubscribed");
+}
+
+#endif  // AMR_AUDIT
+
+// --- Safra ledger balance ----------------------------------------------------
+
+TEST(AuditSafra, BalancedLedgersDoNotTrip) {
+  asyncmr::async::AuditSafraBalance(/*sent=*/5, /*received=*/3,
+                                    /*in_flight=*/2);
+  asyncmr::async::AuditSafraBalance(0, 0, 0);
+}
+
+TEST(AuditSafraDeathTest, ImbalanceTrips) {
+  SKIP_WITHOUT_AUDIT();
+  EXPECT_DEATH(asyncmr::async::AuditSafraBalance(/*sent=*/3, /*received=*/1,
+                                                 /*in_flight=*/1),
+               "Safra ledger imbalance");
+}
+
+// --- state-store version monotonicity ----------------------------------------
+
+TEST(AuditStateStore, AdvancingVersionsDoNotTrip) {
+  asyncmr::async::AuditVersionAdvance(1, 5, 1, 5);  // idempotent redelivery
+  asyncmr::async::AuditVersionAdvance(1, 5, 1, 6);  // clock advance
+  asyncmr::async::AuditVersionAdvance(1, 5, 2, 0);  // restart: epoch wins
+}
+
+TEST(AuditStateStoreDeathTest, EpochRegressionTrips) {
+  SKIP_WITHOUT_AUDIT();
+  EXPECT_DEATH(asyncmr::async::AuditVersionAdvance(2, 5, 1, 9),
+               "version regressed");
+}
+
+TEST(AuditStateStoreDeathTest, ClockRegressionTrips) {
+  SKIP_WITHOUT_AUDIT();
+  EXPECT_DEATH(asyncmr::async::AuditVersionAdvance(1, 5, 1, 4),
+               "version regressed");
+}
+
+// --- checkpoint image round-trip ---------------------------------------------
+
+asyncmr::serde::Buffer EncodedSnapshot() {
+  asyncmr::async::WorkerSnapshot snap;
+  snap.partition = 3;
+  snap.epoch = 1;
+  snap.iterations = 17;
+  snap.unmerged_records = 42;
+  snap.last_residual = 0.125;
+  snap.peer_clocks = {16, 17, 15};
+  snap.app_state = "opaque application payload";
+  return asyncmr::serde::Encode(snap);
+}
+
+TEST(AuditCheckpoint, IntactImageDoesNotTrip) {
+  asyncmr::async::AuditCheckpointImage(EncodedSnapshot());
+}
+
+TEST(AuditCheckpointDeathTest, CorruptImageTrips) {
+  SKIP_WITHOUT_AUDIT();
+  EXPECT_DEATH(
+      {
+        asyncmr::serde::Buffer corrupt = EncodedSnapshot();
+        corrupt.AppendByte(0xFF);  // trailing garbage: decode must reject
+        asyncmr::async::AuditCheckpointImage(corrupt);
+      },
+      "checkpoint image");
+}
+
+}  // namespace

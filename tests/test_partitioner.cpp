@@ -167,8 +167,9 @@ INSTANTIATE_TEST_SUITE_P(
                       PartitionCase{"multilevel", RunMl, 4},
                       PartitionCase{"multilevel", RunMl, 64},
                       PartitionCase{"multilevel", RunMl, 200}),
-    [](const ::testing::TestParamInfo<PartitionCase>& info) {
-      return std::string(info.param.name) + "_k" + std::to_string(info.param.k);
+    [](const ::testing::TestParamInfo<PartitionCase>& param_info) {
+      return std::string(param_info.param.name) + "_k" +
+             std::to_string(param_info.param.k);
     });
 
 }  // namespace

@@ -66,11 +66,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(KmeansCase{0.1, 8}, KmeansCase{0.01, 8},
                       KmeansCase{0.001, 8}, KmeansCase{0.01, 4},
                       KmeansCase{0.01, 26}, KmeansCase{0.0001, 8}),
-    [](const ::testing::TestParamInfo<KmeansCase>& info) {
+    [](const ::testing::TestParamInfo<KmeansCase>& param_info) {
       const int exp10 =
-          static_cast<int>(std::round(-std::log10(info.param.threshold)));
+          static_cast<int>(std::round(-std::log10(param_info.param.threshold)));
       return "thr1e" + std::to_string(exp10) + "_p" +
-             std::to_string(info.param.partitions);
+             std::to_string(param_info.param.partitions);
     });
 
 // --- Jacobi: partitioner sweep ------------------------------------------------
@@ -121,9 +121,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, JacobiProperty,
     ::testing::Values(JacobiCase{"ml", 4}, JacobiCase{"ml", 16},
                       JacobiCase{"range", 8}, JacobiCase{"hash", 8}),
-    [](const ::testing::TestParamInfo<JacobiCase>& info) {
-      return std::string(info.param.partitioner) + "_p" +
-             std::to_string(info.param.partitions);
+    [](const ::testing::TestParamInfo<JacobiCase>& param_info) {
+      return std::string(param_info.param.partitioner) + "_p" +
+             std::to_string(param_info.param.partitions);
     });
 
 // --- cross-app determinism: one cluster, same seed, same virtual timeline ----

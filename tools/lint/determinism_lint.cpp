@@ -1,0 +1,59 @@
+// determinism_lint — mechanical enforcement of asyncmr's determinism rules.
+//
+//   determinism_lint --root <repo-root>     lint <repo-root>/src recursively
+//   determinism_lint <file>...              lint specific files (fixture tests)
+//
+// Exit status: 0 = clean, 1 = violations found, 2 = usage/IO error.
+// See tools/lint/lint_core.hpp for the rules and suppression annotations.
+// This binary deliberately depends on nothing but the standard library (it
+// must build and run before — and regardless of — the simulator itself).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+int main(int argc, char** argv) {
+  using asyncmr::lint::Violation;
+
+  std::vector<std::string> targets;
+  bool tree_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "determinism_lint: --root needs a directory\n");
+        return 2;
+      }
+      tree_mode = true;
+      targets.push_back((std::filesystem::path(argv[++i]) / "src").string());
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: determinism_lint --root <repo-root> | <file>...\n");
+      return 0;
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.empty()) {
+    std::fprintf(stderr, "usage: determinism_lint --root <repo-root> | <file>...\n");
+    return 2;
+  }
+
+  std::vector<Violation> violations;
+  for (const std::string& target : targets) {
+    std::vector<Violation> v = tree_mode ? asyncmr::lint::LintTree(target)
+                                         : asyncmr::lint::LintFile(target);
+    violations.insert(violations.end(), v.begin(), v.end());
+  }
+
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s\n", asyncmr::lint::FormatViolation(v).c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "determinism_lint: %zu violation%s\n", violations.size(),
+                 violations.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
