@@ -30,7 +30,7 @@ namespace asyncmr::bench {
 /// document the change in the README's "Bench-line schema" section.
 ///   v1 — pre-versioned lines (no schema_version field)
 ///   v2 — adds schema_version itself
-inline constexpr int kBenchSchemaVersion = 2;
+inline constexpr int kBenchSchemaVersion = 3;
 
 /// Owns the optional observability sinks for a bench binary, resolved from
 /// BenchOptions (--trace-out / --metrics-out / AMR_TRACE_OUT / ...). When

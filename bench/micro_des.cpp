@@ -19,23 +19,38 @@
 //    "churn_events_per_sec":E,"churn_legacy_events_per_sec":E,
 //    "cancel_events_per_sec":E,"cancel_legacy_events_per_sec":E,
 //    "queue_speedup":X,
+//    "churn_calendar_events_per_sec":E,"cancel_calendar_events_per_sec":E,
+//    "calendar_speedup":X,
+//    "onebucket_heap_events_per_sec":E,"onebucket_calendar_events_per_sec":E,
 //    "net_churn_events_per_sec":E,"net_churn_reference_events_per_sec":E,
 //    "net_rebalance_speedup":X,
 //    "async_pagerank_wall_s":T,"wave_pagerank_wall_s":T,
-//    "async_virtual_s":T,"async_total_iterations":N}
+//    "async_virtual_s":T,"async_total_iterations":N,
+//    "async_pagerank_sharded_wall_s":T,"sharded_speedup":X,
+//    "shard_threads":N,"host_cores":N}
 //
 // The net_churn_* fields measure the fluid network itself: start/complete N
 // overlapping flows on a 64-node topology and count flow events (starts +
 // completions) per wall-second, for the incremental endpoint-local
 // rebalancer vs the retained O(F) full-reference rebalancer.
 //
-// Honours AMR_SCALE / AMR_SEED like the figure benches.
+// The *_calendar_* fields rerun the queue micros with QueueMode::kCalendar
+// (same workload, byte-identical firing order); the onebucket_* pair is the
+// pathological distribution — every pending event at ONE timestamp — where
+// the calendar's sorted-bucket insert degrades and the heap does not.
+// sharded_speedup is serial wall / DesMode::kSharded wall on the async
+// anchor; on a single-core host it is honestly <= 1.
+//
+// Honours AMR_SCALE / AMR_SEED like the figure benches, plus
+// AMR_SHARD_THREADS (0 = size to the hardware).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <thread>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -129,6 +144,18 @@ class LegacyEventQueue {
   std::unordered_set<EventId> cancelled_;
 };
 
+/// Constructs the benched queue, forwarding the far-store mode to the slab
+/// queue; the legacy baseline has no modes and ignores it.
+template <typename Queue>
+Queue MakeQueue(sim::QueueMode mode) {
+  if constexpr (std::is_constructible_v<Queue, sim::QueueMode>) {
+    return Queue(mode);
+  } else {
+    (void)mode;
+    return Queue{};
+  }
+}
+
 /// Shared per-run state the event callables point into.
 struct ChainState {
   uint64_t remaining = 0;
@@ -174,10 +201,11 @@ struct ChurnEvent {
 };
 
 template <typename Queue>
-double ChurnEventsPerSec(uint64_t total_events, uint32_t width) {
+double ChurnEventsPerSec(uint64_t total_events, uint32_t width,
+                         sim::QueueMode mode = sim::QueueMode::kHeap) {
   static_assert(sizeof(ChurnEvent<Queue>) <= sim::EventFn::kInlineBytes,
                 "churn callable must exercise the inline-storage path");
-  Queue q;
+  Queue q = MakeQueue<Queue>(mode);
   ChainState state;
   state.remaining = total_events;
   const double wall = WallSeconds([&] {
@@ -219,11 +247,12 @@ struct CancelEvent {
 };
 
 template <typename Queue>
-double CancelEventsPerSec(uint64_t total_events, uint32_t width) {
+double CancelEventsPerSec(uint64_t total_events, uint32_t width,
+                          sim::QueueMode mode = sim::QueueMode::kHeap) {
   static_assert(sizeof(CancelEvent<Queue>) <= sim::EventFn::kInlineBytes &&
                     sizeof(NoopEvent) <= sim::EventFn::kInlineBytes,
                 "cancel callables must exercise the inline-storage path");
-  Queue q;
+  Queue q = MakeQueue<Queue>(mode);
   ChainState state;
   state.remaining = total_events / kFlowsPerLane;
   state.armed.assign(static_cast<size_t>(width) * kFlowsPerLane, 0);
@@ -235,6 +264,28 @@ double CancelEventsPerSec(uint64_t total_events, uint32_t width) {
     q.RunUntilEmpty();
   });
   return static_cast<double>(state.processed) / wall;
+}
+
+/// Pathological distribution for the calendar: every pending event at ONE
+/// timestamp, so all keys land in a single bucket and the sorted-descending
+/// insert degrades toward O(n) per op (ascending seqs insert at the front).
+/// The heap takes the same workload at O(log n). Reported for both modes so
+/// the trajectory records the honest worst case, not just the win.
+double OneBucketEventsPerSec(sim::QueueMode mode, uint64_t total_events,
+                             uint32_t batch) {
+  sim::EventQueue q(mode);
+  ChainState state;
+  uint64_t scheduled = 0;
+  const double wall = WallSeconds([&] {
+    while (scheduled < total_events) {
+      for (uint32_t i = 0; i < batch; ++i) {
+        q.ScheduleAfter(1.0, NoopEvent{EventPayload{&state, i, {}}});
+      }
+      scheduled += batch;
+      q.RunUntilEmpty();
+    }
+  });
+  return static_cast<double>(q.fired_count()) / wall;
 }
 
 /// Network churn: `lanes` concurrent flow chains over a 64-node cloud-ish
@@ -307,6 +358,28 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "cancel: %12.0f op/s   (legacy %12.0f op/s, %.2fx)\n",
                cancel, cancel_legacy, cancel / cancel_legacy);
 
+  // Same workloads through the calendar far store (byte-identical firing
+  // order; only the container changes), plus the one-bucket worst case.
+  const double churn_cal = ChurnEventsPerSec<sim::EventQueue>(
+      n_events, width, sim::QueueMode::kCalendar);
+  const double cancel_cal = CancelEventsPerSec<sim::EventQueue>(
+      n_events, width, sim::QueueMode::kCalendar);
+  const double cal_speedup =
+      0.5 * (churn_cal / churn) + 0.5 * (cancel_cal / cancel);
+  std::fprintf(stderr,
+               "calendar: churn %12.0f ev/s (%.2fx heap), cancel %12.0f op/s "
+               "(%.2fx heap)\n",
+               churn_cal, churn_cal / churn, cancel_cal, cancel_cal / cancel);
+  const uint64_t n_onebucket = std::max<uint64_t>(n_events / 8, 10'000);
+  const double onebucket_heap =
+      OneBucketEventsPerSec(sim::QueueMode::kHeap, n_onebucket, 1024);
+  const double onebucket_cal =
+      OneBucketEventsPerSec(sim::QueueMode::kCalendar, n_onebucket, 1024);
+  std::fprintf(stderr,
+               "one-bucket pileup: heap %12.0f ev/s, calendar %12.0f ev/s "
+               "(%.2fx — pathological by design)\n",
+               onebucket_heap, onebucket_cal, onebucket_cal / onebucket_heap);
+
   // --- fluid-network churn micro --------------------------------------------
   // ~1024 flows concurrently active on 64 nodes: the full-reference
   // rebalancer touches all of them on every start/completion, the
@@ -360,22 +433,66 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(async_stats.total_iterations),
                wave_wall);
 
+  // Sharded-DES anchor: the same async run with compute callbacks offloaded
+  // to the pool. Must be bit-identical to the serial run — verified here on
+  // the headline stats so a silent divergence poisons no trajectory.
+  const uint32_t host_cores = std::thread::hardware_concurrency();
+  const auto shard_threads =
+      static_cast<uint32_t>(GetEnvInt("AMR_SHARD_THREADS", 0));
+  async::AsyncResult sharded_stats;
+  double sharded_wall = 0.0;
+  {
+    apps::PageRankConfig pr_sharded = pr;
+    pr_sharded.async_tuning.des_mode = async::DesMode::kSharded;
+    pr_sharded.async_tuning.shard_threads = shard_threads;
+    cluster::SimCluster sim(cluster::ClusterSpec::Ec2Large8());
+    sharded_wall = WallSeconds([&] {
+      apps::AsyncPageRank(sim, g, part, pr_sharded, async::kUnboundedStaleness,
+                          &sharded_stats);
+    });
+  }
+  if (sharded_stats.total_iterations != async_stats.total_iterations ||
+      sharded_stats.end_seconds != async_stats.end_seconds) {
+    std::fprintf(stderr,
+                 "WARNING: sharded run diverged from serial "
+                 "(iterations %llu vs %llu, end %.17g vs %.17g)\n",
+                 static_cast<unsigned long long>(sharded_stats.total_iterations),
+                 static_cast<unsigned long long>(async_stats.total_iterations),
+                 sharded_stats.end_seconds, async_stats.end_seconds);
+  }
+  std::fprintf(stderr,
+               "sharded async PageRank: %.3fs wall (%.2fx serial) on %u host "
+               "cores\n",
+               sharded_wall, async_wall / sharded_wall, host_cores);
+
   // --- the JSON trajectory line ----------------------------------------------
   std::printf(
       "{\"bench\":\"micro_des\",\"schema_version\":%d,\"scale\":%g,\"seed\":%llu,"
       "\"churn_events_per_sec\":%.0f,\"churn_legacy_events_per_sec\":%.0f,"
       "\"cancel_events_per_sec\":%.0f,\"cancel_legacy_events_per_sec\":%.0f,"
       "\"queue_speedup\":%.3f,"
+      "\"churn_calendar_events_per_sec\":%.0f,"
+      "\"cancel_calendar_events_per_sec\":%.0f,"
+      "\"calendar_speedup\":%.3f,"
+      "\"onebucket_heap_events_per_sec\":%.0f,"
+      "\"onebucket_calendar_events_per_sec\":%.0f,"
       "\"net_churn_events_per_sec\":%.0f,"
       "\"net_churn_reference_events_per_sec\":%.0f,"
       "\"net_rebalance_speedup\":%.3f,"
       "\"async_pagerank_wall_s\":%.4f,\"wave_pagerank_wall_s\":%.4f,"
-      "\"async_virtual_s\":%.4f,\"async_total_iterations\":%llu}\n",
+      "\"async_virtual_s\":%.4f,\"async_total_iterations\":%llu,"
+      "\"async_pagerank_sharded_wall_s\":%.4f,\"sharded_speedup\":%.3f,"
+      "\"shard_threads\":%u,\"host_cores\":%u}\n",
       bench::kBenchSchemaVersion, opts.scale,
       static_cast<unsigned long long>(opts.seed), churn,
-      churn_legacy, cancel, cancel_legacy, speedup, net_churn, net_churn_ref,
+      churn_legacy, cancel, cancel_legacy, speedup, churn_cal, cancel_cal,
+      cal_speedup, onebucket_heap, onebucket_cal, net_churn, net_churn_ref,
       net_churn / net_churn_ref, async_wall, wave_wall, async_stats.seconds(),
-      static_cast<unsigned long long>(async_stats.total_iterations));
+      static_cast<unsigned long long>(async_stats.total_iterations),
+      sharded_wall, async_wall / sharded_wall,
+      shard_threads != 0 ? shard_threads
+                         : std::max(2u, std::thread::hardware_concurrency()),
+      host_cores);
   obs_session.FlushOrWarn();
   return 0;
 }

@@ -9,19 +9,30 @@
 // fluid network now rebalances incrementally (O(endpoint degree) per flow
 // event instead of O(total flows)), which is what makes P = 1024 tractable.
 //
-// Sweeps PageRank, SSSP and K-Means at P in {64, 256, 1024} (capped by
-// AMR_MAX_P — CI smokes P = 64), each P on Cloud(max(8, P/8)) so partitions
+// Sweeps PageRank, SSSP and K-Means at P in {64, 256, 1024, 4096} (window
+// set by AMR_MIN_P / AMR_MAX_P — CI smokes P = 64, and the release job smokes
+// the P = 4096 cell alone), each P on Cloud(max(8, P/8)) so partitions
 // outnumber slots 4:1 throughout. Each cell runs the async engine twice:
 // batch coalescing off and on, both with the adaptive token backoff (a fixed
 // inter-circuit pause would either spam P-hop token circuits or stall small
 // runs). Iteration caps keep cells bounded; converged flags are reported, not
 // assumed.
 //
+// P >= 4096 is the speed tier: those cells run with QueueMode::kCalendar and
+// DesMode::kSharded (both differentially pinned bit-identical to the exact
+// defaults by tests/test_sharded.cpp), and only the coalesced PageRank
+// variant runs — the SSSP and K-Means cells, and PageRank's uncoalesced
+// variant, are SKIPPED and logged explicitly, not silently: at ~12 vertices
+// per partition the apps' fixed per-iteration engine traffic dwarfs any
+// convergence signal, and the off-vs-on crossover is already established on
+// the 64-1024 rows at ~9x the cell cost. Every cell's JSON records which
+// modes produced it (queue_mode, des_mode).
+//
 // Output: human-readable rows to stderr, one JSON line per (app, P) cell to
 // stdout — append them to BENCH_scale_async.json. Schema (numbers):
 //
 //   {"bench":"scale_async","schema_version":V,"app":A,"P":N,"nodes":N,
-//    "scale":S,"seed":N,
+//    "scale":S,"seed":N,"queue_mode":M,"des_mode":M,
 //    "rate_tolerance":T,"off_skipped":B,
 //    "off_wall_s":T,"off_virtual_s":T,"off_iters":N,"off_flows":N,
 //    "off_net_bytes":N,"off_converged":B,
@@ -36,7 +47,7 @@
 // coalescing that holds ~P^2 concurrent flows in the fluid model — the
 // infeasibility coalescing exists to remove, not a measurement.
 //
-// Honours AMR_SCALE / AMR_SEED / AMR_MAX_P.
+// Honours AMR_SCALE / AMR_SEED / AMR_MIN_P / AMR_MAX_P.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -80,27 +91,37 @@ struct Cell {
 /// (stragglers, jitter) and keeps rebalance work amortized O(1) per event.
 constexpr double kRateTolerance = 0.05;
 
+/// From this P up, cells run the speed tier: calendar far store + sharded
+/// compute offload. Both are pinned bit-identical to the exact defaults by
+/// tests/test_sharded.cpp, so the trajectory stays comparable across modes.
+constexpr uint32_t kPerfModeP = 4096;
+
+bool UsesPerfModes(uint32_t p) { return p >= kPerfModeP; }
+
 cluster::ClusterSpec CloudSpecFor(uint32_t p) {
   auto spec = cluster::ClusterSpec::Cloud(std::max<uint32_t>(8, p / 8));
   spec.topology.fluid_rate_tolerance = kRateTolerance;
+  if (UsesPerfModes(p)) spec.queue_mode = sim::QueueMode::kCalendar;
   return spec;
 }
 
-async::EngineTuning Tuning(bool coalesce) {
+async::EngineTuning Tuning(bool coalesce, uint32_t p) {
   async::EngineTuning t;
   t.coalesce_batches = coalesce;
   t.adaptive_token_backoff = true;
+  if (UsesPerfModes(p)) t.des_mode = async::DesMode::kSharded;
   return t;
 }
 
-void PrintCell(const char* app, uint32_t p, const Cell& c) {
+void PrintCell(const char* app, uint32_t p, const Cell& c,
+               const char* off_skip_reason = "P^2 flows without coalescing") {
   if (c.off_skipped) {
     std::fprintf(
         stderr,
-        "%-9s P=%-5u off: skipped (P^2 flows without coalescing) | on: "
+        "%-9s P=%-5u off: skipped (%s) | on: "
         "%7.2fs wall %9.1fs virt %8llu iters %9llu flows (%llu coalesced) "
         "%s\n",
-        app, p, c.on.wall_s, c.on.stats.seconds(),
+        app, p, off_skip_reason, c.on.wall_s, c.on.stats.seconds(),
         static_cast<unsigned long long>(c.on.stats.total_iterations),
         static_cast<unsigned long long>(c.on.stats.update_batches),
         static_cast<unsigned long long>(c.on.stats.coalesced_batches),
@@ -128,6 +149,7 @@ void EmitJson(const char* app, uint32_t p, const BenchOptions& opts,
       "{\"bench\":\"scale_async\",\"schema_version\":%d,\"app\":\"%s\","
       "\"P\":%u,\"nodes\":%u,"
       "\"scale\":%g,\"seed\":%llu,"
+      "\"queue_mode\":\"%s\",\"des_mode\":\"%s\","
       "\"rate_tolerance\":%g,\"off_skipped\":%d,"
       "\"off_wall_s\":%.3f,\"off_virtual_s\":%.3f,\"off_iters\":%llu,"
       "\"off_flows\":%llu,\"off_net_bytes\":%llu,\"off_converged\":%d,"
@@ -138,7 +160,9 @@ void EmitJson(const char* app, uint32_t p, const BenchOptions& opts,
       "\"on_rebalances\":%llu,\"on_rate_updates\":%llu,"
       "\"net_busy_s\":%.3f,\"token_circuits\":%u}\n",
       bench::kBenchSchemaVersion, app, p, CloudSpecFor(p).num_nodes(), opts.scale,
-      static_cast<unsigned long long>(opts.seed), kRateTolerance,
+      static_cast<unsigned long long>(opts.seed),
+      UsesPerfModes(p) ? "calendar" : "heap",
+      UsesPerfModes(p) ? "sharded" : "serial", kRateTolerance,
       c.off_skipped ? 1 : 0, c.off.wall_s,
       c.off.stats.seconds(),
       static_cast<unsigned long long>(c.off.stats.total_iterations),
@@ -174,7 +198,7 @@ Cell RunCell(uint32_t p, RunFn&& run, bool skip_off = false,
     if (!coalesce && skip_off) continue;
     CellRun& r = coalesce ? cell.on : cell.off;
     cluster::SimCluster sim(CloudSpecFor(p));
-    auto tuning = Tuning(coalesce);
+    auto tuning = Tuning(coalesce, p);
     if (coalesce) tuning.obs = obs;
     r.wall_s = WallSeconds([&] { r.converged = run(sim, tuning, &r.stats); });
     r.net = sim.network().stats();
@@ -189,9 +213,10 @@ int main(int argc, char** argv) {
   bench::ObsSession obs_session(opts);
   const uint32_t max_p =
       static_cast<uint32_t>(GetEnvInt("AMR_MAX_P", 1024));
+  const uint32_t min_p = static_cast<uint32_t>(GetEnvInt("AMR_MIN_P", 0));
   std::vector<uint32_t> sweep;
-  for (uint32_t p : {64u, 256u, 1024u}) {
-    if (p <= max_p) sweep.push_back(p);
+  for (uint32_t p : {64u, 256u, 1024u, 4096u}) {
+    if (p >= min_p && p <= max_p) sweep.push_back(p);
   }
   std::fprintf(stderr,
                "=== scale_async — P >> slots on Cloud(N) topologies ===\n"
@@ -200,7 +225,10 @@ int main(int argc, char** argv) {
                opts.scale, static_cast<unsigned long long>(opts.seed));
   std::fprintf(stderr, "P sweep:");
   for (uint32_t p : sweep) std::fprintf(stderr, " %u", p);
-  std::fprintf(stderr, " (AMR_MAX_P=%u), both coalescing variants\n\n", max_p);
+  std::fprintf(stderr,
+               " (AMR_MIN_P=%u, AMR_MAX_P=%u), both coalescing variants; "
+               "P >= %u runs calendar + sharded\n\n",
+               min_p, max_p, kPerfModeP);
 
   // One shared power-law graph, sized so the largest P still gets non-trivial
   // partitions (~48 vertices each at P = 1024, scale 1) — the regime where
@@ -236,8 +264,18 @@ int main(int argc, char** argv) {
     // (one representative run per binary; P=64 under AMR_MAX_P=64 in CI).
     {
       apps::PageRankConfig pr;
-      pr.max_global_iterations = 40;  // worker cap 400: bounds the cell
+      // Worker cap is 10x the global cap. Engine overhead per cell grows
+      // ~linearly in P x iterations regardless of AMR_SCALE (the caps, not
+      // convergence, end these cells), so the speed tier trims the budget to
+      // keep the P = 4096 row bounded — it measures engine throughput, and
+      // ~160k worker iterations are plenty of signal.
+      pr.max_global_iterations = UsesPerfModes(p) ? 10 : 40;
       const bool traced_cell = p == sweep.back();
+      // At the speed tier the off variant is skipped like K-Means at 1024:
+      // the off-vs-on crossover is established on the 64-1024 rows, and the
+      // uncoalesced variant costs ~9x the cell (P=1024: 290s vs 33s) to
+      // re-measure it. Logged, not silent.
+      const bool skip_off = UsesPerfModes(p);
       const Cell cell = RunCell(
           p,
           [&](cluster::SimCluster& sim, const async::EngineTuning& tuning,
@@ -248,10 +286,24 @@ int main(int argc, char** argv) {
                                        async::kUnboundedStaleness, stats)
                 .converged;
           },
-          /*skip_off=*/false,
+          skip_off,
           traced_cell ? obs_session.View() : obs::Observability{});
-      PrintCell("pagerank", p, cell);
+      PrintCell("pagerank", p, cell,
+                "speed tier measures the coalesced configuration only");
       EmitJson("pagerank", p, opts, cell);
+    }
+
+    if (UsesPerfModes(p)) {
+      // The speed tier measures the engine at scale through the PageRank
+      // cell; say exactly which cells did NOT run rather than leaving holes
+      // in the trajectory.
+      std::fprintf(stderr,
+                   "sssp      P=%-5u skipped: ~%u vertices/partition — cell "
+                   "would measure fixed engine traffic, not relaxation\n"
+                   "kmeans    P=%-5u skipped: all-to-all at this P is "
+                   "infeasible without coalescing and pure exchange with it\n",
+                   p, static_cast<uint32_t>(g.num_vertices() / p), p);
+      continue;
     }
 
     // SSSP: monotone relaxations, naturally sparse traffic.

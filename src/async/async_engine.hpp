@@ -64,6 +64,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -73,6 +74,7 @@
 #include "async/state_store.hpp"
 #include "cluster/cluster.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "serde/serde.hpp"
 
@@ -128,11 +130,51 @@ std::vector<U> DecodeBatch(const UpdateBatch& batch) {
   return out;
 }
 
+/// Event-loop execution mode for the engine's Run().
+///
+/// kSerial is the exact reference: one host thread drives the DES and runs
+/// every compute callback inline, and all stored BENCH trajectories pin it.
+///
+/// kSharded offloads compute-callback *bodies* to a thread pool while the
+/// event loop itself stays serial — every state mutation, RNG draw, and
+/// schedule happens on the driver thread in exact serial order. The driver
+/// parks each iteration's completion event at BeginCompute (claiming the
+/// same sequence number the serial engine's ScheduleAfter would), launches
+/// the partition-confined compute on the pool, and joins it only when the
+/// next fireable event could outrun the iteration's conservative finish
+/// lower bound (begin time + merge-cost-only compute time — merge ops are
+/// known at begin, total ops only at join). Deliveries to an in-flight
+/// partition defer just their apply callback (all engine bookkeeping stays
+/// at delivery time) and replay in order at join. The result: the final
+/// AsyncResult is bit-identical to kSerial for all five apps
+/// (tests/test_sharded.cpp pins it), with concurrently-begun iterations
+/// genuinely overlapping on the host.
+///
+/// Full node-sharded PDES is deliberately NOT attempted: the fluid network
+/// recomputes both endpoints of every flow at the same virtual instant
+/// (zero lookahead across nodes) and BeginCompute draws jitter/straggler
+/// noise from the shared cluster RNG in global event order, so any
+/// node-partitioned schedule would either break bit-identity or serialize
+/// on exactly the events that dominate. Offloading the compute bodies —
+/// the paper's actual per-iteration work — is the part that parallelizes
+/// soundly.
+enum class DesMode : uint8_t {
+  kSerial = 0,
+  kSharded = 1,
+};
+
 /// The engine knobs applications expose to callers without replicating the
 /// whole AsyncConfig (apps own most AsyncConfig fields — thresholds, caps,
 /// names — but these are pure transport/termination tuning): see
 /// AsyncConfig::ApplyTuning. Benches sweep them for the P >> slots regime.
 struct EngineTuning {
+  /// Event-loop execution mode (see DesMode). kSerial is the bit-exact
+  /// default; kSharded overlaps compute callbacks on a thread pool with a
+  /// bit-identical final result.
+  DesMode des_mode = DesMode::kSerial;
+  /// Thread-pool size for kSharded (0 = size to the hardware). Any value
+  /// yields the same results — it only changes host-side overlap.
+  uint32_t shard_threads = 0;
   /// Merge emissions to a peer into one pending batch while a flow to that
   /// peer is already in flight, instead of opening a new flow per iteration
   /// (see AsyncConfig::coalesce_batches).
@@ -161,6 +203,12 @@ struct EngineTuning {
 };
 
 struct AsyncConfig {
+  /// Event-loop execution mode (see DesMode above). kSerial is the exact
+  /// reference and the default everywhere.
+  DesMode des_mode = DesMode::kSerial;
+  /// Thread-pool size for kSharded (0 = hardware concurrency). Result-
+  /// invariant by construction.
+  uint32_t shard_threads = 0;
   /// Staleness window S (see file comment). 0 = lockstep, kUnboundedStaleness
   /// = pure async.
   uint32_t staleness_bound = kUnboundedStaleness;
@@ -238,6 +286,8 @@ struct AsyncConfig {
 
   /// Copies the caller-exposed tuning knobs (see EngineTuning).
   void ApplyTuning(const EngineTuning& t) {
+    des_mode = t.des_mode;
+    shard_threads = t.shard_threads;
     coalesce_batches = t.coalesce_batches;
     adaptive_token_backoff = t.adaptive_token_backoff;
     token_backoff_s = t.token_backoff_s;
@@ -545,6 +595,43 @@ class AsyncEngine {
     /// the wire, so a token circuit observing balanced sent == received in
     /// the backoff gap must not prove termination.
     uint32_t pending_retries = 0;
+    /// App callbacks deferred while this worker's compute runs on a pool
+    /// thread (kSharded only): the engine bookkeeping for a delivery or a
+    /// forced re-announce happens at its event as usual, but the app-state
+    /// mutation (apply_/on_peer_restart_) would race the in-flight compute
+    /// — and in serial semantics the compute already ran, atomically, at
+    /// BeginCompute — so it replays in arrival order at join, before the
+    /// next compute can observe it.
+    struct DeferredCallback {
+      enum class Kind : uint8_t { kApply, kPeerRestart };
+      Kind kind = Kind::kApply;
+      uint32_t from = 0;  // apply: sender; peer-restart: restarted peer
+      uint32_t from_clock = 0;
+      uint32_t from_epoch = 0;
+      UpdateBatch batch;
+    };
+    /// One in-flight offloaded compute (kSharded only; never set for the
+    /// inline keepalive iterations). The parked event id carries the seq the
+    /// serial engine's FinishCompute schedule would have had; final_* are
+    /// published at join for the parked callback to read when it fires.
+    struct InFlight {
+      bool active = false;
+      std::future<void> done;
+      AsyncContext ctx;
+      uint64_t merge_ops = 0;
+      double begin_time = 0.0;
+      /// Conservative finish lower bound: begin + merge-ops-only compute
+      /// time (<= the real compute time, same float expression shape).
+      double lb_time = 0.0;
+      sim::EventId parked = 0;
+      uint64_t parked_seq = 0;
+      double slowdown = 1.0;  // jitter/straggler draw, made at begin
+      double load = 1.0;      // NodeLoadFactor, read at begin
+      uint64_t final_ops = 0;
+      double final_residual = 0.0;
+      std::vector<DeferredCallback> deferred;
+    };
+    InFlight inflight;
     /// Robustness counters (see WorkerStats).
     uint64_t flow_drops = 0;
     uint64_t batch_retries = 0;
@@ -554,6 +641,16 @@ class AsyncEngine {
 
   void BuildTopology();
   bool KeepaliveDue(const Worker& w, uint32_t p) const;
+  // --- sharded event loop (DesMode::kSharded) --------------------------------
+  /// The drive loop replacing cluster_.RunUntilIdle(): fires queue events
+  /// exactly as the serial engine would, joining in-flight computes whenever
+  /// the next fireable event's (time, seq) could outrun their conservative
+  /// finish bound — so every event still fires in exact serial key order.
+  void DriveSharded();
+  /// Waits for p's offloaded compute, replays its deferred app callbacks in
+  /// arrival order, computes the real finish time with the serial engine's
+  /// exact float expression, and activates the parked completion event.
+  void JoinInFlight(uint32_t p);
   void TryStartIteration(uint32_t p);
   void BeginCompute(uint32_t p, uint32_t epoch);
   void FinishCompute(uint32_t p, uint32_t epoch, uint64_t ops,
@@ -674,6 +771,11 @@ class AsyncEngine {
   CheckpointStore checkpoints_;
   uint32_t total_restarts_ = 0;
   double recovery_seconds_ = 0.0;
+  /// Compute-offload pool, created at Run() in kSharded mode only. Workers
+  /// synchronize with the driver purely through Submit futures: the driver
+  /// never touches an in-flight partition's app state or emission buffers,
+  /// and the pool thread never touches anything else.
+  std::unique_ptr<ThreadPool> shard_pool_;
 
   /// Per partition: staleness lag at apply time (see AsyncResult). Built at
   /// Run regardless of the obs config.

@@ -10,6 +10,7 @@
 
 #include "dfs/dfs.hpp"
 #include "net/topology.hpp"
+#include "sim/event_queue.hpp"
 
 namespace asyncmr::cluster {
 
@@ -79,6 +80,12 @@ struct ClusterSpec {
   double speculative_factor = 0.0;
 
   uint64_t seed = 42;
+
+  /// Far-future event store for the simulation kernel. kHeap is the exact
+  /// default every stored BENCH trajectory pins; kCalendar pops the byte-
+  /// identical event sequence O(1) amortized per op (bench/micro_des
+  /// measures the crossover; tests/test_sharded.cpp pins the equivalence).
+  sim::QueueMode queue_mode = sim::QueueMode::kHeap;
 
   /// The paper's testbed (Table I): 8 EC2 extra-large instances.
   static ClusterSpec Ec2Large8();

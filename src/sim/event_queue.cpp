@@ -1,6 +1,25 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <functional>
+
 namespace asyncmr::sim {
+
+namespace {
+// Calendar sizing policy. Buckets double when occupancy passes 2x and halve
+// below 1/4x (hysteresis so a stable population never thrashes); width is
+// recomputed at each rebuild from the live span so ~1 event lands per bucket
+// under a uniform spread. The width floor bounds time/width inside uint64
+// for any timestamp the queue has handled (max_time * 1e12 < 2^63), and
+// catches the all-events-at-one-instant case (span 0).
+constexpr size_t kCalendarMinBuckets = 16;
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
 
 bool EventQueue::Cancel(EventId id) {
   const uint64_t seq = SeqOf(id);
@@ -37,12 +56,180 @@ EventId EventQueue::Reschedule(EventId id, SimTime at) {
   if (at == now_) {
     immediate_.push_back(key);
   } else {
-    heap_.push(key);
+    PushFar(key);
   }
   return new_id;  // live_ unchanged: still one pending event
 }
 
-bool EventQueue::PeekEarliest(HeapKey* key, bool* from_heap) {
+bool EventQueue::Activate(EventId id, SimTime at) {
+  const uint64_t seq = SeqOf(id);
+  if (seq == 0) return false;
+  const uint32_t slot = SlotOf(id);
+  if (slot >= slab_.size()) return false;
+  if (slab_[slot].seq != seq) return false;  // cancelled or already fired
+  AMR_CHECK(at >= now_) << "cannot activate in the past: at=" << at
+                        << " now=" << now_;
+  at += 0.0;  // normalize -0.0: key order must equal numeric order
+  // Always the far store, even for at == now: the zero-delay FIFO's entries
+  // are appended in seq order and this seq predates anything queued there.
+  PushFar(MakeKey(at, id));
+  return true;  // live_ unchanged: the parked event was already counted
+}
+
+void EventQueue::PushFar(HeapKey key) {
+  if (mode_ == QueueMode::kCalendar) {
+    CalendarInsert(key);
+  } else {
+    heap_.push(key);
+  }
+}
+
+bool EventQueue::FarPeek(HeapKey* key) {
+  if (mode_ == QueueMode::kCalendar) return CalendarPeek(key);
+  while (!heap_.empty() && IsStale(heap_.top())) heap_.pop();
+  if (heap_.empty()) return false;
+  *key = heap_.top();
+  return true;
+}
+
+void EventQueue::FarPop(HeapKey key) {
+  if (mode_ == QueueMode::kCalendar) {
+    CalendarPop(key);
+  } else {
+    heap_.pop();
+  }
+}
+
+// --- calendar store ----------------------------------------------------------
+
+void EventQueue::CalendarInsert(HeapKey key) {
+  if (cal_buckets_.empty()) cal_buckets_.resize(kCalendarMinBuckets);
+  const SimTime t = TimeOf(key);
+  cal_max_time_ = std::max(cal_max_time_, t);
+  std::vector<HeapKey>& b = cal_buckets_[CalendarBucketIndex(t)];
+  b.insert(std::upper_bound(b.begin(), b.end(), key, std::greater<HeapKey>()),
+           key);
+  ++cal_size_;
+  // Fold into the min cache: the new key is live, so if it undercuts the
+  // cached minimum it becomes the minimum.
+  if (cal_min_valid_ && key < cal_min_) cal_min_ = key;
+  if (cal_size_ > 2 * cal_buckets_.size()) CalendarRebuild(kCalendarMinBuckets);
+}
+
+bool EventQueue::CalendarPeek(HeapKey* key) {
+  if (cal_min_valid_ && !IsStale(cal_min_)) {
+    *key = cal_min_;
+    return true;
+  }
+  cal_min_valid_ = false;
+  if (cal_size_ == 0) return false;
+  const size_t n = cal_buckets_.size();
+  // Rotate from now_'s bucket: every stored live key is >= now_ (schedule-
+  // in-past is checked), so the first bucket whose minimum falls inside its
+  // current-year window holds the global minimum — equal times always share
+  // a bucket, so the tie-break never crosses buckets. Stale backs are purged
+  // as they surface; stale keys elsewhere in a bucket wait their turn.
+  uint64_t year = static_cast<uint64_t>(now_ / cal_width_);
+  SimTime top = static_cast<SimTime>(year + 1) * cal_width_;
+  size_t cur = static_cast<size_t>(year) & (n - 1);
+  for (size_t rot = 0; rot < n; ++rot) {
+    std::vector<HeapKey>& b = cal_buckets_[cur];
+    while (!b.empty() && IsStale(b.back())) {
+      b.pop_back();
+      AUDIT_CHECK(cal_size_ > 0) << "calendar occupancy underflow";
+      --cal_size_;
+    }
+    if (!b.empty() && TimeOf(b.back()) < top) {
+      cal_min_ = b.back();
+      cal_min_valid_ = true;
+      *key = cal_min_;
+      return true;
+    }
+    cur = (cur + 1) & (n - 1);
+    top += cal_width_;
+  }
+  // Direct search: everything left is at least a full rotation ahead of
+  // now_ (sparse far future). Take the min over bucket minima.
+  bool found = false;
+  HeapKey best = 0;
+  for (std::vector<HeapKey>& b : cal_buckets_) {
+    while (!b.empty() && IsStale(b.back())) {
+      b.pop_back();
+      AUDIT_CHECK(cal_size_ > 0) << "calendar occupancy underflow";
+      --cal_size_;
+    }
+    if (!b.empty() && (!found || b.back() < best)) {
+      best = b.back();
+      found = true;
+    }
+  }
+  if (!found) return false;
+  cal_min_ = best;
+  cal_min_valid_ = true;
+  *key = cal_min_;
+  return true;
+}
+
+void EventQueue::CalendarPop(HeapKey key) {
+  std::vector<HeapKey>& b = cal_buckets_[CalendarBucketIndex(TimeOf(key))];
+  // The popped key came from CalendarPeek, which purged stale backs of its
+  // bucket, so the bucket minimum must be exactly this key.
+  AUDIT_CHECK(!b.empty() && b.back() == key)
+      << "calendar popped a key that is not its bucket's minimum";
+  b.pop_back();
+  AUDIT_CHECK(cal_size_ > 0) << "calendar occupancy underflow";
+  --cal_size_;
+  cal_min_valid_ = false;
+  if (cal_buckets_.size() > kCalendarMinBuckets &&
+      cal_size_ < cal_buckets_.size() / 4) {
+    CalendarRebuild(kCalendarMinBuckets);
+  }
+}
+
+void EventQueue::CalendarRebuild(size_t min_buckets) {
+  // Occupancy contract: cal_size_ must equal the number of stored keys — a
+  // drifted counter means an insert/pop path double-counted or leaked.
+  size_t stored = 0;
+  for (const std::vector<HeapKey>& b : cal_buckets_) stored += b.size();
+  AUDIT_CHECK(stored == cal_size_)
+      << "calendar bucket occupancy diverged: counted " << stored
+      << " stored keys, occupancy counter says " << cal_size_;
+  std::vector<HeapKey> live;
+  live.reserve(cal_size_);
+  SimTime lo = 0.0, hi = 0.0;
+  for (std::vector<HeapKey>& b : cal_buckets_) {
+    for (HeapKey k : b) {
+      if (IsStale(k)) continue;
+      const SimTime t = TimeOf(k);
+      if (live.empty()) {
+        lo = hi = t;
+      } else {
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+      }
+      live.push_back(k);
+    }
+    b.clear();
+  }
+  const size_t n = std::max(min_buckets, NextPow2(live.size()));
+  cal_buckets_.assign(n, {});
+  const double floor_w = std::max(1e-9, cal_max_time_ * 1e-12);
+  cal_width_ =
+      std::max(floor_w, (hi - lo) / static_cast<double>(std::max<size_t>(
+                            1, live.size())));
+  cal_size_ = 0;
+  cal_min_valid_ = false;
+  for (HeapKey k : live) {
+    std::vector<HeapKey>& b = cal_buckets_[CalendarBucketIndex(TimeOf(k))];
+    b.insert(std::upper_bound(b.begin(), b.end(), k, std::greater<HeapKey>()),
+             k);
+    ++cal_size_;
+  }
+}
+
+// --- unified peek/pop --------------------------------------------------------
+
+bool EventQueue::PeekEarliest(HeapKey* key, bool* from_far) {
   // Skip cancelled fronts lazily; the FIFO storage is recycled once drained.
   while (imm_head_ < immediate_.size() && IsStale(immediate_[imm_head_])) {
     ++imm_head_;
@@ -51,28 +238,39 @@ bool EventQueue::PeekEarliest(HeapKey* key, bool* from_heap) {
     immediate_.clear();
     imm_head_ = 0;
   }
-  while (!heap_.empty() && IsStale(heap_.top())) heap_.pop();
-
+  HeapKey far;
+  const bool have_far = FarPeek(&far);
   const bool have_imm = imm_head_ < immediate_.size();
-  if (!have_imm && heap_.empty()) return false;
+  if (!have_imm && !have_far) return false;
   // Queued immediates all carry time == now_, which ties or beats every
-  // heap entry's time, so one key compare resolves the FIFO/seq order too.
-  if (have_imm && (heap_.empty() || immediate_[imm_head_] < heap_.top())) {
+  // far entry's time, so one key compare resolves the FIFO/seq order too.
+  // (An Activate'd event can carry an older seq at time == now_ — it lives
+  // in the far store, and this same compare puts it before the FIFO.)
+  if (have_imm && (!have_far || immediate_[imm_head_] < far)) {
     *key = immediate_[imm_head_];
-    *from_heap = false;
+    *from_far = false;
   } else {
-    *key = heap_.top();
-    *from_heap = true;
+    *key = far;
+    *from_far = true;
   }
+  return true;
+}
+
+bool EventQueue::PeekNextEvent(SimTime* at, uint64_t* seq) {
+  HeapKey e;
+  bool from_far = false;
+  if (!PeekEarliest(&e, &from_far)) return false;
+  *at = TimeOf(e);
+  *seq = SeqOf(e);
   return true;
 }
 
 bool EventQueue::RunOne() {
   HeapKey e;
-  bool from_heap = false;
-  if (!PeekEarliest(&e, &from_heap)) return false;
-  if (from_heap) {
-    heap_.pop();
+  bool from_far = false;
+  if (!PeekEarliest(&e, &from_far)) return false;
+  if (from_far) {
+    FarPop(e);
   } else {
     ++imm_head_;
   }
@@ -110,8 +308,8 @@ void EventQueue::RunUntil(SimTime t) {
   AMR_CHECK(t >= now_);
   t += 0.0;  // normalize -0.0 so future now_ comparisons stay exact
   HeapKey e;
-  bool from_heap = false;
-  while (PeekEarliest(&e, &from_heap)) {
+  bool from_far = false;
+  while (PeekEarliest(&e, &from_far)) {
     if (TimeOf(e) > t) break;
     RunOne();
   }

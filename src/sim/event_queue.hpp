@@ -27,6 +27,16 @@
 // of cluster traffic) skip the heap: events scheduled at exactly `now` go to
 // an O(1) FIFO whose entries provably all share time == now, so one key
 // compare against the heap top preserves the exact global firing order.
+//
+// Two far-future stores implement the same key order behind QueueMode:
+// kHeap (the default, a binary heap of keys — O(log n) sift per op) and
+// kCalendar (a calendar queue: keys hashed by time into width-sized buckets,
+// each bucket a small sorted vector — O(1) amortized insert/pop when event
+// times are spread, which the fluid-flow completion times are). The calendar
+// stores the *full* 128-bit keys and resolves minima by bucket rotation plus
+// a direct-search fallback, so its pop sequence is byte-identical to the
+// heap's — tests/test_sharded.cpp pins that differentially, and bucket
+// occupancy carries its own AUDIT_CHECK contract.
 #pragma once
 
 #include <bit>
@@ -140,8 +150,21 @@ class EventFn {
   }
 };
 
+/// Far-future event store selector. kHeap is the exact reference everything
+/// defaults to; kCalendar trades the heap sift for O(1) amortized bucket ops
+/// while popping the identical event sequence (same 128-bit key order).
+enum class QueueMode : uint8_t {
+  kHeap = 0,
+  kCalendar = 1,
+};
+
 class EventQueue {
  public:
+  EventQueue() = default;
+  explicit EventQueue(QueueMode mode) : mode_(mode) {}
+
+  QueueMode mode() const { return mode_; }
+
   /// Current virtual time.
   SimTime now() const { return now_; }
 
@@ -165,7 +188,7 @@ class EventQueue {
       // clock can advance), so the FIFO front is the immediates' minimum.
       immediate_.push_back(key);
     } else {
-      heap_.push(key);
+      PushFar(key);
     }
     ++live_;
     // Slot accounting contract: every slab slot is exactly one of {free,
@@ -197,6 +220,39 @@ class EventQueue {
   /// a fluid-model rate change rewrites many completion times per event.
   EventId Reschedule(EventId id, SimTime at);
 
+  /// Allocates a slot and a sequence number for fn WITHOUT making the event
+  /// pending: nothing fires until Activate() gives it a timestamp. The point
+  /// is the seq — it is claimed *now*, at this position in the scheduling
+  /// stream, so a caller that knows an event's ordering rank before it knows
+  /// its time can later Activate it and get exactly the FIFO tie-break a
+  /// plain Schedule at this stream position would have had. This is what
+  /// lets the sharded async engine defer compute-completion scheduling to a
+  /// worker-thread join while staying bit-identical to the serial engine
+  /// (Reschedule can't do this: it re-stamps a fresh seq). A parked event
+  /// occupies its slab slot (counted in pending()) and Cancel works on it.
+  template <typename F>
+  EventId Park(F&& fn) {
+    const uint32_t slot = AllocSlot();
+    const uint64_t seq = next_seq_++;
+    AMR_CHECK(seq < (uint64_t{1} << (64 - kSlotBits))) << "event seq exhausted";
+    Slot& s = slab_[slot];
+    s.fn.Set(std::forward<F>(fn));
+    s.seq = seq;
+    ++live_;
+    AUDIT_CHECK(live_ + free_slots_.size() == slab_.size())
+        << "event slab slot accounting diverged: live=" << live_
+        << " free=" << free_slots_.size() << " slab=" << slab_.size();
+    return (seq << kSlotBits) | slot;
+  }
+
+  /// Makes a parked event pending at absolute time `at` (must be >= now),
+  /// keeping the seq it was parked with. Always enters the far-future store,
+  /// never the zero-delay FIFO: the FIFO's entries are appended in seq order
+  /// and an activated event carries an *old* seq, which would corrupt that
+  /// invariant — one key compare in PeekEarliest resolves the order anyway.
+  /// Returns false if id is stale (cancelled or never parked).
+  bool Activate(EventId id, SimTime at);
+
   /// Fires the earliest pending event, advancing the clock to its timestamp.
   /// Returns false when no events are pending.
   bool RunOne();
@@ -207,19 +263,33 @@ class EventQueue {
   /// Runs events with time <= t, then advances the clock to exactly t.
   void RunUntil(SimTime t);
 
-  /// Pending (non-cancelled, non-fired) event count.
+  /// Pending (non-cancelled, non-fired) event count. Includes parked events
+  /// (they hold slots) even though they cannot fire until activated.
   size_t pending() const { return live_; }
 
   /// Total events fired so far (for determinism assertions in tests).
   uint64_t fired_count() const { return fired_; }
 
+  /// Peeks the earliest *fireable* event without firing it: on true, *at and
+  /// *seq carry its timestamp and sequence number. Parked events are
+  /// invisible here. The sharded engine's drive loop uses (time, seq) as the
+  /// conservative horizon an in-flight compute must beat to stay serial.
+  bool PeekNextEvent(SimTime* at, uint64_t* seq);
+
+  /// Sequence number carried by an event id — its FIFO rank among events
+  /// with equal timestamps (lower seq fires first).
+  static uint64_t SeqOfEvent(EventId id) { return id >> kSlotBits; }
+
 #ifdef AMR_AUDIT
   /// Test-only corruption hooks for the negative audit tests
   /// (tests/test_audit.cpp): force the clock ahead so a pending event
-  /// violates pop monotonicity, or leak a bogus free-list entry so the slot
-  /// accounting contract trips. Compiled only under AMR_AUDIT.
+  /// violates pop monotonicity, leak a bogus free-list entry so the slot
+  /// accounting contract trips, or skew the calendar's occupancy counter so
+  /// the bucket-accounting contract trips at the next rebuild. Compiled only
+  /// under AMR_AUDIT.
   void TestOnlySetNow(SimTime t) { now_ = t; }
   void TestOnlyLeakFreeSlot() { free_slots_.push_back(0); }
+  void TestOnlyCorruptCalendarOccupancy() { ++cal_size_; }
 #endif
 
  private:
@@ -275,20 +345,53 @@ class EventQueue {
     free_slots_.push_back(slot);
   }
 
-  /// Earliest live key across the immediate FIFO and the heap; stale
+  /// Earliest live key across the immediate FIFO and the far store; stale
   /// (cancelled) entries are discarded along the way. Returns false when no
-  /// live event remains. On true, *key/*from_heap say where to pop from.
-  bool PeekEarliest(HeapKey* key, bool* from_heap);
+  /// live event remains. On true, *key/*from_far say where to pop from.
+  bool PeekEarliest(HeapKey* key, bool* from_far);
+
+  // --- far-future store (mode-dispatched) ------------------------------------
+  void PushFar(HeapKey key);
+  /// Earliest live far key after lazy stale purge; false when none remain.
+  bool FarPeek(HeapKey* key);
+  /// Pops the key the immediately preceding FarPeek returned.
+  void FarPop(HeapKey key);
+
+  // --- calendar store --------------------------------------------------------
+  // Buckets hold full keys sorted DESCENDING so the bucket minimum pops from
+  // the back in O(1). Bucket index is floor(time / width) mod nbuckets; the
+  // width floor keeps time / width inside uint64 range for any time the
+  // queue has seen. cal_size_ counts stored keys (live + not-yet-purged
+  // stale) and is the occupancy contract checked at every rebuild.
+  size_t CalendarBucketIndex(SimTime t) const {
+    return static_cast<size_t>(static_cast<uint64_t>(t / cal_width_)) &
+           (cal_buckets_.size() - 1);
+  }
+  void CalendarInsert(HeapKey key);
+  bool CalendarPeek(HeapKey* key);  // maintains cal_min_ cache
+  void CalendarPop(HeapKey key);
+  void CalendarRebuild(size_t min_buckets);
 
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 1;
   uint64_t fired_ = 0;
   size_t live_ = 0;
+  QueueMode mode_ = QueueMode::kHeap;
   std::priority_queue<HeapKey, std::vector<HeapKey>, std::greater<>> heap_;
   std::vector<HeapKey> immediate_;  // all at time == now_; FIFO via imm_head_
   size_t imm_head_ = 0;
   std::vector<Slot> slab_;
   std::vector<uint32_t> free_slots_;
+
+  // Calendar state (used only in kCalendar mode). cal_min_ caches the result
+  // of the last bucket scan: it is <= every stored key (inserts fold in), so
+  // while it stays live it IS the minimum and repeated peeks are O(1).
+  std::vector<std::vector<HeapKey>> cal_buckets_;
+  double cal_width_ = 1.0;
+  size_t cal_size_ = 0;
+  double cal_max_time_ = 0.0;  // for the width floor at rebuild
+  HeapKey cal_min_ = 0;
+  bool cal_min_valid_ = false;
 };
 
 }  // namespace asyncmr::sim

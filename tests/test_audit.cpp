@@ -57,6 +57,46 @@ TEST(AuditEventQueueDeathTest, SlotAccountingTrips) {
       "slot accounting diverged");
 }
 
+TEST(AuditEventQueueDeathTest, CalendarPopIntoThePastTrips) {
+  SKIP_WITHOUT_AUDIT();
+  // The pop-monotonicity contract holds in calendar mode too: the rotation
+  // scan / direct-search fallback must never surface a key below now_.
+  EXPECT_DEATH(
+      {
+        asyncmr::sim::EventQueue q(asyncmr::sim::QueueMode::kCalendar);
+        q.Schedule(1.0, [] {});
+        q.TestOnlySetNow(5.0);  // pending event is now in the past
+        q.RunOne();
+      },
+      "popped into the past");
+}
+
+TEST(AuditEventQueueDeathTest, CalendarOccupancyTrips) {
+  SKIP_WITHOUT_AUDIT();
+  // Bucket-occupancy accounting: the sum of stored keys must equal the
+  // cal_size_ counter at every rebuild. Corrupt the counter, then insert
+  // past the grow threshold (2 x 16 initial buckets) to force one.
+  EXPECT_DEATH(
+      {
+        asyncmr::sim::EventQueue q(asyncmr::sim::QueueMode::kCalendar);
+        q.TestOnlyCorruptCalendarOccupancy();
+        for (int i = 0; i < 40; ++i) {
+          q.Schedule(1.0 + i, [] {});
+        }
+      },
+      "calendar bucket occupancy diverged");
+}
+
+TEST(AuditEventQueue, CleanCalendarRunDoesNotTrip) {
+  // Positive twin: a calendar queue run through grow, drain, and shrink
+  // rebuilds with the audit contracts armed sails through.
+  asyncmr::sim::EventQueue q(asyncmr::sim::QueueMode::kCalendar);
+  uint64_t fired = 0;
+  for (int i = 0; i < 200; ++i) q.Schedule(1.0 + i * 0.25, [&fired] { ++fired; });
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired, 200u);
+}
+
 #endif  // AMR_AUDIT
 
 // --- fluid network -----------------------------------------------------------

@@ -1,0 +1,384 @@
+// Differential tests for the two perf modes introduced with the P >= 4096
+// speed tier, each pinned against its bit-exact reference:
+//
+//  - QueueMode::kCalendar vs kHeap: identical scripted event workloads must
+//    produce byte-identical (time, tag) firing sequences through Cancel,
+//    Reschedule, zero-delay FIFO, Park/Activate, and the pathological
+//    everything-in-one-bucket distribution.
+//  - DesMode::kSharded vs kSerial: every async app must produce a
+//    bit-identical AsyncResult and application result when compute callbacks
+//    are offloaded to the thread pool, including under stragglers/jitter
+//    (shared-RNG stream alignment), bounded staleness, coalescing, and
+//    worker crashes (the crash path joins in-flight compute).
+//
+// Like test_adversarial, the binary carries a tight ctest TIMEOUT
+// (CMakeLists): a drive-loop deadlock or join livelock trips the guard
+// instead of hanging the suite.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "apps/components.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+#include "graph/partitioner.hpp"
+#include "sim/event_queue.hpp"
+
+namespace asyncmr {
+namespace {
+
+// --- queue-mode differential -------------------------------------------------
+
+using sim::EventId;
+using sim::EventQueue;
+using sim::QueueMode;
+
+using Trace = std::vector<std::pair<double, int>>;
+
+// A self-driving churn workload exercising every queue operation the
+// simulation uses: far inserts at mixed horizons, zero-delay immediates,
+// Cancel, Reschedule, and Park/Activate. All randomness comes from a fixed
+// Rng seed, so both modes execute the same op script as long as their firing
+// orders agree — any divergence shows up in the recorded trace.
+Trace RunChurnScript(QueueMode mode) {
+  EventQueue q(mode);
+  Trace trace;
+  Rng rng(123);
+  std::vector<EventId> open;
+  std::vector<EventId> parked;
+  int tag = 0;
+  int rounds = 0;
+  std::function<void()> driver = [&] {
+    // A burst of future events spanning several calendar bucket widths.
+    for (int i = 0; i < 6; ++i) {
+      const int t = tag++;
+      open.push_back(q.Schedule(q.now() + rng.NextDouble(0.0, 12.0),
+                                [&trace, &q, t] { trace.emplace_back(q.now(), t); }));
+    }
+    // Zero-delay events ride the immediate FIFO.
+    for (int i = 0; i < 2; ++i) {
+      const int t = tag++;
+      q.ScheduleAfter(0.0, [&trace, &q, t] { trace.emplace_back(q.now(), t); });
+    }
+    // Park now, activate (or cancel) on a later round with the ORIGINAL seq.
+    {
+      const int t = tag++;
+      parked.push_back(q.Park([&trace, &q, t] { trace.emplace_back(q.now(), t); }));
+    }
+    if (parked.size() > 2) {
+      const EventId a = parked.front();
+      parked.erase(parked.begin());
+      if (rng.NextDouble() < 0.3) {
+        EXPECT_TRUE(q.Cancel(a));
+      } else {
+        EXPECT_TRUE(q.Activate(a, q.now() + rng.NextDouble(0.0, 4.0)));
+      }
+    }
+    // Cancel/reschedule churn over the open set (ids may already be stale —
+    // both modes must agree on the outcome either way).
+    if (open.size() > 8) {
+      q.Cancel(open[open.size() / 2]);
+      const EventId nid = q.Reschedule(open[open.size() / 3],
+                                       q.now() + rng.NextDouble(0.0, 6.0));
+      if (nid != 0) open[open.size() / 3] = nid;
+    }
+    if (++rounds < 60) q.ScheduleAfter(rng.NextDouble(0.01, 1.5), driver);
+  };
+  q.ScheduleAfter(0.0, driver);
+  q.RunUntilEmpty();
+  // Parked-but-never-activated events are pending yet unrunnable (the drain
+  // stops with them still live); cancel the stragglers explicitly.
+  for (const EventId a : parked) EXPECT_TRUE(q.Cancel(a));
+  EXPECT_EQ(q.pending(), 0u);
+  return trace;
+}
+
+TEST(CalendarQueue, ChurnScriptMatchesHeapByteForByte) {
+  const Trace heap = RunChurnScript(QueueMode::kHeap);
+  const Trace cal = RunChurnScript(QueueMode::kCalendar);
+  ASSERT_EQ(heap.size(), cal.size());
+  EXPECT_EQ(heap, cal);
+}
+
+TEST(CalendarQueue, OneBucketPileupKeepsFifoOrder) {
+  // Pathological distribution: every event at the same timestamp lands in a
+  // single calendar bucket. The sorted-bucket insert degrades to O(n) per op
+  // but the FIFO tie-break must survive, including interleaved cancels.
+  auto run = [](QueueMode mode) {
+    EventQueue q(mode);
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 2000; ++i) {
+      ids.push_back(q.Schedule(7.0, [&order, i] { order.push_back(i); }));
+    }
+    for (int i = 0; i < 2000; i += 7) q.Cancel(ids[i]);
+    q.RunUntilEmpty();
+    return order;
+  };
+  EXPECT_EQ(run(QueueMode::kHeap), run(QueueMode::kCalendar));
+}
+
+TEST(CalendarQueue, WidthResizeCyclesPreserveOrder) {
+  // Drain-while-inserting across horizons that force the calendar through
+  // grow and shrink rebuilds; interleave wide and dense timestamp regimes so
+  // the width recomputation actually changes.
+  auto run = [](QueueMode mode) {
+    EventQueue q(mode);
+    Trace trace;
+    for (int i = 0; i < 300; ++i) {
+      const double at = (i % 3 == 0) ? i * 1000.0 : 1.0 + i * 1e-6;
+      q.Schedule(at, [&trace, &q, i] { trace.emplace_back(q.now(), i); });
+    }
+    // Drain halfway, then refill densely to trigger a shrink then a grow.
+    for (int i = 0; i < 150; ++i) q.RunOne();
+    for (int i = 300; i < 700; ++i) {
+      q.Schedule(q.now() + 1e-3 + i * 1e-7,
+                 [&trace, &q, i] { trace.emplace_back(q.now(), i); });
+    }
+    q.RunUntilEmpty();
+    return trace;
+  };
+  EXPECT_EQ(run(QueueMode::kHeap), run(QueueMode::kCalendar));
+}
+
+// --- engine-mode differential ------------------------------------------------
+
+cluster::ClusterSpec DefaultSpec() {
+  // Deliberately NOT quiet: stragglers and jitter draw from the shared
+  // cluster RNG, so this pins the sharded engine's stream alignment (draws
+  // happen inline at BeginCompute, never on pool threads).
+  return cluster::ClusterSpec::Ec2Large8();
+}
+
+graph::Digraph TestGraph(graph::VertexId n = 1200, uint64_t seed = 7) {
+  graph::PrefAttachConfig config;
+  config.num_vertices = n;
+  config.num_in = 3;
+  config.num_out = 3;
+  config.locality_window = std::max<graph::VertexId>(4, n / 150);
+  config.max_edge_age = 4 * config.locality_window;
+  config.seed = seed;
+  return graph::PreferentialAttachment(config);
+}
+
+void ExpectWorkerStatsIdentical(const async::WorkerStats& a,
+                                const async::WorkerStats& b) {
+#define AMR_EXPECT_SAME(field) EXPECT_EQ(a.field, b.field) << #field
+  AMR_EXPECT_SAME(iterations);
+  AMR_EXPECT_SAME(ops);
+  AMR_EXPECT_SAME(merge_ops);
+  AMR_EXPECT_SAME(batches_sent);
+  AMR_EXPECT_SAME(batches_received);
+  AMR_EXPECT_SAME(records_sent);
+  AMR_EXPECT_SAME(coalesced_batches);
+  AMR_EXPECT_SAME(coalesced_bytes_saved);
+  AMR_EXPECT_SAME(restarts);
+  AMR_EXPECT_SAME(flow_drops);
+  AMR_EXPECT_SAME(batch_retries);
+  AMR_EXPECT_SAME(retry_backoff_seconds);
+  AMR_EXPECT_SAME(batches_abandoned);
+  AMR_EXPECT_SAME(checkpoints);
+  AMR_EXPECT_SAME(checkpoint_bytes);
+  AMR_EXPECT_SAME(last_residual);
+  AMR_EXPECT_SAME(residual_known);
+#undef AMR_EXPECT_SAME
+}
+
+// Field-by-field EXACT equality (doubles compared with ==): sharded mode
+// promises bit-identity, not approximation.
+void ExpectResultsIdentical(const async::AsyncResult& a,
+                            const async::AsyncResult& b) {
+#define AMR_EXPECT_SAME(field) EXPECT_EQ(a.field, b.field) << #field
+  AMR_EXPECT_SAME(converged);
+  AMR_EXPECT_SAME(start_seconds);
+  AMR_EXPECT_SAME(end_seconds);
+  AMR_EXPECT_SAME(total_iterations);
+  AMR_EXPECT_SAME(total_ops);
+  AMR_EXPECT_SAME(total_merge_ops);
+  AMR_EXPECT_SAME(update_batches);
+  AMR_EXPECT_SAME(update_records);
+  AMR_EXPECT_SAME(bytes_sent);
+  AMR_EXPECT_SAME(coalesced_batches);
+  AMR_EXPECT_SAME(coalesced_bytes_saved);
+  AMR_EXPECT_SAME(token_circuits);
+  AMR_EXPECT_SAME(worker_restarts);
+  AMR_EXPECT_SAME(checkpoints_written);
+  AMR_EXPECT_SAME(checkpoint_bytes);
+  AMR_EXPECT_SAME(checkpoint_write_seconds);
+  AMR_EXPECT_SAME(recovery_seconds);
+  AMR_EXPECT_SAME(flow_drops);
+  AMR_EXPECT_SAME(batch_retries);
+  AMR_EXPECT_SAME(retry_backoff_seconds);
+  AMR_EXPECT_SAME(batches_abandoned);
+  AMR_EXPECT_SAME(peers_suspected);
+  AMR_EXPECT_SAME(partition_heal_reannouncements);
+  AMR_EXPECT_SAME(checkpoint_corruptions_detected);
+  AMR_EXPECT_SAME(final_residual);
+  AMR_EXPECT_SAME(residual_known);
+  AMR_EXPECT_SAME(staleness_samples);
+  AMR_EXPECT_SAME(staleness_p50);
+  AMR_EXPECT_SAME(staleness_p95);
+  AMR_EXPECT_SAME(staleness_min);
+  AMR_EXPECT_SAME(staleness_max);
+#undef AMR_EXPECT_SAME
+  ASSERT_EQ(a.workers.size(), b.workers.size());
+  for (size_t i = 0; i < a.workers.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "worker " << i);
+    ExpectWorkerStatsIdentical(a.workers[i], b.workers[i]);
+  }
+}
+
+struct EngineModes {
+  async::DesMode des_mode = async::DesMode::kSerial;
+  uint32_t shard_threads = 0;
+  sim::QueueMode queue_mode = sim::QueueMode::kHeap;
+};
+
+TEST(ShardedEngine, PageRankBitIdenticalAcrossAllModeCombos) {
+  const auto g = TestGraph(1200, 7);
+  const auto part = graph::MultilevelPartition(g, 8);
+  auto run = [&](const EngineModes& m, async::AsyncResult* stats) {
+    apps::PageRankConfig config;
+    config.async_tuning.des_mode = m.des_mode;
+    config.async_tuning.shard_threads = m.shard_threads;
+    auto spec = DefaultSpec();
+    spec.queue_mode = m.queue_mode;
+    cluster::SimCluster sim(spec);
+    return apps::AsyncPageRank(sim, g, part, config, async::kUnboundedStaleness,
+                               stats);
+  };
+  async::AsyncResult ref_stats;
+  const auto ref = run({}, &ref_stats);
+  EXPECT_TRUE(ref.converged);
+  const EngineModes combos[] = {
+      {async::DesMode::kSharded, 2, sim::QueueMode::kHeap},
+      {async::DesMode::kSerial, 0, sim::QueueMode::kCalendar},
+      {async::DesMode::kSharded, 3, sim::QueueMode::kCalendar},
+  };
+  for (const auto& m : combos) {
+    SCOPED_TRACE(testing::Message()
+                 << "des_mode=" << static_cast<int>(m.des_mode)
+                 << " shard_threads=" << m.shard_threads << " queue_mode="
+                 << static_cast<int>(m.queue_mode));
+    async::AsyncResult stats;
+    const auto got = run(m, &stats);
+    EXPECT_EQ(got.ranks, ref.ranks);
+    EXPECT_EQ(got.converged, ref.converged);
+    ExpectResultsIdentical(stats, ref_stats);
+  }
+}
+
+TEST(ShardedEngine, SsspBitIdenticalUnderBoundedStaleness) {
+  // Bounded staleness gates BeginCompute on peer clocks: the sharded drive
+  // loop must observe the same gate decisions (clocks advance only via the
+  // serial event loop, never mid-compute).
+  const auto g = graph::WithRandomWeights(TestGraph(1200, 13), 1.0, 10.0,
+                                          /*seed=*/99);
+  const auto part = graph::MultilevelPartition(g, 8);
+  auto run = [&](async::DesMode mode, async::AsyncResult* stats) {
+    apps::SsspConfig config;
+    config.async_tuning.des_mode = mode;
+    config.async_tuning.shard_threads = 2;
+    cluster::SimCluster sim(DefaultSpec());
+    return apps::AsyncSssp(sim, g, part, config, /*staleness=*/2, stats);
+  };
+  async::AsyncResult serial_stats, sharded_stats;
+  const auto serial = run(async::DesMode::kSerial, &serial_stats);
+  const auto sharded = run(async::DesMode::kSharded, &sharded_stats);
+  EXPECT_TRUE(serial.converged);
+  EXPECT_EQ(serial.distances, sharded.distances);
+  ExpectResultsIdentical(serial_stats, sharded_stats);
+}
+
+TEST(ShardedEngine, ComponentsBitIdenticalWithCoalescing) {
+  // Coalescing mutates pending-batch state at emission time from inside
+  // compute callbacks' deferred applies; the arrival-order replay in
+  // JoinInFlight must reproduce the serial merge decisions exactly.
+  const auto g = TestGraph(1200, 9);
+  const auto part = graph::MultilevelPartition(g, 8);
+  auto run = [&](async::DesMode mode, async::AsyncResult* stats) {
+    apps::ComponentsConfig config;
+    config.async_tuning.des_mode = mode;
+    config.async_tuning.shard_threads = 3;
+    config.async_tuning.coalesce_batches = true;
+    cluster::SimCluster sim(DefaultSpec());
+    return apps::AsyncComponents(sim, g, part, config,
+                                 async::kUnboundedStaleness, stats);
+  };
+  async::AsyncResult serial_stats, sharded_stats;
+  const auto serial = run(async::DesMode::kSerial, &serial_stats);
+  const auto sharded = run(async::DesMode::kSharded, &sharded_stats);
+  EXPECT_TRUE(serial.converged);
+  EXPECT_EQ(serial.labels, sharded.labels);
+  EXPECT_EQ(serial.num_components, sharded.num_components);
+  ExpectResultsIdentical(serial_stats, sharded_stats);
+}
+
+TEST(ShardedEngine, KMeansBitIdentical) {
+  apps::CensusLikeConfig data_config;
+  data_config.num_points = 2000;
+  data_config.seed = 11;
+  const auto data = apps::GenerateCensusLike(data_config);
+  auto run = [&](async::DesMode mode, async::AsyncResult* stats) {
+    apps::KMeansConfig config;
+    config.k = 4;
+    config.num_partitions = 8;
+    config.seed = 5;
+    config.async_tuning.des_mode = mode;
+    config.async_tuning.shard_threads = 2;
+    cluster::SimCluster sim(DefaultSpec());
+    return apps::AsyncKMeans(sim, data, config, async::kUnboundedStaleness,
+                             stats);
+  };
+  async::AsyncResult serial_stats, sharded_stats;
+  const auto serial = run(async::DesMode::kSerial, &serial_stats);
+  const auto sharded = run(async::DesMode::kSharded, &sharded_stats);
+  EXPECT_EQ(serial.centroids, sharded.centroids);
+  EXPECT_EQ(serial.sse, sharded.sse);
+  EXPECT_EQ(serial.converged, sharded.converged);
+  EXPECT_EQ(serial.stopped_on_oscillation, sharded.stopped_on_oscillation);
+  ExpectResultsIdentical(serial_stats, sharded_stats);
+}
+
+TEST(ShardedEngine, JacobiBitIdenticalUnderWorkerCrashes) {
+  // Crash injection while compute is in flight: CrashWorker joins the
+  // victim's offloaded compute first, so the deferred applies land exactly
+  // where serial mode applied them pre-crash and the parked completion
+  // no-ops on the epoch guard like serial's pre-scheduled event.
+  const auto g = apps::Symmetrized(TestGraph(1000, 31));
+  std::vector<double> b(g.num_vertices());
+  Rng rng(77);
+  for (double& v : b) v = rng.NextDouble(-1.0, 1.0);
+  const auto part = graph::MultilevelPartition(g, 8);
+  auto run = [&](async::DesMode mode, async::AsyncResult* stats) {
+    apps::JacobiConfig config;
+    config.tolerance = 1e-6;
+    config.async_checkpoint_interval = 4;
+    config.async_tuning.des_mode = mode;
+    config.async_tuning.shard_threads = 2;
+    auto spec = DefaultSpec();
+    spec.worker_crash_rate = 0.4;
+    spec.worker_restart_delay_s = 0.5;
+    cluster::SimCluster sim(spec);
+    return apps::AsyncJacobi(sim, g, b, part, config,
+                             async::kUnboundedStaleness, stats);
+  };
+  async::AsyncResult serial_stats, sharded_stats;
+  const auto serial = run(async::DesMode::kSerial, &serial_stats);
+  const auto sharded = run(async::DesMode::kSharded, &sharded_stats);
+  EXPECT_TRUE(serial.converged);
+  EXPECT_GE(serial_stats.worker_restarts, 1u);
+  EXPECT_EQ(serial.x, sharded.x);
+  EXPECT_EQ(serial.residual_inf, sharded.residual_inf);
+  ExpectResultsIdentical(serial_stats, sharded_stats);
+}
+
+}  // namespace
+}  // namespace asyncmr

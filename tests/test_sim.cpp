@@ -378,5 +378,79 @@ TEST(EventQueue, RescheduleToNowUsesImmediatePath) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+// --- Park/Activate (sharded-DES deferred scheduling) -------------------------
+
+TEST(EventQueue, ParkedEventKeepsItsAllocationSeq) {
+  // The sharded engine parks a completion at BeginCompute and activates it
+  // later; the tie-break seq must be the PARK-time one, so at an equal
+  // timestamp it fires between its allocation-order neighbours, exactly
+  // where serial mode's ScheduleAfter would have put it.
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(1.0, [&] { order.push_back(1); });
+  const EventId parked = q.Park([&] { order.push_back(2); });
+  q.Schedule(1.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.Activate(parked, 1.0));
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ParkedEventIsPendingButNotRunnable) {
+  EventQueue q;
+  const EventId parked = q.Park([] {});
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.RunOne());  // nothing fireable until activation
+  EXPECT_TRUE(q.Activate(parked, 2.5));
+  EXPECT_TRUE(q.RunOne());
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+  EXPECT_EQ(q.fired_count(), 1u);
+}
+
+TEST(EventQueue, CancelledParkedEventCannotBeActivated) {
+  EventQueue q;
+  int fired = 0;
+  const EventId parked = q.Park([&] { ++fired; });
+  EXPECT_TRUE(q.Cancel(parked));
+  EXPECT_FALSE(q.Activate(parked, 1.0));
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, PeekNextEventReportsFireableHorizon) {
+  EventQueue q;
+  double at = -1.0;
+  uint64_t seq = 0;
+  EXPECT_FALSE(q.PeekNextEvent(&at, &seq));  // empty
+  q.Park([] {});                             // parked: still nothing fireable
+  EXPECT_FALSE(q.PeekNextEvent(&at, &seq));
+  q.Schedule(4.0, [] {});
+  q.Schedule(2.0, [] {});
+  ASSERT_TRUE(q.PeekNextEvent(&at, &seq));
+  EXPECT_DOUBLE_EQ(at, 2.0);
+  q.RunOne();
+  ASSERT_TRUE(q.PeekNextEvent(&at, &seq));
+  EXPECT_DOUBLE_EQ(at, 4.0);
+}
+
+TEST(EventQueue, PeekNextEventSeqBreaksTimestampTies) {
+  // DriveSharded compares (lb_time, parked_seq) against (t_next, seq_next)
+  // lexicographically; the reported seq must be the FIFO tie-break of the
+  // head event, not just any event at that time.
+  EventQueue q;
+  q.Schedule(3.0, [] {});
+  const EventId parked = q.Park([] {});
+  q.Schedule(3.0, [] {});
+  double at = 0.0;
+  uint64_t seq = 0;
+  ASSERT_TRUE(q.PeekNextEvent(&at, &seq));
+  EXPECT_DOUBLE_EQ(at, 3.0);
+  EXPECT_LT(seq, EventQueue::SeqOfEvent(parked));
+  EXPECT_TRUE(q.Activate(parked, 2.0));
+  ASSERT_TRUE(q.PeekNextEvent(&at, &seq));
+  EXPECT_DOUBLE_EQ(at, 2.0);
+  EXPECT_EQ(seq, EventQueue::SeqOfEvent(parked));
+}
+
 }  // namespace
 }  // namespace asyncmr::sim
