@@ -30,7 +30,10 @@ namespace asyncmr::bench {
 /// document the change in the README's "Bench-line schema" section.
 ///   v1 — pre-versioned lines (no schema_version field)
 ///   v2 — adds schema_version itself
-inline constexpr int kBenchSchemaVersion = 3;
+///   v3 — micro_des gains the calendar-queue and sharded-mode columns
+///   v4 — ablation_faults gains the node-crash column (node_* fields);
+///        ablation_chaos lines introduced
+inline constexpr int kBenchSchemaVersion = 4;
 
 /// Owns the optional observability sinks for a bench binary, resolved from
 /// BenchOptions (--trace-out / --metrics-out / AMR_TRACE_OUT / ...). When

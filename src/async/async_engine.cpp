@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <thread>
 
@@ -36,9 +37,9 @@ AsyncEngine::~AsyncEngine() {
   // The token handlers capture `this`; they must not outlive the engine in
   // the longer-lived cluster.
   if (!handlers_registered_) return;
-  const uint32_t nodes =
-      std::min<uint32_t>(num_partitions_, cluster_.spec().num_nodes());
-  for (net::NodeId node = 0; node < nodes; ++node) {
+  // Mirror RegisterTokenHandlers: handlers live on every node so the token
+  // can chase relaunched workers anywhere.
+  for (net::NodeId node = 0; node < cluster_.spec().num_nodes(); ++node) {
     cluster_.rpc().UnregisterHandler(node, TokenMethod());
   }
 }
@@ -144,23 +145,28 @@ void AsyncEngine::TryStartIteration(uint32_t p) {
   if (was_blocked) EmitBlockedSpan(p);
   w.phase = WorkerPhase::kWaitingSlot;
   const uint32_t epoch = w.epoch;
-  cluster_.AcquireSlot(w.node, config_.slot_type,
-                       [this, p, epoch] { BeginCompute(p, epoch); });
+  const net::NodeId node = w.node;
+  cluster_.AcquireSlot(node, config_.slot_type,
+                       [this, p, epoch, node] { BeginCompute(p, epoch, node); });
 }
 
-void AsyncEngine::BeginCompute(uint32_t p, uint32_t epoch) {
+void AsyncEngine::BeginCompute(uint32_t p, uint32_t epoch,
+                               net::NodeId grant_node) {
   Worker& w = workers_[p];
   if (finished_) {
-    cluster_.ReleaseSlot(w.node, config_.slot_type);
+    cluster_.ReleaseSlot(grant_node, config_.slot_type);
     return;
   }
   if (w.epoch != epoch || w.phase != WorkerPhase::kWaitingSlot) {
     // The incarnation that queued this slot request died (and its
-    // replacement may already hold or await another slot): the grant goes
-    // straight back.
-    cluster_.ReleaseSlot(w.node, config_.slot_type);
+    // replacement — possibly relocated to another node — may already hold or
+    // await another slot): the grant goes straight back to the node that
+    // made it.
+    cluster_.ReleaseSlot(grant_node, config_.slot_type);
     return;
   }
+  // Live path: relocation always bumps the epoch, so the guard above proves
+  // the worker still sits on the node whose slot this grant holds.
   // An iteration forced only by the keepalive rule has no new input and an
   // already-converged state: it exists to advance the clock, so skip the
   // application compute and just carry the residual — charging a full block
@@ -207,10 +213,11 @@ void AsyncEngine::BeginCompute(uint32_t p, uint32_t epoch) {
     slowdown =
         rng.NextDouble(spec.straggler_slowdown_min, spec.straggler_slowdown_max);
   }
-  // Per-node speed spread and background-load episodes (the heterogeneity
-  // knobs) scale compute exactly like they do for wave tasks. Both are x1.0
-  // identities when off.
-  const double load = cluster_.NodeLoadFactor(w.node);
+  // Per-node speed spread, background-load episodes, and gray-failure
+  // episodes (the heterogeneity and sick-machine knobs) scale compute
+  // exactly like they do for wave tasks. All are x1.0 identities when off.
+  const double load =
+      cluster_.NodeLoadFactor(w.node) * cluster_.NodeGrayFactor(w.node);
 
   if (config_.des_mode == DesMode::kSharded && !keepalive_only) {
     // Offload: park the completion event NOW — a serial BeginCompute issues
@@ -761,12 +768,14 @@ void AsyncEngine::ScheduleNextCrash(uint32_t p) {
     if (finished_) return;  // breaks the timer chain so the queue drains
     // A crash timer firing while the worker is already down hits the dead
     // process: nothing further to kill.
-    if (workers_[p].phase != WorkerPhase::kDown) CrashWorker(p);
+    if (workers_[p].phase != WorkerPhase::kDown) {
+      CrashWorker(p, /*node_failure=*/false);
+    }
     ScheduleNextCrash(p);
   });
 }
 
-void AsyncEngine::CrashWorker(uint32_t p) {
+void AsyncEngine::FenceWorker(uint32_t p) {
   Worker& w = workers_[p];
   // An offloaded compute must land before the process can die: serially it
   // ran at begin (before this crash), its deferred applies were delivered
@@ -774,7 +783,6 @@ void AsyncEngine::CrashWorker(uint32_t p) {
   // pool thread is reading. The activated completion then no-ops on the
   // epoch guard exactly like the serial engine's pre-scheduled one.
   if (w.inflight.active) JoinInFlight(p);
-  const WorkerPhase phase_at_crash = w.phase;
   ++w.epoch;  // in-flight batches/grants/completions of the old epoch die
   ++total_restarts_;
   if (w.phase == WorkerPhase::kComputing) {
@@ -797,9 +805,27 @@ void AsyncEngine::CrashWorker(uint32_t p) {
     link.has_pending = false;
     link.pending.clear();
   }
+}
+
+void AsyncEngine::CrashWorker(uint32_t p, bool node_failure) {
+  Worker& w = workers_[p];
+  const WorkerPhase phase_at_crash = w.phase;
+  FenceWorker(p);
 
   const double now = cluster_.now();
-  checkpoints_.AbortPending(p, now);
+  w.down_since = now;
+  if (!node_failure) {
+    // The dying incarnation's own write pipeline is aborted cleanly. In the
+    // node-failure case OnNodeCrash already marked those writes LOST (the
+    // durability, not just the incarnation, died with the machine).
+    checkpoints_.AbortPending(p, now);
+  }
+  if (NodeDownNow(w.node)) {
+    // The host machine is gone: relaunch on the best surviving node. When no
+    // node survives, stay put — RestoreWorker defers until the first repair.
+    const std::optional<net::NodeId> target = PickRelaunchNode(w.node);
+    if (target.has_value()) MoveWorker(p, *target);
+  }
   // Verified pick: a corrupt newest snapshot is detected (and quarantined)
   // here, falling back to the previous retained one — the pinned free
   // initial snapshot is never corrupted, so a restore target always exists.
@@ -834,13 +860,44 @@ void AsyncEngine::RestoreWorker(uint32_t p, uint32_t epoch) {
   Worker& w = workers_[p];
   if (w.epoch != epoch || w.phase != WorkerPhase::kDown) return;
 
-  // The crash froze the restore target (AbortPending dropped anything not
-  // yet durable, CrashWorker's verified pick quarantined anything corrupt,
+  if (NodeDownNow(w.node)) {
+    // The host died (again) while the worker was mid-recovery. Relaunch on a
+    // survivor if one exists; with the whole cluster down, defer the restore
+    // to the earliest repair (only genuinely-future repair times qualify —
+    // up nodes hold stale past values).
+    const std::optional<net::NodeId> target = PickRelaunchNode(w.node);
+    if (!target.has_value()) {
+      double wake = std::numeric_limits<double>::infinity();
+      for (double until : node_down_until_) {
+        if (until > cluster_.now()) wake = std::min(wake, until);
+      }
+      AMR_CHECK(std::isfinite(wake));  // w.node itself is down
+      cluster_.queue().Schedule(wake,
+                                [this, p, epoch] { RestoreWorker(p, epoch); });
+      return;
+    }
+    MoveWorker(p, *target);
+  }
+
+  // The crash froze the restore target (the in-flight writes were aborted or
+  // marked lost, CrashWorker's verified pick quarantined anything corrupt,
   // and nothing new was written while down).
   const serde::Buffer* encoded =
       checkpoints_.LatestDurableVerified(p, cluster_.now());
   AMR_CHECK(encoded != nullptr);
-  auto snap = serde::Decode<WorkerSnapshot>(*encoded);
+
+  const double downtime = cluster_.now() - w.down_since;
+  w.downtime_seconds += downtime;
+  downtime_.Add(downtime);
+  downtime_total_ += downtime;
+  ++recoveries_;
+
+  RestoreFromImage(p, *encoded);
+}
+
+void AsyncEngine::RestoreFromImage(uint32_t p, const serde::Buffer& encoded) {
+  Worker& w = workers_[p];
+  auto snap = serde::Decode<WorkerSnapshot>(encoded);
   AMR_CHECK(snap.ok()) << "corrupt worker checkpoint: "
                        << snap.status().ToString();
   AMR_CHECK_EQ(snap.value().partition, p);
@@ -900,6 +957,243 @@ void AsyncEngine::RestoreWorker(uint32_t p, uint32_t epoch) {
                 << " to iteration " << w.iterations << " (epoch " << w.epoch
                 << ")";
   TryStartIteration(p);
+}
+
+// --- node-level failure domains ----------------------------------------------
+
+bool AsyncEngine::NodeDownNow(net::NodeId node) const {
+  return !node_down_until_.empty() && cluster_.now() < node_down_until_[node];
+}
+
+void AsyncEngine::ScheduleNextNodeCrash(net::NodeId node) {
+  const double delay = cluster_.NextNodeCrashDelay();
+  if (!std::isfinite(delay)) return;
+  cluster_.queue().ScheduleAfter(delay, [this, node] {
+    if (finished_) return;  // breaks the timer chain so the queue drains
+    // A crash landing on an already-down node hits a dead machine.
+    if (!NodeDownNow(node)) OnNodeCrash(node);
+    ScheduleNextNodeCrash(node);
+  });
+}
+
+void AsyncEngine::ScheduleNextRackCrash(uint32_t rack) {
+  const double delay = cluster_.NextRackCrashDelay();
+  if (!std::isfinite(delay)) return;
+  cluster_.queue().ScheduleAfter(delay, [this, rack] {
+    if (finished_) return;
+    OnRackCrash(rack);
+    ScheduleNextRackCrash(rack);
+  });
+}
+
+void AsyncEngine::OnNodeCrash(net::NodeId node) {
+  const double now = cluster_.now();
+  node_down_until_[node] = now + cluster_.spec().node_repair_s;
+  ++node_crashes_;
+  AMR_IF_AUDIT({
+    // Node-ledger contract: the cached resident count this crash is about to
+    // act on must match a fresh placement scan (see AuditNodeLedger).
+    uint32_t resident = 0;
+    for (const Worker& aw : workers_) resident += aw.node == node ? 1 : 0;
+    AuditNodeLedger(resident, node_worker_count_[node]);
+  });
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->Instant("node-crash", "fault", obs::kPidControl, node,
+                               now,
+                               {"repair_s", cluster_.spec().node_repair_s});
+  }
+  AMR_LOG_DEBUG << "node " << node << " crashed at t=" << now << " (repair "
+                << cluster_.spec().node_repair_s << " s)";
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    Worker& w = workers_[p];
+    if (w.node != node || w.phase == WorkerPhase::kDown) continue;
+    // The machine's write-behind DFS pipeline dies first: this worker's
+    // in-flight checkpoint writes are LOST (never restorable), not merely
+    // aborted — recovery falls back through the keep-last-two chain to the
+    // newest image that actually flushed.
+    checkpoints_.MarkPendingLost(p, now);
+    CrashWorker(p, /*node_failure=*/true);
+  }
+}
+
+void AsyncEngine::OnRackCrash(uint32_t rack) {
+  ++rack_crash_episodes_;
+  const uint32_t npr = cluster_.network().topology().config().nodes_per_rack;
+  const uint32_t n = cluster_.spec().num_nodes();
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->Instant("rack-crash", "fault", obs::kPidControl, rack,
+                               cluster_.now());
+  }
+  const uint32_t first = rack * npr;
+  for (net::NodeId node = first; node < std::min(first + npr, n); ++node) {
+    if (!NodeDownNow(node)) OnNodeCrash(node);
+  }
+}
+
+std::optional<net::NodeId> AsyncEngine::PickRelaunchNode(
+    net::NodeId avoid) const {
+  std::optional<net::NodeId> best;
+  const std::vector<cluster::NodeSpec>& nodes = cluster_.spec().nodes;
+  for (net::NodeId n = 0; n < cluster_.spec().num_nodes(); ++n) {
+    if (n == avoid || NodeDownNow(n)) continue;
+    if (!best.has_value()) {
+      best = n;
+      continue;
+    }
+    // Strictly-better replacement: ties keep the lowest node id.
+    if (nodes[n].speed_factor > nodes[*best].speed_factor ||
+        (nodes[n].speed_factor == nodes[*best].speed_factor &&
+         node_worker_count_[n] < node_worker_count_[*best])) {
+      best = n;
+    }
+  }
+  return best;
+}
+
+void AsyncEngine::MoveWorker(uint32_t p, net::NodeId target) {
+  Worker& w = workers_[p];
+  if (w.node == target) return;
+  AMR_CHECK(!node_worker_count_.empty());
+  --node_worker_count_[w.node];
+  ++node_worker_count_[target];
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->Instant("relaunch", "fault", obs::kPidWorkers, p,
+                               cluster_.now(),
+                               {"from", static_cast<double>(w.node)},
+                               {"to", static_cast<double>(target)});
+  }
+  AMR_LOG_DEBUG << "worker " << p << " relaunching on node " << target
+                << " (was " << w.node << ")";
+  w.node = target;
+}
+
+// --- speculative backup workers ----------------------------------------------
+
+void AsyncEngine::ScheduleSpeculationScan() {
+  cluster_.queue().ScheduleAfter(config_.speculation_check_interval_s, [this] {
+    if (finished_) return;  // breaks the timer chain so the queue drains
+    SpeculationScan();
+    ScheduleSpeculationScan();
+  });
+}
+
+void AsyncEngine::SpeculationScan() {
+  const double now = cluster_.now();
+  const double dt = now - last_scan_time_;
+  if (dt <= 0.0) return;
+  last_scan_time_ = now;
+
+  // Iteration rates observed since the previous scan. Restores roll clocks
+  // back, so the delta is computed in doubles and clamped at zero — an
+  // unsigned wrap would read as an absurdly fast worker.
+  std::vector<double> rates(num_partitions_, 0.0);
+  std::vector<double> live_rates;
+  live_rates.reserve(num_partitions_);
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    const Worker& w = workers_[p];
+    rates[p] = std::max(0.0, static_cast<double>(w.iterations) -
+                                 static_cast<double>(iters_at_scan_[p])) /
+               dt;
+    iters_at_scan_[p] = w.iterations;
+    if (w.phase != WorkerPhase::kDown && !w.capped && rates[p] > 0.0) {
+      live_rates.push_back(rates[p]);
+    }
+  }
+  // The median yardstick needs a quorum of progressing workers, like the
+  // wave engine's median-completed-duration rule needs completed tasks.
+  if (live_rates.size() < 3) return;
+  std::nth_element(live_rates.begin(), live_rates.begin() + live_rates.size() / 2,
+                   live_rates.end());
+  const double median = live_rates[live_rates.size() / 2];
+  if (median <= 0.0) return;
+
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    const Worker& w = workers_[p];
+    if (backups_[p].active) continue;  // one incubating backup per partition
+    // Not a straggler candidate: down (crash recovery owns it), gate-blocked
+    // (a replica would block on the same peers), capped, or converged and
+    // parked (zero rate by design).
+    if (w.phase == WorkerPhase::kDown || w.phase == WorkerPhase::kBlocked ||
+        w.capped) {
+      continue;
+    }
+    if (w.phase == WorkerPhase::kIdle && !w.pending_input &&
+        w.ledger.last_residual < config_.convergence_threshold) {
+      continue;
+    }
+    if (rates[p] * config_.speculation_factor >= median) continue;
+    LaunchBackup(p);
+  }
+}
+
+void AsyncEngine::LaunchBackup(uint32_t p) {
+  const serde::Buffer* snapshot =
+      checkpoints_.LatestDurableVerified(p, cluster_.now());
+  if (snapshot == nullptr) return;  // nothing durable to seed a replica from
+  const std::optional<net::NodeId> target = PickRelaunchNode(workers_[p].node);
+  if (!target.has_value()) return;  // no other live node to host it
+  Backup& b = backups_[p];
+  b.active = true;
+  ++b.seq;
+  b.launch_iters = workers_[p].iterations;
+  b.launch_epoch = workers_[p].epoch;
+  b.target = *target;
+  // COPY the image: the store prunes and quarantines slots underneath any
+  // long-lived pointer, and the straggler may checkpoint again meanwhile.
+  b.image = *snapshot;
+  ++speculative_launches_;
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->Instant("backup-launch", "spec", obs::kPidWorkers, p,
+                               cluster_.now(),
+                               {"target", static_cast<double>(*target)},
+                               {"iter", static_cast<double>(b.launch_iters)});
+  }
+  // Incubation = replacement spawn + checkpoint read, the same recovery cost
+  // a crash pays. First to progress wins; the check happens at readiness.
+  const double incubate = cluster_.spec().worker_restart_delay_s +
+                          checkpoints_.ReadSeconds(b.image);
+  const uint32_t seq = b.seq;
+  cluster_.queue().ScheduleAfter(incubate,
+                                 [this, p, seq] { OnBackupReady(p, seq); });
+}
+
+void AsyncEngine::OnBackupReady(uint32_t p, uint32_t seq) {
+  if (finished_) return;
+  Backup& b = backups_[p];
+  if (!b.active || b.seq != seq) return;
+  b.active = false;
+  Worker& w = workers_[p];
+  // First to progress wins. The straggler wins by advancing its clock or by
+  // having gone through a crash/restore (new epoch — the recovery already
+  // re-announced, and this image may predate it); the backup also loses if
+  // its target node has since died.
+  const bool straggler_progressed =
+      w.epoch != b.launch_epoch || w.iterations > b.launch_iters;
+  if (straggler_progressed || w.phase == WorkerPhase::kDown ||
+      NodeDownNow(b.target)) {
+    ++speculative_losses_;
+    if (config_.obs.trace != nullptr) {
+      config_.obs.trace->Instant("backup-lost", "spec", obs::kPidWorkers, p,
+                                 cluster_.now());
+    }
+    b.image = serde::Buffer{};
+    return;
+  }
+  // The backup wins: fence the straggler out of the epoch (its in-flight
+  // batches and events die as dead-epoch, exactly like a crash) and bring
+  // the replica up in its place — no downtime, the replacement is live now.
+  ++speculative_wins_;
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->Instant("backup-win", "spec", obs::kPidWorkers, p,
+                               cluster_.now(),
+                               {"target", static_cast<double>(b.target)});
+  }
+  AMR_LOG_DEBUG << "speculative backup for worker " << p << " wins at t="
+                << cluster_.now() << "; fencing straggler on node " << w.node;
+  FenceWorker(p);
+  MoveWorker(p, b.target);
+  RestoreFromImage(p, b.image);
+  b.image = serde::Buffer{};
 }
 
 // --- observability -----------------------------------------------------------
@@ -1006,6 +1300,16 @@ void AsyncEngine::InstallObservability() {
         [this] { return static_cast<double>(peers_suspected_total_); });
   probe("partition_heal_reannouncements",
         [this] { return static_cast<double>(heal_reannouncements_); });
+  // Recovery gauge family (satellite: node-level failure-domain telemetry).
+  probe("recovery.recoveries",
+        [this] { return static_cast<double>(recoveries_); });
+  probe("recovery.downtime_seconds", [this] { return downtime_total_; });
+  probe("recovery.node_crashes",
+        [this] { return static_cast<double>(node_crashes_); });
+  probe("recovery.token_regenerations",
+        [this] { return static_cast<double>(token_regenerations_); });
+  probe("recovery.speculative_wins",
+        [this] { return static_cast<double>(speculative_wins_); });
   for (uint32_t p = 0; p < num_partitions_; ++p) {
     probe("worker.skew.p" + std::to_string(p), [this, p] {
       return static_cast<double>(workers_[p].iterations) -
@@ -1027,19 +1331,67 @@ void AsyncEngine::ScheduleMetricsSample() {
 
 void AsyncEngine::RegisterTokenHandlers() {
   handlers_registered_ = true;
-  const uint32_t nodes =
-      std::min<uint32_t>(num_partitions_, cluster_.spec().num_nodes());
-  for (net::NodeId node = 0; node < nodes; ++node) {
+  // Register on EVERY node, not just the initial placement footprint: a
+  // relaunched worker can land on any surviving node, and the token must be
+  // able to follow it there. Registration is bookkeeping, not an event, so
+  // the extra handlers cost nothing in virtual time.
+  for (net::NodeId node = 0; node < cluster_.spec().num_nodes(); ++node) {
     cluster_.rpc().RegisterHandler(
         node, TokenMethod(),
-        [this](net::NodeId /*from*/,
-               const serde::Buffer& request) -> Result<serde::Buffer> {
+        [this, node](net::NodeId /*from*/,
+                     const serde::Buffer& request) -> Result<serde::Buffer> {
           auto token = serde::Decode<ProgressToken>(request);
           AMR_CHECK(token.ok()) << token.status().ToString();
+          if (NodeDownNow(node)) {
+            // The token arrived at a dead machine: it dies with it. The
+            // initiator's regeneration timer is what recovers from this.
+            ++tokens_lost_;
+            return serde::Buffer{};
+          }
           HandleTokenAt(token.value().position, token.value());
           return serde::Buffer{};  // ack
         });
   }
+}
+
+bool AsyncEngine::TokenCanBeLost() const {
+  const net::TopologyConfig& topo = cluster_.network().topology().config();
+  const cluster::ClusterSpec& spec = cluster_.spec();
+  return topo.flow_loss_prob > 0.0 || !topo.partitions.empty() ||
+         spec.node_crash_rate > 0.0 || spec.rack_crash_rate > 0.0;
+}
+
+void AsyncEngine::ArmTokenRegenTimer() {
+  // Only armed when some fault mode can actually eat a token — in clean runs
+  // the timer never exists, so the event timeline is untouched and stored
+  // trajectories stay bit-identical.
+  if (!TokenCanBeLost()) return;
+  const uint32_t gen = token_circuits_;
+  // Exponential backoff on consecutive regenerations: if the timeout is set
+  // shorter than an honest slow circuit, doubling it guarantees the timer
+  // eventually outwaits the circuit instead of livelocking the control plane.
+  const double timeout =
+      config_.token_regen_timeout_s *
+      static_cast<double>(1u << std::min(consecutive_regens_, 6u));
+  cluster_.queue().ScheduleAfter(timeout, [this, gen] {
+    if (finished_) return;
+    // The generation moved on (circuit completed, or an earlier timer already
+    // regenerated): this timer is stale, let it die.
+    if (token_circuits_ != gen) return;
+    ++token_regenerations_;
+    ++consecutive_regens_;
+    // Abandon the stranded generation: bumping the live counter makes every
+    // handler drop the old token if it ever limps home.
+    ++token_circuits_;
+    if (config_.obs.trace != nullptr) {
+      config_.obs.trace->Instant("token-regen", "token", obs::kPidControl, 0,
+                                 cluster_.now(),
+                                 {"gen", static_cast<double>(token_circuits_)});
+    }
+    AMR_LOG_DEBUG << "token generation " << gen << " presumed lost at t="
+                  << cluster_.now() << "; regenerating as " << token_circuits_;
+    StartCircuit();
+  });
 }
 
 void AsyncEngine::StartCircuit() {
@@ -1047,13 +1399,26 @@ void AsyncEngine::StartCircuit() {
   ProgressToken token;
   token.circuit = token_circuits_;
   token.position = 0;
+  // The on_failed callback opts the token's request leg into the network's
+  // loss/partition fault model: control traffic traverses the same faulty
+  // fabric as data. A swallowed token is recovered by the regeneration timer;
+  // counting it here just makes the loss observable.
   cluster_.rpc().Call(workers_[num_partitions_ - 1].node, workers_[0].node,
                       TokenMethod(), serde::Encode(token),
-                      [](Result<serde::Buffer>) {});
+                      [](Result<serde::Buffer>) {}, [this] { ++tokens_lost_; });
+  ArmTokenRegenTimer();
 }
 
 void AsyncEngine::HandleTokenAt(uint32_t position, ProgressToken token) {
   if (finished_) return;
+  if (token.circuit != token_circuits_) {
+    // A regenerated circuit has superseded this token's generation (its
+    // circuit id doubles as one): a stranded token that finally escaped a
+    // partition must not finish a circuit the initiator already wrote off —
+    // two live tokens could otherwise double-complete.
+    ++stale_tokens_dropped_;
+    return;
+  }
   AMR_IF_AUDIT({
     // Safra ledger-balance contract at every token visit: summed over all
     // workers, sent - received must equal the batch flows currently on the
@@ -1091,13 +1456,21 @@ void AsyncEngine::HandleTokenAt(uint32_t position, ProgressToken token) {
   if (position + 1 < num_partitions_) {
     token.position = position + 1;
     cluster_.rpc().Call(w.node, workers_[token.position].node, TokenMethod(),
-                        serde::Encode(token), [](Result<serde::Buffer>) {});
+                        serde::Encode(token), [](Result<serde::Buffer>) {},
+                        [this] { ++tokens_lost_; });
   } else {
     CompleteCircuit(token);
   }
 }
 
 void AsyncEngine::CompleteCircuit(const ProgressToken& token) {
+  AMR_IF_AUDIT({
+    // Generation contract: only the live generation can complete a circuit —
+    // the HandleTokenAt drop must have filtered everything stale.
+    AuditTokenGeneration(token.circuit, token_circuits_);
+  });
+  // An honest circuit came home: reset the regeneration backoff.
+  consecutive_regens_ = 0;
   ++token_circuits_;
   // A token that observed fewer restarts than have happened visited some
   // worker before it crashed: that quiescence observation is stale, so the
@@ -1152,11 +1525,23 @@ AsyncResult AsyncEngine::Run() {
   AMR_CHECK(!running_) << "async engine is single-use";
   running_ = true;
   const bool crashes = cluster_.spec().worker_crash_rate > 0.0;
-  AMR_CHECK(!crashes || (snapshot_ && restore_))
-      << "worker crash injection requires snapshot and restore callbacks "
-      << "(checkpoint/replay is the async engine's only recovery path)";
+  const bool node_faults = cluster_.spec().node_crash_rate > 0.0 ||
+                           cluster_.spec().rack_crash_rate > 0.0;
+  const bool speculation = config_.speculation_factor > 0.0;
+  AMR_CHECK(!(crashes || node_faults || speculation) ||
+            (snapshot_ && restore_))
+      << "crash injection and speculation require snapshot and restore "
+      << "callbacks (checkpoint/replay is the async engine's only recovery "
+      << "path, and backups incubate from checkpoints)";
 
   BuildTopology();
+  if (node_faults || speculation) {
+    // The relaunch/speculation placement ledger. Sized lazily so plain runs
+    // never pay for it (and NodeDownNow stays a trivial `empty()` no).
+    node_down_until_.assign(cluster_.spec().num_nodes(), 0.0);
+    node_worker_count_.assign(cluster_.spec().num_nodes(), 0);
+    for (const Worker& w : workers_) ++node_worker_count_[w.node];
+  }
   RegisterTokenHandlers();
   InstallObservability();
   staleness_.clear();
@@ -1185,6 +1570,19 @@ AsyncResult AsyncEngine::Run() {
   for (uint32_t p = 0; p < num_partitions_; ++p) TryStartIteration(p);
   if (crashes) {
     for (uint32_t p = 0; p < num_partitions_; ++p) ScheduleNextCrash(p);
+  }
+  if (node_faults) {
+    for (net::NodeId n = 0; n < cluster_.spec().num_nodes(); ++n) {
+      ScheduleNextNodeCrash(n);
+    }
+    const uint32_t racks = cluster_.network().topology().num_racks();
+    for (uint32_t r = 0; r < racks; ++r) ScheduleNextRackCrash(r);
+  }
+  if (speculation) {
+    backups_.assign(num_partitions_, {});
+    iters_at_scan_.assign(num_partitions_, 0);
+    last_scan_time_ = cluster_.now();
+    ScheduleSpeculationScan();
   }
   // Partition-heal boundary re-announcements: at each window's end every
   // send edge the window severed re-announces, riding the force-resend path.
@@ -1234,6 +1632,24 @@ AsyncResult AsyncEngine::Run() {
   result.partition_heal_reannouncements = heal_reannouncements_;
   result.checkpoint_corruptions_detected =
       checkpoints_.stats().corruptions_detected;
+  result.node_crashes = node_crashes_;
+  result.rack_crash_episodes = rack_crash_episodes_;
+  result.checkpoint_writes_lost = checkpoints_.stats().writes_lost;
+  result.tokens_lost = tokens_lost_;
+  result.token_regenerations = token_regenerations_;
+  result.stale_tokens_dropped = stale_tokens_dropped_;
+  result.speculative_launches = speculative_launches_;
+  result.speculative_wins = speculative_wins_;
+  result.speculative_losses = speculative_losses_;
+  result.recoveries = recoveries_;
+  result.downtime_seconds = downtime_total_;
+  result.mttr_seconds =
+      recoveries_ > 0 ? downtime_total_ / static_cast<double>(recoveries_) : 0.0;
+  if (recoveries_ > 0) {
+    result.downtime_p50 = downtime_.Percentile(50);
+    result.downtime_p95 = downtime_.Percentile(95);
+    result.downtime_max = downtime_.max_seen();
+  }
   Histogram staleness = MakeStalenessHistogram();
   for (const Histogram& h : staleness_) staleness.Merge(h);
   result.staleness_samples = staleness.total();
@@ -1266,6 +1682,7 @@ AsyncResult AsyncEngine::Run() {
     result.retry_backoff_seconds += w.retry_backoff_seconds;
     result.batches_abandoned += w.batches_abandoned;
     stats.restarts = w.epoch;
+    stats.downtime_seconds = w.downtime_seconds;
     stats.checkpoints = w.checkpoints;
     stats.checkpoint_bytes = w.checkpoint_bytes;
     stats.residual_known = w.iterations > 0;

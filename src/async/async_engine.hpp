@@ -66,6 +66,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -196,6 +197,14 @@ struct EngineTuning {
   /// Checkpoint corruption-injection probability (see
   /// AsyncConfig::checkpoint_corruption_prob).
   double checkpoint_corruption_prob = 0.0;
+  /// Termination-token regeneration timeout (see
+  /// AsyncConfig::token_regen_timeout_s). Armed only when the network can
+  /// actually lose the token.
+  double token_regen_timeout_s = 3.0;
+  /// Speculative backup workers for engine-level stragglers (see
+  /// AsyncConfig::speculation_factor; 0 = disabled).
+  double speculation_factor = 0.0;
+  double speculation_check_interval_s = 1.0;
   /// Observability sinks (null = disabled, the default; see obs/obs.hpp).
   /// The sinks must outlive the engine; the engine detaches what it installed
   /// (network/cluster trace pointers, metric probes) in its destructor.
@@ -280,6 +289,27 @@ struct AsyncConfig {
   /// after its CRC is recorded, so recovery detects it and falls back to the
   /// previous retained snapshot). Test/chaos knob; 0 = clean, no draws.
   double checkpoint_corruption_prob = 0.0;
+  /// Safra-token loss recovery: base timeout after which the initiator
+  /// presumes the circulating token lost and regenerates it under a fresh
+  /// generation (the token's circuit id — see progress.hpp; handlers drop
+  /// tokens from abandoned generations). The timer backs off exponentially
+  /// across consecutive regenerations of the same logical circuit so a
+  /// merely-slow ring cannot be regenerated into a livelock, and it is armed
+  /// at all ONLY when the configured network/failure knobs can actually lose
+  /// or strand a token — clean runs schedule no timer and stay bit-identical.
+  double token_regen_timeout_s = 3.0;
+  /// Speculative backup workers: every speculation_check_interval_s the
+  /// engine compares per-worker iteration rates observed since the previous
+  /// scan; a worker whose rate falls below median/speculation_factor gets a
+  /// backup replica launched from its latest durable checkpoint on the
+  /// fastest other live node with a free slot. First to progress wins: if
+  /// the straggler advanced before the backup finished incubating, the
+  /// backup is discarded; otherwise the straggler is fenced through the
+  /// existing epoch machinery (its in-flight batches die as dead-epoch) and
+  /// the backup becomes the worker. 0 disables — no timers, no draws.
+  /// Requires snapshot/restore callbacks, like crash injection.
+  double speculation_factor = 0.0;
+  double speculation_check_interval_s = 1.0;
 
   /// Observability sinks (see EngineTuning::obs); disabled when null.
   obs::Observability obs;
@@ -297,6 +327,9 @@ struct AsyncConfig {
     retry_jitter_frac = t.retry_jitter_frac;
     suspicion_timeout_s = t.suspicion_timeout_s;
     checkpoint_corruption_prob = t.checkpoint_corruption_prob;
+    token_regen_timeout_s = t.token_regen_timeout_s;
+    speculation_factor = t.speculation_factor;
+    speculation_check_interval_s = t.speculation_check_interval_s;
     obs = t.obs;
   }
   /// Completed iterations between worker checkpoints (0 = only the free
@@ -396,6 +429,10 @@ struct WorkerStats {
   uint64_t coalesced_bytes_saved = 0;
   /// Crash/recovery cycles this worker went through (== final epoch).
   uint32_t restarts = 0;
+  /// Total virtual time this worker spent dead (crash to restore), across
+  /// worker- and node-level failures. Speculative fencing is not downtime —
+  /// the replacement is live the instant the loser is fenced.
+  double downtime_seconds = 0.0;
   /// Robustness counters: outgoing flows that failed (dropped/killed/timed
   /// out), retry attempts launched for them, total backoff waited before
   /// those retries, and batches abandoned after max_batch_retries (each one
@@ -443,6 +480,32 @@ struct AsyncResult {
   uint64_t checkpoint_bytes = 0;
   double checkpoint_write_seconds = 0.0;
   double recovery_seconds = 0.0;
+  /// Node-level failure domains: whole-node crashes injected, rack-wide
+  /// failure episodes, and in-flight checkpoint writes lost because their
+  /// node died before the DFS pipeline flushed (each falls back to an older
+  /// durable snapshot).
+  uint32_t node_crashes = 0;
+  uint32_t rack_crash_episodes = 0;
+  uint64_t checkpoint_writes_lost = 0;
+  /// Survivable control plane: token request hops dropped by the faulty
+  /// network or addressed to a down node, initiator regenerations after a
+  /// presumed loss, and stale-generation tokens discarded by handlers.
+  uint64_t tokens_lost = 0;
+  uint32_t token_regenerations = 0;
+  uint32_t stale_tokens_dropped = 0;
+  /// Speculative backups: launched, won (straggler fenced, replica took
+  /// over), lost (straggler progressed first; replica discarded).
+  uint32_t speculative_launches = 0;
+  uint32_t speculative_wins = 0;
+  uint32_t speculative_losses = 0;
+  /// Recovery telemetry: completed crash→restore cycles, their total
+  /// downtime, the mean time to recover, and the downtime distribution.
+  uint32_t recoveries = 0;
+  double downtime_seconds = 0.0;
+  double mttr_seconds = 0.0;
+  double downtime_p50 = 0.0;
+  double downtime_p95 = 0.0;
+  double downtime_max = 0.0;
   /// Robustness accounting (sums of the per-worker counters, plus the
   /// engine-level suspicion/heal events). flow_drops counts failed outgoing
   /// batch flows; every one was either retried (batch_retries, with
@@ -637,6 +700,10 @@ class AsyncEngine {
     uint64_t batch_retries = 0;
     double retry_backoff_seconds = 0.0;
     uint64_t batches_abandoned = 0;
+    /// Recovery telemetry: when the current down span began (valid while
+    /// kDown) and total downtime accumulated across restarts.
+    double down_since = 0.0;
+    double downtime_seconds = 0.0;
   };
 
   void BuildTopology();
@@ -652,7 +719,11 @@ class AsyncEngine {
   /// exact float expression, and activates the parked completion event.
   void JoinInFlight(uint32_t p);
   void TryStartIteration(uint32_t p);
-  void BeginCompute(uint32_t p, uint32_t epoch);
+  /// `grant_node` is the node whose slot the AcquireSlot grant holds — the
+  /// worker's node at acquisition time. Relocation (node crash, speculation)
+  /// can move the worker between grant and fire, so the early-out paths must
+  /// release the slot on the node that granted it, not on workers_[p].node.
+  void BeginCompute(uint32_t p, uint32_t epoch, net::NodeId grant_node);
   void FinishCompute(uint32_t p, uint32_t epoch, uint64_t ops,
                      uint64_t merge_ops, double residual);
   /// `flow_id` is the network flow that carried the batch (0 when tracing is
@@ -726,13 +797,55 @@ class AsyncEngine {
   void ScheduleNextCrash(uint32_t p);
   /// Kills worker `p`: bumps its epoch, frees its slot if it held one, picks
   /// the restore target among checkpoints durable *now* (aborting in-flight
-  /// writes), and schedules RestoreWorker after the restart delay plus the
-  /// checkpoint read time.
-  void CrashWorker(uint32_t p);
+  /// writes — unless node_failure, where the node already marked them LOST),
+  /// relocates the worker off a dead node onto the best surviving one, and
+  /// schedules RestoreWorker after the restart delay plus the checkpoint
+  /// read time.
+  void CrashWorker(uint32_t p, bool node_failure);
   /// Rebuilds worker `p` from its checkpoint, resets peers' gating view of
   /// its rolled-back clock, refreshes its own gating view from current
   /// clocks, and forces every sender-to-`p` to re-announce.
   void RestoreWorker(uint32_t p, uint32_t epoch);
+  /// The state-rebuild core of RestoreWorker, also used by a winning
+  /// speculative backup: decodes `encoded`, installs it as `p`'s live state,
+  /// repairs both gating directions, and force-re-announces every sender.
+  void RestoreFromImage(uint32_t p, const serde::Buffer& encoded);
+
+  // --- node-level failure domains --------------------------------------------
+  bool NodeDownNow(net::NodeId node) const;
+  /// Arms one node's (or rack's) Poisson crash chain (no-op at rate 0). The
+  /// chain keeps drawing while the node is down — a crash landing on a dead
+  /// machine is skipped, not deferred — so fault pressure is memoryless.
+  void ScheduleNextNodeCrash(net::NodeId node);
+  void ScheduleNextRackCrash(uint32_t rack);
+  /// Whole-node failure: marks the node down for spec.node_repair_s, flags
+  /// its in-flight checkpoint writes lost, and crashes every resident worker.
+  void OnNodeCrash(net::NodeId node);
+  /// Rack-correlated episode: OnNodeCrash for every up node in the rack.
+  void OnRackCrash(uint32_t rack);
+  /// Best host for a relaunch/backup: fastest up node, ties broken by fewer
+  /// resident workers then lower id. `avoid` (the straggler's own node for
+  /// backups; the dead node for relaunches, already excluded as down) never
+  /// qualifies. nullopt when no node qualifies — relaunch then defers until
+  /// a repair.
+  std::optional<net::NodeId> PickRelaunchNode(net::NodeId avoid) const;
+  /// Rehomes worker `p`, keeping the node_worker_count_ ledger exact.
+  void MoveWorker(uint32_t p, net::NodeId target);
+
+  // --- speculative backup workers --------------------------------------------
+  void ScheduleSpeculationScan();
+  /// Compares per-worker iteration rates since the previous scan and
+  /// launches backups for stragglers (see AsyncConfig::speculation_factor).
+  void SpeculationScan();
+  void LaunchBackup(uint32_t p);
+  /// Backup finished incubating: wins (fences the straggler, restores the
+  /// copied image on the target node) unless the straggler progressed,
+  /// crashed, or the target died in the meantime.
+  void OnBackupReady(uint32_t p, uint32_t seq);
+  /// Fences worker `p` out of the epoch: in-flight batches/events die as
+  /// dead-epoch, the slot is released, volatile send state is cleared. The
+  /// shared kill half of CrashWorker and a losing straggler's fencing.
+  void FenceWorker(uint32_t p);
 
   // --- termination token -----------------------------------------------------
   std::string TokenMethod() const { return "amr.async." + config_.name + ".token"; }
@@ -740,6 +853,17 @@ class AsyncEngine {
   void StartCircuit();
   void HandleTokenAt(uint32_t position, ProgressToken token);
   void CompleteCircuit(const ProgressToken& token);
+  /// Can the configured fault model lose or strand a token? Gates the
+  /// regeneration timer: when false the token is provably reliable, no timer
+  /// is armed, and clean runs schedule zero extra events.
+  bool TokenCanBeLost() const;
+  /// One-shot regeneration timer armed per StartCircuit: if the circuit it
+  /// watches (identified by its generation == circuit id) has neither
+  /// completed nor been superseded when the timer fires, the initiator
+  /// abandons that generation and starts a fresh circuit. Exponential
+  /// per-consecutive-regeneration backoff guards against regenerating a
+  /// slow-but-alive ring forever.
+  void ArmTokenRegenTimer();
   void Finish(bool converged, double residual, bool residual_known);
 
   cluster::SimCluster& cluster_;
@@ -771,6 +895,52 @@ class AsyncEngine {
   CheckpointStore checkpoints_;
   uint32_t total_restarts_ = 0;
   double recovery_seconds_ = 0.0;
+
+  // --- node-level failure domains --------------------------------------------
+  /// Per node: virtual time until which the node is down (0 = never crashed;
+  /// empty when node/rack injection is off AND speculation is off — sized in
+  /// Run only when some consumer exists, so default runs allocate nothing).
+  std::vector<double> node_down_until_;
+  /// Per node: resident workers (the ledger AuditNodeLedger checks against a
+  /// scan). Sized with node_down_until_; maintained by MoveWorker.
+  std::vector<uint32_t> node_worker_count_;
+  uint32_t node_crashes_ = 0;
+  uint32_t rack_crash_episodes_ = 0;
+
+  // --- speculative backup workers --------------------------------------------
+  /// At most one incubating backup per partition. `image` is a COPY of the
+  /// straggler's snapshot at launch time (the store prunes/quarantines slots
+  /// underneath long-lived pointers); `seq` invalidates superseded backups.
+  struct Backup {
+    bool active = false;
+    uint32_t seq = 0;
+    uint32_t launch_iters = 0;
+    uint32_t launch_epoch = 0;
+    net::NodeId target = 0;
+    serde::Buffer image;
+  };
+  std::vector<Backup> backups_;
+  /// Per worker: iteration clock at the previous speculation scan.
+  std::vector<uint32_t> iters_at_scan_;
+  double last_scan_time_ = 0.0;
+  uint32_t speculative_launches_ = 0;
+  uint32_t speculative_wins_ = 0;
+  uint32_t speculative_losses_ = 0;
+
+  // --- survivable control plane ----------------------------------------------
+  uint64_t tokens_lost_ = 0;
+  uint32_t token_regenerations_ = 0;
+  uint32_t stale_tokens_dropped_ = 0;
+  /// Regenerations since the last successfully completed circuit; drives the
+  /// regen timer's exponential backoff and resets in CompleteCircuit.
+  uint32_t consecutive_regens_ = 0;
+
+  // --- recovery telemetry ----------------------------------------------------
+  /// Downtime per completed crash→restore cycle: exponential buckets from
+  /// 50 ms (sub-restart-delay recoveries) to ~27 min of virtual downtime.
+  Histogram downtime_{Histogram::Exponential(0.05, 2.0, 16)};
+  double downtime_total_ = 0.0;
+  uint32_t recoveries_ = 0;
   /// Compute-offload pool, created at Run() in kSharded mode only. Workers
   /// synchronize with the driver purely through Submit futures: the driver
   /// never touches an in-flight partition's app state or emission buffers,

@@ -14,6 +14,12 @@ void CheckpointStore::Write(uint32_t p, serde::Buffer encoded, double now,
   AMR_CHECK(p < slots_.size()) << "checkpoint for unknown partition " << p;
   auto& slots = slots_[p];
 
+  // Lost writes (node died mid-flush) can never be restored; drop them here
+  // so the durable-index scan below only sees live slots.
+  slots.erase(std::remove_if(slots.begin(), slots.end(),
+                             [](const Slot& s) { return s.lost; }),
+              slots.end());
+
   // Prune: keep the TWO newest already-durable snapshots — the restore
   // target plus the fallback LatestDurableVerified retreats to when the
   // newest fails its CRC — everything still pending, and the very first
@@ -64,7 +70,7 @@ const serde::Buffer* CheckpointStore::LatestDurableVerified(uint32_t p,
   auto& slots = slots_[p];
   for (size_t i = slots.size(); i > 0; --i) {
     const Slot& slot = slots[i - 1];
-    if (slot.durable_at > at) continue;
+    if (slot.lost || slot.durable_at > at) continue;
     if (SlotIntact(slot)) return &slot.encoded;
     // Quarantine: a corrupt snapshot is counted and removed, so a repeat
     // lookup (CrashWorker picks, RestoreWorker re-reads) neither offers it
@@ -86,7 +92,9 @@ const serde::Buffer* CheckpointStore::LatestDurable(uint32_t p, double at) const
   AMR_CHECK(p < slots_.size()) << "checkpoint for unknown partition " << p;
   const auto& slots = slots_[p];
   for (size_t i = slots.size(); i > 0; --i) {
-    if (slots[i - 1].durable_at <= at) return &slots[i - 1].encoded;
+    if (!slots[i - 1].lost && slots[i - 1].durable_at <= at) {
+      return &slots[i - 1].encoded;
+    }
   }
   return nullptr;
 }
@@ -97,6 +105,15 @@ void CheckpointStore::AbortPending(uint32_t p, double at) {
   slots.erase(std::remove_if(slots.begin(), slots.end(),
                              [at](const Slot& s) { return s.durable_at > at; }),
               slots.end());
+}
+
+void CheckpointStore::MarkPendingLost(uint32_t p, double at) {
+  AMR_CHECK(p < slots_.size()) << "checkpoint for unknown partition " << p;
+  for (Slot& slot : slots_[p]) {
+    if (slot.lost || slot.durable_at <= at) continue;
+    slot.lost = true;
+    ++stats_.writes_lost;
+  }
 }
 
 }  // namespace asyncmr::async

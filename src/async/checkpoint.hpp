@@ -111,6 +111,9 @@ class CheckpointStore {
     /// by the test knob.
     uint64_t corruptions_detected = 0;
     uint64_t corruptions_injected = 0;
+    /// In-flight (not yet durable) writes lost because their node died
+    /// before the DFS pipeline flushed (see MarkPendingLost).
+    uint64_t writes_lost = 0;
   };
 
   explicit CheckpointStore(dfs::Dfs& dfs) : dfs_(dfs) {}
@@ -141,6 +144,15 @@ class CheckpointStore {
   /// Drops `p`'s snapshots whose writes had not completed by `at`: the dying
   /// incarnation's in-flight pipeline is aborted.
   void AbortPending(uint32_t p, double at);
+
+  /// Node-death durability: marks `p`'s in-flight (durable_at > at) writes as
+  /// LOST — the write-behind pipeline died with the machine, so these images
+  /// must never become restorable even after their nominal durable_at passes.
+  /// Unlike AbortPending (the worker's own orderly pipeline abort) the slots
+  /// are retained, flagged, and counted in stats().writes_lost; both restore
+  /// lookups skip them and fall back through the keep-last-two chain to the
+  /// newest snapshot that was actually flushed before the node died.
+  void MarkPendingLost(uint32_t p, double at);
 
   /// Read-back duration for `encoded` charged into a worker's recovery.
   double ReadSeconds(const serde::Buffer& encoded) const {
@@ -173,6 +185,8 @@ class CheckpointStore {
     /// CRC of `encoded` as handed to Write, i.e. before any injected
     /// corruption — so a corrupted slot fails verification.
     uint32_t crc = 0;
+    /// Write died with its node (MarkPendingLost): never restorable.
+    bool lost = false;
   };
 
   bool SlotIntact(const Slot& slot) const;

@@ -77,6 +77,35 @@ inline void AuditSafraBalance(uint64_t sent, uint64_t received,
       << " batch flows in flight=" << in_flight;
 }
 
+/// Token-generation contract, checked under AMR_AUDIT when a circuit
+/// completes at the initiator. The token's circuit id doubles as its
+/// generation: regeneration after a suspected loss abandons the stranded id
+/// by bumping the engine's live counter, and every handler drops tokens
+/// whose id trails it. A completed circuit is therefore only reachable by
+/// the current generation — two tokens of the same generation finishing
+/// (double-termination) or a stale one slipping past the drop means the
+/// generation discipline is broken. Free function so negative tests can feed
+/// it mismatched generations directly (tests/test_audit.cpp).
+inline void AuditTokenGeneration(uint32_t token_generation,
+                                 uint32_t live_generation) {
+  AUDIT_CHECK(token_generation == live_generation)
+      << "stale token generation completed a circuit: token="
+      << token_generation << " live=" << live_generation;
+}
+
+/// Node-ledger contract for node-level failure domains: the engine's cached
+/// per-node resident-worker counts (maintained incrementally across
+/// relaunches and speculative fencing) must match a fresh scan of worker
+/// placements. Checked under AMR_AUDIT when a node crash enumerates its
+/// victims — a drifted ledger would crash the wrong worker set or relaunch
+/// onto phantom capacity. Free function for negative tests
+/// (tests/test_audit.cpp).
+inline void AuditNodeLedger(uint32_t resident_workers, uint32_t ledger_count) {
+  AUDIT_CHECK(resident_workers == ledger_count)
+      << "node worker-ledger drift: scan found " << resident_workers
+      << " resident workers but ledger says " << ledger_count;
+}
+
 /// Per-worker counters the token reads (and clears `dirty` on) at each visit.
 struct ProgressLedger {
   /// +inf = "no iteration completed yet". The token only folds this in once

@@ -172,7 +172,8 @@ class SimCluster::WaveRunner
                                           spec.straggler_slowdown_max);
     }
     const double speed = spec.nodes[node].speed_factor;
-    const double load = cluster_.NodeLoadFactor(node);
+    const double load =
+        cluster_.NodeLoadFactor(node) * cluster_.NodeGrayFactor(node);
     const double compute_s = static_cast<double>(st.report.ops) *
                              spec.per_op_seconds * st.report.time_scale *
                              slowdown * load / speed;
@@ -315,6 +316,7 @@ SimCluster::SimCluster(ClusterSpec spec)
       rng_(MixSeed(spec_.seed, 0xC1)) {
   AMR_CHECK_EQ(spec_.nodes.size(), spec_.topology.num_nodes);
   if (spec_.bg_load_rate > 0.0) bg_load_.resize(spec_.nodes.size());
+  if (spec_.gray_rate > 0.0) gray_.resize(spec_.nodes.size());
   free_map_slots_.reserve(spec_.nodes.size());
   free_reduce_slots_.reserve(spec_.nodes.size());
   for (const NodeSpec& n : spec_.nodes) {
@@ -399,11 +401,48 @@ double SimCluster::NodeLoadFactor(net::NodeId node) {
   return bg.loaded ? spec_.bg_load_factor : 1.0;
 }
 
+double SimCluster::NodeGrayFactor(net::NodeId node) {
+  if (gray_.empty()) return 1.0;
+  // Same lazy alternating-renewal timeline as NodeLoadFactor, on its own
+  // per-node substream so adding gray failures never perturbs bg-load draws.
+  BgLoad& g = gray_[node];
+  if (!g.inited) {
+    g.inited = true;
+    g.rng = Rng(MixSeed(MixSeed(spec_.seed, 0x62A4), node));
+    g.next_change = g.rng.NextExponential(1.0 / spec_.gray_rate);
+  }
+  const double now = queue_.now();
+  while (g.next_change <= now) {
+    if (g.loaded) {
+      g.loaded = false;
+      g.next_change += g.rng.NextExponential(1.0 / spec_.gray_rate);
+    } else {
+      g.loaded = true;
+      g.next_change += spec_.gray_duration_s;
+    }
+  }
+  return g.loaded ? spec_.gray_factor : 1.0;
+}
+
 double SimCluster::NextWorkerCrashDelay() {
   if (spec_.worker_crash_rate <= 0.0) {
     return std::numeric_limits<double>::infinity();
   }
   return rng_.NextExponential(1.0 / spec_.worker_crash_rate);
+}
+
+double SimCluster::NextNodeCrashDelay() {
+  if (spec_.node_crash_rate <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return rng_.NextExponential(1.0 / spec_.node_crash_rate);
+}
+
+double SimCluster::NextRackCrashDelay() {
+  if (spec_.rack_crash_rate <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return rng_.NextExponential(1.0 / spec_.rack_crash_rate);
 }
 
 void SimCluster::RunWave(std::vector<TaskSpec> tasks, SlotType type,

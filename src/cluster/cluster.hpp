@@ -84,12 +84,25 @@ class SimCluster {
   /// same spec.seed reproduces the same crashes.
   double NextWorkerCrashDelay();
 
+  /// Samples the delay until the next whole-node crash (per node) and the
+  /// next rack-correlated failure episode (per rack). Same discipline as
+  /// NextWorkerCrashDelay: +infinity with no RNG draw when the rate is 0.
+  double NextNodeCrashDelay();
+  double NextRackCrashDelay();
+
   /// Multiplier on compute cost for work starting on `node` right now, from
   /// the spec's Poisson background-load episodes (1.0 when the knob is off —
   /// no RNG draw). Per-node timelines advance lazily but monotonically in
   /// virtual time, so the episode schedule is a pure function of the seed no
   /// matter how often callers sample it.
   double NodeLoadFactor(net::NodeId node);
+
+  /// Multiplier on compute cost from the spec's gray-failure episodes
+  /// (spec().gray_factor while the node is gray, else 1.0; identity with no
+  /// RNG draw when gray_rate == 0). Same lazy per-node timeline machinery as
+  /// NodeLoadFactor, on an independent seed substream — a node can be both
+  /// loaded and gray, and the factors compose multiplicatively.
+  double NodeGrayFactor(net::NodeId node);
 
  private:
   class WaveRunner;
@@ -117,6 +130,7 @@ class SimCluster {
   std::vector<std::deque<std::function<void()>>> reduce_slot_waiters_;
   std::vector<std::shared_ptr<WaveRunner>> active_waves_;
   std::vector<BgLoad> bg_load_;  // empty when bg_load_rate == 0
+  std::vector<BgLoad> gray_;     // empty when gray_rate == 0
   obs::TraceSink* trace_ = nullptr;
   friend class WaveRunner;
 };

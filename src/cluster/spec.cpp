@@ -68,6 +68,16 @@ std::string ClusterSpec::Describe() const {
   if (bg_load_rate > 0.0) {
     os << ", bg load " << bg_load_rate << "/s x" << bg_load_factor;
   }
+  if (node_crash_rate > 0.0) {
+    os << ", node crash rate " << node_crash_rate << "/s (repair "
+       << node_repair_s << " s)";
+  }
+  if (rack_crash_rate > 0.0) {
+    os << ", rack crash rate " << rack_crash_rate << "/s";
+  }
+  if (gray_rate > 0.0) {
+    os << ", gray failures " << gray_rate << "/s x" << gray_factor;
+  }
   return os.str();
 }
 

@@ -74,6 +74,34 @@ struct ClusterSpec {
   /// charged on top from the DFS cost model.
   double worker_restart_delay_s = 3.0;
 
+  // --- node-level failure domains --------------------------------------------
+  /// Poisson whole-node crash rate, in crashes per node per virtual second
+  /// (0 = never, no RNG draw). A node crash kills EVERY async worker resident
+  /// on the node at once, invalidates the node's un-flushed write-behind
+  /// checkpoint writes (the DFS pipeline dies with the machine), and drops
+  /// termination tokens addressed to it; the engine relaunches the dead
+  /// node's workers on surviving nodes from their last durable snapshots.
+  double node_crash_rate = 0.0;
+  /// Downtime before a crashed node can host workers again. Relaunched
+  /// workers do not move back; the repaired node just rejoins the candidate
+  /// pool for future relaunches and speculative backups.
+  double node_repair_s = 10.0;
+  /// Poisson rack-correlated failure episodes, in episodes per rack per
+  /// virtual second (0 = never, no RNG draw). An episode crashes every
+  /// currently-up node in the rack simultaneously — the correlated failure
+  /// mode replica placement exists to survive.
+  double rack_crash_rate = 0.0;
+  /// Gray-failure episodes: the node stays up (workers keep their state, no
+  /// recovery runs) but computes at a crawl. Poisson arrivals at gray_rate
+  /// per node per second, each lasting gray_duration_s and multiplying
+  /// compute cost by gray_factor. Distinct from bg_load (ordinary co-tenant
+  /// interference): gray episodes model sick machines — an order of
+  /// magnitude slower, the tail the engine's speculative backups target.
+  /// Rate 0 = never, and no RNG is drawn.
+  double gray_rate = 0.0;
+  double gray_duration_s = 5.0;
+  double gray_factor = 10.0;
+
   // --- speculative execution -------------------------------------------------
   /// Re-launch a running task elsewhere once its elapsed time exceeds this
   /// multiple of the median completed duration in the wave (0 = disabled).

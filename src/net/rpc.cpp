@@ -16,34 +16,38 @@ void RpcSystem::UnregisterHandler(NodeId node, const std::string& method) {
 }
 
 void RpcSystem::Call(NodeId from, NodeId to, const std::string& method,
-                     serde::Buffer request, ReplyCallback on_reply) {
+                     serde::Buffer request, ReplyCallback on_reply,
+                     std::function<void()> on_failed) {
   ++calls_made_;
   const uint64_t request_bytes = request.size() + kEnvelopeBytes;
   // Move the request, run the handler at the destination, move the reply.
   auto request_ptr = std::make_shared<serde::Buffer>(std::move(request));
   auto reply_cb = std::make_shared<ReplyCallback>(std::move(on_reply));
-  network_.Transfer(from, to, request_bytes, [this, from, to, method, request_ptr,
-                                              reply_cb] {
-    Result<serde::Buffer> reply = [&]() -> Result<serde::Buffer> {
-      auto node_it = handlers_.find(to);
-      if (node_it == handlers_.end()) {
-        return Status::NotFound("no handlers on node " + std::to_string(to));
-      }
-      auto method_it = node_it->second.find(method);
-      if (method_it == node_it->second.end()) {
-        return Status::NotFound("method '" + method + "' not registered on node " +
-                                std::to_string(to));
-      }
-      return method_it->second(from, *request_ptr);
-    }();
+  network_.Transfer(
+      from, to, request_bytes,
+      [this, from, to, method, request_ptr, reply_cb] {
+        Result<serde::Buffer> reply = [&]() -> Result<serde::Buffer> {
+          auto node_it = handlers_.find(to);
+          if (node_it == handlers_.end()) {
+            return Status::NotFound("no handlers on node " + std::to_string(to));
+          }
+          auto method_it = node_it->second.find(method);
+          if (method_it == node_it->second.end()) {
+            return Status::NotFound("method '" + method +
+                                    "' not registered on node " +
+                                    std::to_string(to));
+          }
+          return method_it->second(from, *request_ptr);
+        }();
 
-    const uint64_t reply_bytes =
-        (reply.ok() ? reply.value().size() : 0) + kEnvelopeBytes;
-    auto reply_ptr = std::make_shared<Result<serde::Buffer>>(std::move(reply));
-    network_.Transfer(to, from, reply_bytes, [reply_cb, reply_ptr] {
-      (*reply_cb)(std::move(*reply_ptr));
-    });
-  });
+        const uint64_t reply_bytes =
+            (reply.ok() ? reply.value().size() : 0) + kEnvelopeBytes;
+        auto reply_ptr = std::make_shared<Result<serde::Buffer>>(std::move(reply));
+        network_.Transfer(to, from, reply_bytes, [reply_cb, reply_ptr] {
+          (*reply_cb)(std::move(*reply_ptr));
+        });
+      },
+      std::move(on_failed));
 }
 
 }  // namespace asyncmr::net

@@ -35,8 +35,15 @@ class RpcSystem {
 
   /// Invokes `method` on node `to`. Request and reply payloads each pay
   /// transfer cost; the handler runs at the destination in virtual time.
+  /// With `on_failed`, the request leg becomes loss-aware: it can be dropped
+  /// by lossy links or severed by partitions like any other unreliable flow,
+  /// and on_failed fires (once) instead of the handler ever running. The
+  /// reply leg stays reliable — callers that care about lost replies should
+  /// model them as a request in the other direction. Default (nullptr) is
+  /// the historical reliable behaviour, bit-identical on fault-free runs.
   void Call(NodeId from, NodeId to, const std::string& method,
-            serde::Buffer request, ReplyCallback on_reply);
+            serde::Buffer request, ReplyCallback on_reply,
+            std::function<void()> on_failed = nullptr);
 
   /// Typed convenience wrapper.
   template <typename Req, typename Resp>

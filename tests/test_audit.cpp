@@ -172,6 +172,40 @@ TEST(AuditSafraDeathTest, ImbalanceTrips) {
                "Safra ledger imbalance");
 }
 
+// --- token generation discipline ---------------------------------------------
+
+TEST(AuditTokenGeneration, LiveGenerationDoesNotTrip) {
+  asyncmr::async::AuditTokenGeneration(/*token_generation=*/0,
+                                       /*live_generation=*/0);
+  asyncmr::async::AuditTokenGeneration(7, 7);  // after regenerations
+}
+
+TEST(AuditTokenGenerationDeathTest, StaleGenerationCompletingTrips) {
+  SKIP_WITHOUT_AUDIT();
+  // A token whose generation trails the live counter reached CompleteCircuit:
+  // the HandleTokenAt drop failed, and a written-off circuit is about to
+  // double-terminate the run.
+  EXPECT_DEATH(asyncmr::async::AuditTokenGeneration(/*token_generation=*/3,
+                                                    /*live_generation=*/5),
+               "stale token generation");
+}
+
+// --- node worker-ledger -------------------------------------------------------
+
+TEST(AuditNodeLedger, MatchingCountsDoNotTrip) {
+  asyncmr::async::AuditNodeLedger(/*resident_workers=*/4, /*ledger_count=*/4);
+  asyncmr::async::AuditNodeLedger(0, 0);  // node with no residents
+}
+
+TEST(AuditNodeLedgerDeathTest, DriftedLedgerTrips) {
+  SKIP_WITHOUT_AUDIT();
+  // The incrementally-maintained per-node resident count disagrees with a
+  // fresh placement scan: a node crash would fence the wrong worker set.
+  EXPECT_DEATH(asyncmr::async::AuditNodeLedger(/*resident_workers=*/3,
+                                               /*ledger_count=*/2),
+               "node worker-ledger drift");
+}
+
 // --- state-store version monotonicity ----------------------------------------
 
 TEST(AuditStateStore, AdvancingVersionsDoNotTrip) {
